@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures and result recording.
+
+Each benchmark module regenerates one of the paper's tables or figures
+(see DESIGN.md's experiment index).  Conventions:
+
+- ``prediction_lab`` hosts the section 2/4 experiments (NUMA on SKX,
+  CXL devices on SPR - the paper's testbeds);
+- ``bw_lab`` hosts the section 5/6 bandwidth experiments (all tiers on
+  SKX, whose DRAM a ten-thread streamer can contend for);
+- every bench renders the paper-style rows/series with
+  :func:`record`, which prints them *and* snapshots them under
+  ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Lab
+from repro.analysis.lab import BANDWIDTH_TIER_PLATFORMS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def prediction_lab() -> Lab:
+    """Shared lab for the prediction study (paper testbed mapping)."""
+    return Lab()
+
+
+@pytest.fixture(scope="session")
+def bw_lab() -> Lab:
+    """Shared lab for the bandwidth study (all tiers on SKX2S)."""
+    return Lab(tier_platforms=BANDWIDTH_TIER_PLATFORMS)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a rendered experiment block and snapshot it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        block = f"\n=== {name} ===\n{text}\n"
+        print(block)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def run_once():
+    """Benchmark a driver exactly once and return its result.
+
+    The drivers are deterministic and internally cached; multiple
+    timing rounds would only time the cache.
+    """
+
+    def _run_once(benchmark, fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run_once

@@ -1,0 +1,91 @@
+"""Ablation: calibration-suite composition and cross-platform fit.
+
+- **suite size**: the hyperbola fit needs the pointer-chase sweep's
+  AOL coverage; calibrating on a 3-point subset degrades accuracy.
+- **cross-platform constants**: constants fitted on one platform don't
+  transfer to another (the paper calibrates per platform); constants
+  fitted per platform do generalize across the three testbeds.
+"""
+
+from repro.analysis import ascii_table
+from repro.analysis.stats import accuracy_summary
+from repro.core.calibration import calibrate
+from repro.core.slowdown import SlowdownPredictor
+from repro.uarch import Machine, Placement, SKX2S, SPR2S, EMR2S, slowdown
+from repro.workloads import (calibration_suite, evaluation_suite,
+                             memset, pointer_chase, strided_access)
+
+
+def _accuracy(machine, calibration, workloads):
+    predictor = SlowdownPredictor(calibration)
+    predicted, actual = [], []
+    for workload in workloads:
+        dram = machine.run(workload)
+        slow = machine.run(workload,
+                           Placement.slow_only(calibration.device))
+        predicted.append(predictor.predict(dram.profiled()).total)
+        actual.append(slowdown(dram, slow))
+    return accuracy_summary(predicted, actual)
+
+
+def test_ablation_calibration_suite_size(benchmark, run_once, record):
+    machine = Machine(SKX2S)
+    workloads = evaluation_suite()[:120]
+
+    def run():
+        full = calibrate(machine, "cxl-a")
+        minimal = calibrate(machine, "cxl-a", benchmarks=[
+            pointer_chase(1), pointer_chase(4), pointer_chase(12),
+            strided_access(1), memset()])
+        return (_accuracy(machine, full, workloads),
+                _accuracy(machine, minimal, workloads))
+
+    full, minimal = run_once(benchmark, run)
+    record("ablation_calibration_suite", ascii_table(
+        ["suite", "benchmarks", "pearson", "<=10%"],
+        [("full", len(calibration_suite()), full.pearson,
+          full.within_10pct),
+         ("minimal", 5, minimal.pearson, minimal.within_10pct)]))
+
+    assert full.within_10pct >= minimal.within_10pct
+    assert full.pearson > 0.9
+
+
+def test_ablation_cross_platform(benchmark, run_once, record):
+    """Per-platform calibration generalizes; borrowed constants don't
+    necessarily."""
+    workloads = evaluation_suite()[:120]
+
+    def run():
+        rows = []
+        for platform in (SKX2S, SPR2S, EMR2S):
+            machine = Machine(platform)
+            own = calibrate(machine, "cxl-a")
+            rows.append((platform.name, "own",
+                         _accuracy(machine, own, workloads)))
+        # Borrow SKX's constants on SPR (counter mapping differs too,
+        # so rebuild with SKX's numbers but SPR's family mapping).
+        skx_cal = calibrate(Machine(SKX2S), "cxl-a")
+        from repro.core.calibration import Calibration
+        borrowed = Calibration(
+            platform_family="spr", device="cxl-a", drd=skx_cal.drd,
+            cache=skx_cal.cache, store=skx_cal.store,
+            idle_latency_dram_ns=114.0, idle_latency_slow_ns=214.0)
+        rows.append(("SPR2S", "borrowed-from-SKX",
+                     _accuracy(Machine(SPR2S), borrowed, workloads)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    record("ablation_cross_platform", ascii_table(
+        ["platform", "constants", "pearson", "<=10%"],
+        [(name, kind, s.pearson, s.within_10pct)
+         for name, kind, s in rows]))
+
+    by_key = {(name, kind): s for name, kind, s in rows}
+    # Every platform's own calibration reaches paper-grade accuracy.
+    for platform in ("SKX2S", "SPR2S", "EMR2S"):
+        assert by_key[(platform, "own")].pearson > 0.9
+        assert by_key[(platform, "own")].within_10pct > 0.85
+    # Borrowed constants underperform the platform's own fit.
+    assert by_key[("SPR2S", "own")].within_10pct >= \
+        by_key[("SPR2S", "borrowed-from-SKX")].within_10pct

@@ -1,0 +1,76 @@
+"""Ablation/extension: bandwidth-saturation-aware prediction.
+
+The paper's section 4.4.6 limitation: the DRAM-only model applies while
+the slow device is not bandwidth-saturated.  This bench evaluates the
+repository's future-work extension
+(:class:`repro.core.contention.ContentionAwarePredictor`), which
+projects the DRAM-measured traffic onto the target device's queueing
+curve and throughput ceiling:
+
+- on the *contended* subset (slow-tier utilization > 50%), the base
+  model underestimates badly; the extension recovers most of it;
+- on the rest of the corpus the two predictors agree (the correction
+  self-disables below the contention knee).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.analysis.stats import accuracy_summary
+from repro.core.contention import ContentionAwarePredictor
+from repro.core.slowdown import SlowdownPredictor
+from repro.uarch.machine import slowdown
+from repro.workloads import bandwidth_bound_twenty, evaluation_suite
+
+
+def test_ablation_contention_aware(benchmark, run_once, bw_lab, record):
+    tier = "cxl-a"
+    calibration = bw_lab.calibration(tier)
+    base = SlowdownPredictor(calibration)
+    aware = ContentionAwarePredictor(calibration)
+    workloads = evaluation_suite() + bandwidth_bound_twenty()
+
+    def run():
+        rows = []
+        for workload in workloads:
+            dram = bw_lab.dram_run(tier, workload)
+            slow = bw_lab.slow_run(tier, workload)
+            profile = dram.profiled()
+            rows.append((
+                base.predict(profile).total,
+                aware.predict(profile).total,
+                slowdown(dram, slow),
+                slow.slow_utilization > 0.5,
+            ))
+        return rows
+
+    rows = run_once(benchmark, run)
+    base_pred = np.array([r[0] for r in rows])
+    aware_pred = np.array([r[1] for r in rows])
+    actual = np.array([r[2] for r in rows])
+    contended = np.array([r[3] for r in rows])
+
+    out = []
+    summaries = {}
+    for name, pred in (("base", base_pred), ("saturation-aware",
+                                             aware_pred)):
+        for subset, mask in (("all", np.ones_like(contended, bool)),
+                             ("contended", contended),
+                             ("uncontended", ~contended)):
+            summary = accuracy_summary(list(pred[mask]),
+                                       list(actual[mask]))
+            summaries[(name, subset)] = summary
+            out.append((name, subset, summary.count, summary.pearson,
+                        summary.within_10pct,
+                        float(np.mean(np.abs(pred[mask] -
+                                             actual[mask])))))
+    record("ablation_contention_aware",
+           ascii_table(["predictor", "subset", "n", "pearson",
+                        "<=10%", "mean |err|"], out))
+
+    # The extension recovers the contended tail...
+    assert summaries[("saturation-aware", "contended")].within_10pct \
+        >= summaries[("base", "contended")].within_10pct + 0.25
+    # ...without regressing the rest of the corpus.
+    assert summaries[("saturation-aware", "uncontended")].within_10pct \
+        >= summaries[("base", "uncontended")].within_10pct - 0.01

@@ -1,0 +1,67 @@
+"""Ablation: the microarchitectural pressure points themselves.
+
+The paper's causal story says slowdown comes from specific hardware
+structures (section 2.3).  This bench varies them in the substrate and
+checks the predicted consequences:
+
+- **Store Buffer size**: halving the SB raises store slowdown for a
+  store-heavy workload; doubling it lowers it (the SB-backpressure
+  mechanism of section 4.3);
+- **LFB size**: a larger LFB raises the streamers' sustainable MLP and
+  lowers demand-read slowdown (the MLP bound of section 3.1);
+- **prefetch lookahead**: longer runway shrinks cache slowdown on CXL
+  (the timeliness mechanism of section 4.2).
+"""
+
+from dataclasses import replace
+
+from repro.analysis import ascii_table
+from repro.uarch import Machine, Placement, SKX2S, component_slowdowns
+from repro.workloads import WorkloadSpec, get_workload
+
+
+def _store_component(platform, workload):
+    machine = Machine(platform, noise=0.0)
+    dram = machine.run(workload)
+    cxl = machine.run(workload, Placement.slow_only("cxl-a"))
+    return component_slowdowns(dram, cxl)
+
+
+def test_ablation_hardware_buffers(benchmark, run_once, record):
+    store_workload = WorkloadSpec(
+        "ablate-store", mlp=2.0, loads_per_ki=30.0, stores_per_ki=330.0,
+        store_miss_ratio=0.125, store_burst=0.5, l1_hit=0.95,
+        l2_hit=0.5, l3_hit_small_llc=0.1, pf_friend=0.2, base_cpi=0.4)
+    stream_workload = get_workload("603.bwaves").with_threads(2)
+
+    def run():
+        rows = {}
+        for label, sb in (("sb/2", 28), ("sb (default)", 56),
+                          ("sb*2", 112)):
+            platform = replace(SKX2S, sb_entries=sb)
+            rows[label] = _store_component(platform,
+                                           store_workload)["store"]
+        for label, lfb in (("lfb-8", 8), ("lfb-12 (default)", 12),
+                           ("lfb-20", 20)):
+            platform = replace(SKX2S, lfb_entries=lfb)
+            rows[label] = _store_component(platform,
+                                           stream_workload)["drd"]
+        for label, lookahead in (("runway/2", 65.0),
+                                 ("runway (default)", 130.0),
+                                 ("runway*2", 260.0)):
+            workload = stream_workload.evolved(
+                pf_lookahead_ns=lookahead)
+            rows[label] = _store_component(SKX2S, workload)["cache"]
+        return rows
+
+    rows = run_once(benchmark, run)
+    record("ablation_hardware_buffers",
+           ascii_table(["configuration", "component slowdown"],
+                       list(rows.items())))
+
+    # Bigger SB -> less store backpressure.
+    assert rows["sb/2"] > rows["sb (default)"] > rows["sb*2"]
+    # Bigger LFB -> more MLP -> less demand-read slowdown.
+    assert rows["lfb-8"] > rows["lfb-20"]
+    # Longer prefetch runway -> less cache slowdown on CXL.
+    assert rows["runway/2"] > rows["runway (default)"] > rows["runway*2"]

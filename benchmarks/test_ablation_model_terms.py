@@ -1,0 +1,89 @@
+"""Ablation: what each CAMP model term buys.
+
+DESIGN.md calls out the model's load-bearing design choices; this bench
+removes them one at a time and measures the accuracy cost over the 265
+workloads (NUMA on SKX):
+
+- **no hyperbola** - replace f(AOL) with a constant (the mean tolerance
+  factor): demand-read slowdown becomes pure stall-intensity scaling,
+  losing the latency-tolerance modeling of section 4.1;
+- **no R_Mem** - drop the memory-prefetch-reliance factor from Eq. 6;
+- **no R_LFB-hit** - drop the LFB-reliance factor from Eq. 6;
+- **stall-only** - predict total slowdown as k * (P1/c) (the X-Mem-
+  style single-counter approach, calibrated the same way).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table, collect_records
+from repro.analysis.stats import accuracy_summary
+from repro.core.drd import hyperbolic_tolerance
+
+
+def _variant_predictions(records, calibration, variant):
+    """Per-workload total predictions for one ablated model."""
+    cal = calibration
+    aols = np.array([r.dram_signature.aol for r in records])
+    mean_tolerance = float(np.mean(
+        [hyperbolic_tolerance(a, cal.drd.p, cal.drd.q) for a in aols]))
+
+    out = []
+    for record in records:
+        sig = record.dram_signature
+        if variant == "full":
+            drd = cal.drd.predict(sig)
+        elif variant == "no-hyperbola":
+            drd = cal.drd.k * mean_tolerance * sig.llc_stall_fraction
+        else:
+            drd = cal.drd.predict(sig)
+
+        cache = (cal.cache.k * sig.lfb_hit_ratio *
+                 sig.mem_prefetch_reliance * sig.cache_stall_fraction)
+        if variant == "no-rmem":
+            cache = (cal.cache.k * sig.lfb_hit_ratio *
+                     sig.cache_stall_fraction)
+        elif variant == "no-rlfb":
+            cache = (cal.cache.k * sig.mem_prefetch_reliance *
+                     sig.cache_stall_fraction)
+
+        store = cal.store.predict(sig)
+        out.append(drd + cache + store)
+    return out
+
+
+def test_ablation_model_terms(benchmark, run_once, prediction_lab,
+                              record):
+    tier = "numa"
+    records = run_once(
+        benchmark, lambda: collect_records(tier, prediction_lab))
+    calibration = prediction_lab.calibration(tier)
+    actual = [r.actual_slowdown for r in records]
+
+    rows = []
+    summaries = {}
+    for variant in ("full", "no-hyperbola", "no-rmem", "no-rlfb"):
+        predicted = _variant_predictions(records, calibration, variant)
+        summary = accuracy_summary(predicted, actual)
+        summaries[variant] = summary
+        rows.append((variant, summary.pearson, summary.within_5pct,
+                     summary.within_10pct))
+
+    # Stall-only baseline: single-counter scaling, least-squares k.
+    stalls = np.array([r.dram_signature.s_llc / r.dram_signature.cycles
+                       for r in records])
+    k = float(np.dot(stalls, actual) / np.dot(stalls, stalls))
+    summary = accuracy_summary(list(k * stalls), actual)
+    summaries["stall-only"] = summary
+    rows.append(("stall-only (X-Mem style)", summary.pearson,
+                 summary.within_5pct, summary.within_10pct))
+
+    record("ablation_model_terms",
+           ascii_table(["variant", "pearson", "<=5%", "<=10%"], rows))
+
+    full = summaries["full"]
+    # Every ablation costs accuracy; the hyperbola is the big one.
+    assert full.within_10pct >= summaries["no-hyperbola"].within_10pct
+    assert full.within_10pct >= summaries["no-rmem"].within_10pct
+    assert full.within_10pct >= summaries["no-rlfb"].within_10pct
+    assert full.within_5pct > summaries["stall-only"].within_5pct
+    assert summaries["no-hyperbola"].within_5pct < full.within_5pct

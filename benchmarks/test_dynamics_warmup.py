@@ -1,0 +1,72 @@
+"""Reactive-tiering dynamics: warm-up and migration costs.
+
+Supplements Fig. 15: instead of charging parametric overheads, this
+bench *simulates the migration loops* epoch by epoch
+(:mod:`repro.policies.dynamics`) and shows where reactive tiering's
+costs come from:
+
+- Best-shot starts at its predicted ratio (epoch 0) and never migrates;
+- NBT spends its first epochs promoting pages (warm-up) and pays the
+  copies;
+- Colloid oscillates around the latency-equalization point - which for
+  a bandwidth-bound workload sits on the DRAM saturation cliff - and
+  keeps paying migration bandwidth (the paper: reactive policies
+  "incur nontrivial migration overheads").
+"""
+
+from repro.analysis import ascii_table, sparkline
+from repro.policies import (BestShotDynamics, ColloidDynamics,
+                            FirstTouchDynamics, NBTDynamics,
+                            simulate_tiering)
+from repro.workloads import get_workload
+
+
+def test_dynamics_warmup(benchmark, run_once, bw_lab, record):
+    tier = "cxl-a"
+    machine = bw_lab.machine_for_tier(tier)
+    calibration = bw_lab.calibration(tier)
+    workload = get_workload("603.bwaves").with_threads(10)
+    capacity = 0.8 * workload.footprint_gib
+
+    def run():
+        traces = {}
+        for policy, bias in ((BestShotDynamics(calibration), 0.0),
+                             (FirstTouchDynamics(), 0.10),
+                             (NBTDynamics(), 0.30),
+                             (ColloidDynamics(), 0.25)):
+            traces[policy.name] = simulate_tiering(
+                machine, workload, tier, capacity, policy, epochs=20,
+                hotness_bias=bias)
+        return traces
+
+    traces = run_once(benchmark, run)
+
+    rows = []
+    lines = []
+    for name, trace in traces.items():
+        rows.append((name, trace.normalized_performance,
+                     trace.migration_cycles / trace.total_cycles,
+                     trace.convergence_epoch(), trace.final_x))
+        lines.append(f"{name:12s} x(t): " + sparkline(
+            [r.placement_x for r in trace.records], width=20))
+    record("dynamics_warmup",
+           ascii_table(["policy", "normalized perf", "migration share",
+                        "converged@", "final x"], rows) +
+           "\n\n" + "\n".join(lines))
+
+    best = traces["best-shot"]
+    # Proactive: no migration, immediate convergence, best performance.
+    assert best.migration_cycles == 0.0
+    assert best.convergence_epoch() == 0
+    for name, trace in traces.items():
+        if name != "best-shot":
+            assert best.normalized_performance > \
+                trace.normalized_performance
+    # Reactive loops pay real migration bandwidth.
+    assert traces["nbt"].migration_cycles > 0
+    assert traces["colloid"].migration_cycles > 0
+    # NBT's warm-up: it takes epochs to fill the fast tier.
+    assert traces["nbt"].convergence_epoch() >= 4
+    # Warm-up costs show up as early epochs slower than late ones.
+    nbt = traces["nbt"].records
+    assert nbt[0].cycles > nbt[-1].cycles

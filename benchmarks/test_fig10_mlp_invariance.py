@@ -1,0 +1,27 @@
+"""Figure 10: MLP invariance across interleaving ratios (603.bwaves).
+
+Paper: per-core MLP fluctuates <=5% across the full ratio sweep,
+whether the workload is bandwidth-bound (8 threads) or not (2 threads)
+- the invariant the synthesis model is built on.
+"""
+
+from repro.analysis import ascii_table, fig10_mlp_invariance
+
+
+def test_fig10_mlp_invariance(benchmark, run_once, bw_lab, record):
+    results = run_once(
+        benchmark, lambda: fig10_mlp_invariance(lab=bw_lab))
+
+    blocks = []
+    for result in results:
+        rows = [(f"{x:.2f}", mlp)
+                for x, mlp in result.mlp_by_ratio[::4]]
+        blocks.append(
+            f"{result.workload} ({result.threads} threads): max "
+            f"relative MLP variation "
+            f"{result.max_relative_variation:.1%} (paper: <=5%)\n" +
+            ascii_table(["x", "MLP"], rows))
+    record("fig10_mlp_invariance", "\n\n".join(blocks))
+
+    for result in results:
+        assert result.max_relative_variation <= 0.05

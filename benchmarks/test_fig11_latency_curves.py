@@ -1,0 +1,41 @@
+"""Figure 11: per-tier latency curves and the slowdown bathtub.
+
+Paper (603.bwaves): with 8 threads the workload is bandwidth-bound -
+per-tier latency follows a parabola-like curve over its load share and
+interleaving yields negative slowdown near a ~37:63 ratio region; with
+2 threads latency is flat across ratios and interleaving never helps.
+"""
+
+from repro.analysis import ascii_table, fig11_latency_curves, sparkline
+
+
+def test_fig11_latency_curves(benchmark, run_once, bw_lab, record):
+    results = run_once(
+        benchmark, lambda: fig11_latency_curves(lab=bw_lab))
+
+    blocks = []
+    for result in results:
+        points = result.sweep.points
+        rows = [(p.dram_fraction, p.dram_latency_ns, p.slow_latency_ns,
+                 p.total) for p in points[::10]]
+        blocks.append(
+            f"{result.workload} ({result.threads} threads): "
+            f"{'bandwidth-bound' if result.bandwidth_bound else 'flat'}"
+            f", Eq.8 quadratic R^2 on DRAM latency = "
+            f"{result.dram_quadratic_r2:.3f}\n"
+            f"S(x): {sparkline([p.total for p in points])}\n" +
+            ascii_table(["x", "L_dram ns", "L_cxl ns", "S(x)"], rows))
+    record("fig11_latency_curves", "\n\n".join(blocks))
+
+    by_threads = {r.threads: r for r in results}
+    # 2 threads: not bandwidth-bound, flat per-tier latency.
+    two = by_threads[2]
+    assert not two.bandwidth_bound
+    dram_lats = [p.dram_latency_ns for p in two.sweep.points]
+    assert max(dram_lats) / min(dram_lats) < 1.15
+    # 8 threads: bathtub with an interior optimum.
+    eight = by_threads[8]
+    assert eight.bandwidth_bound
+    optimal = eight.sweep.optimal()
+    assert 0.3 < optimal.dram_fraction < 0.95
+    assert optimal.total < -0.05

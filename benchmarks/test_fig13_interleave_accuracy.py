@@ -1,0 +1,40 @@
+"""Figure 13: interleaving prediction accuracy, 10-thread 603.bwaves.
+
+Paper: the synthesized per-component curves track the measured
+slowdowns across the 99:1..1:99 ratio sweep, reconstructing the convex
+total-performance curve.
+"""
+
+import numpy as np
+
+from repro.analysis import (ascii_table, cdf_summary,
+                            fig13_interleave_accuracy, pearson, sparkline)
+
+
+def test_fig13_interleave_accuracy(benchmark, run_once, bw_lab, record):
+    result = run_once(
+        benchmark, lambda: fig13_interleave_accuracy(lab=bw_lab))
+
+    predicted = [p.predicted_total for p in result.points]
+    actual = [p.actual_total for p in result.points]
+    rows = [(p.dram_fraction, p.predicted_total, p.actual_total,
+             abs(p.predicted_total - p.actual_total))
+            for p in result.points[::10]]
+    text = (ascii_table(["x", "predicted", "actual", "error"], rows) +
+            f"\n\npredicted S(x): {sparkline(predicted)}" +
+            f"\nactual    S(x): {sparkline(actual)}" +
+            f"\ncurve pearson: {pearson(predicted, actual):.3f}" +
+            f"\nerrors: {cdf_summary(result.errors())}")
+    record("fig13_interleave_accuracy", text)
+
+    # The model reconstructs the curve's shape.
+    assert pearson(predicted, actual) > 0.97
+    # Both curves are convex with interior minima at similar ratios.
+    x_pred = result.points[int(np.argmin(predicted))].dram_fraction
+    x_act = result.points[int(np.argmin(actual))].dram_fraction
+    assert abs(x_pred - x_act) <= 0.15
+    # Endpoint anchored (x -> 0 is the measured second run).
+    assert result.points[-1].predicted_total == \
+        result.points[-1].actual_total or \
+        abs(result.points[-1].predicted_total -
+            result.points[-1].actual_total) < 0.08

@@ -1,0 +1,41 @@
+"""Figure 14: interleaving-model accuracy over 20 BW-bound workloads.
+
+Paper: (a) 90% of predictions within 5% absolute slowdown error;
+(b) predicted optimal ratios near (slightly conservative of) the
+actual optima, many below 80% fast-tier; (c) performance at the
+predicted ratio practically identical to the oracle optimum.
+"""
+
+import numpy as np
+
+from repro.analysis import (ascii_table, cdf_summary,
+                            fig14_interleaving_model_accuracy)
+
+
+def test_fig14_bestshot_optimum(benchmark, run_once, bw_lab, record):
+    result = run_once(
+        benchmark,
+        lambda: fig14_interleaving_model_accuracy(lab=bw_lab))
+
+    rows = [(o.workload, o.predicted_ratio, o.actual_ratio,
+             o.slowdown_at_predicted, o.slowdown_at_actual,
+             o.performance_gap) for o in result.optima]
+    text = (f"(a) pooled |error| over workloads x ratios: "
+            f"{cdf_summary(result.errors)}\n"
+            f"    within 5%: {result.within_5pct:.1%} "
+            f"(paper: ~90%)\n\n" +
+            ascii_table(["workload", "x_pred", "x_oracle", "S@pred",
+                         "S@oracle", "perf gap"], rows))
+    record("fig14_bestshot_optimum", text)
+
+    # (b) predicted optima close to the oracle's.
+    ratio_errors = [abs(o.predicted_ratio - o.actual_ratio)
+                    for o in result.optima]
+    assert float(np.median(ratio_errors)) <= 0.10
+    # Many optima sit below 80% fast-tier usage (the Caption critique).
+    below_80 = sum(1 for o in result.optima if o.actual_ratio < 0.8)
+    assert below_80 >= len(result.optima) / 2
+    # (c) realized performance within a few percent of the oracle.
+    gaps = [o.performance_gap for o in result.optima]
+    assert float(np.median(gaps)) <= 0.03
+    assert max(gaps) <= 0.12

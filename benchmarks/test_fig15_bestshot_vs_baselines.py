@@ -1,0 +1,41 @@
+"""Figure 15: Best-shot vs seven baseline policies.
+
+Paper: across eight bandwidth-bound workloads (normalized to DRAM-only,
+baselines provisioned 4:1 fast:slow), Best-shot consistently wins - up
+to 21% over first-touch/reactive tiering, 17% over NBT, 5% over
+Caption - while static 1:1 interleaving often falls below DRAM-only.
+"""
+
+from repro.analysis import ascii_table, fig15_bestshot_vs_baselines
+
+
+def test_fig15_bestshot_vs_baselines(benchmark, run_once, bw_lab,
+                                     record):
+    result = run_once(
+        benchmark, lambda: fig15_bestshot_vs_baselines(lab=bw_lab))
+
+    headers = ["workload"] + list(result.policy_order)
+    rows = [[name] + [row[policy] for policy in result.policy_order]
+            for name, row in result.table.items()]
+    geomeans = result.geomeans()
+    rows.append(["GEOMEAN"] + [geomeans[p] for p in result.policy_order])
+    text = ascii_table(headers, rows)
+    gains = "\n".join(
+        f"best-shot max gain over {baseline}: "
+        f"{result.best_shot_gain_over(baseline):+.1%}"
+        for baseline in result.policy_order if baseline != "best-shot")
+    record("fig15_bestshot_vs_baselines", text + "\n\n" + gains)
+
+    best = geomeans.pop("best-shot")
+    # Best-shot beats every baseline on geomean and DRAM-only overall.
+    assert best > 1.0
+    assert all(best > other for other in geomeans.values())
+    # Paper-scale margins over reactive tiering.
+    assert result.best_shot_gain_over("nbt") > 0.12
+    assert result.best_shot_gain_over("colloid") > 0.08
+    assert result.best_shot_gain_over("first-touch") > 0.10
+    # Caption is the closest baseline (coarse search of the same space).
+    closest = max(geomeans, key=lambda p: geomeans[p])
+    assert closest == "caption"
+    # Static 1:1 interleaving lands below DRAM-only on geomean.
+    assert geomeans["interleave-1:1"] < 1.0

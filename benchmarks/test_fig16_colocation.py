@@ -1,0 +1,84 @@
+"""Figure 16: CAMP-guided colocated workload scheduling.
+
+Paper: (a) CAMP's forecasts track colocated slowdown while MPKI ranks
+the partners wrongly; (b) MPKI-guided placement is 10-12.2% worse than
+CAMP-guided across three adversarial pairs; (c) in a mixed BW-bound +
+latency-bound pair, Best-shot placement beats first-touch/NBT/Colloid
+across fast-tier provisioning ratios.
+"""
+
+from repro.analysis import (ascii_table, fig16a_colocation_prediction,
+                            fig16b_colocation_placement,
+                            fig16c_mixed_colocation)
+
+
+def test_fig16a_colocation_prediction(benchmark, run_once, bw_lab,
+                                      record):
+    rows = run_once(
+        benchmark, lambda: fig16a_colocation_prediction(lab=bw_lab))
+
+    text = ascii_table(
+        ["workload", "CAMP pred", "actual (coloc)", "MPKI",
+         "CAMP rank", "MPKI rank"],
+        [(r.workload, r.camp_predicted, r.actual_colocated,
+          r.mpki_value, r.camp_rank, r.mpki_rank) for r in rows])
+    record("fig16a_colocation_prediction", text)
+
+    # CAMP predictions track actual colocated slowdowns.
+    for row in rows:
+        assert row.camp_predicted == \
+            __import__("pytest").approx(row.actual_colocated, abs=0.12)
+    # In every pair, CAMP and MPKI rank the partners oppositely.
+    by_pair = [rows[i:i + 2] for i in range(0, len(rows), 2)]
+    for pair_rows in by_pair:
+        assert pair_rows[0].camp_rank != pair_rows[0].mpki_rank
+
+
+def test_fig16b_colocation_placement(benchmark, run_once, bw_lab,
+                                     record):
+    comparisons = run_once(
+        benchmark, lambda: fig16b_colocation_placement(lab=bw_lab))
+
+    text = ascii_table(
+        ["pair", "CAMP fast pick", "MPKI fast pick", "CAMP ws",
+         "MPKI ws", "CAMP advantage"],
+        [("+".join(c.pair), c.camp.fast_workload,
+          c.mpki.fast_workload, c.camp.weighted_speedup,
+          c.mpki.weighted_speedup, c.camp_advantage)
+         for c in comparisons])
+    record("fig16b_colocation_placement", text)
+
+    advantages = [c.camp_advantage for c in comparisons]
+    # Paper: 10-12.2% better; our shape claim: CAMP never loses,
+    # with clear margins on most pairs.
+    assert all(a >= 0 for a in advantages)
+    assert max(advantages) > 0.05
+    assert sum(1 for a in advantages if a > 0.01) >= 2
+
+
+def test_fig16c_mixed_colocation(benchmark, run_once, bw_lab, record):
+    rows = run_once(
+        benchmark, lambda: fig16c_mixed_colocation(lab=bw_lab))
+
+    policies = list(rows[0].speedups)
+    text = ascii_table(
+        ["fast share"] + policies,
+        [[row.fast_share] + [row.speedups[p] for p in policies]
+         for row in rows])
+    record("fig16c_mixed_colocation", text)
+
+    # Best-shot placement is competitive everywhere (within ~7% of the
+    # best baseline even at scarce provisioning, where the section 5
+    # model's slightly-conservative optima - the paper's own Fig. 14b
+    # caveat - cost the most), beats the reactive policies at scarce
+    # provisioning, and is strictly best at generous provisioning.
+    for row in rows:
+        others = {k: v for k, v in row.speedups.items()
+                  if k != "best-shot"}
+        assert row.speedups["best-shot"] >= max(others.values()) - 0.13
+    scarce = rows[0]
+    assert scarce.speedups["best-shot"] > scarce.speedups["nbt"]
+    assert scarce.speedups["best-shot"] > scarce.speedups["colloid"]
+    rich = rows[-1]
+    others = {k: v for k, v in rich.speedups.items() if k != "best-shot"}
+    assert rich.speedups["best-shot"] > max(others.values())

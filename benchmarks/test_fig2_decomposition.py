@@ -1,0 +1,30 @@
+"""Figure 2: slowdown decomposes into S_DRd + S_Cache + S_Store.
+
+Paper (via Melody): overall slowdown under CXL/NUMA is the sum of three
+orthogonal components; different workloads are dominated by different
+components.
+"""
+
+from repro.analysis import ascii_table, fig2_decomposition
+
+
+
+def test_fig2_decomposition(benchmark, run_once, prediction_lab, record):
+    rows = run_once(benchmark,
+                    lambda: fig2_decomposition("cxl-a",
+                                               lab=prediction_lab))
+
+    text = ascii_table(
+        ["workload", "S_total", "S_DRd", "S_Cache", "S_Store",
+         "residual"],
+        [(r.name, r.total, r.drd, r.cache, r.store, r.residual)
+         for r in rows])
+    record("fig2_decomposition", text)
+
+    for row in rows:
+        # Additivity (Eq. 1) holds to counter-noise precision.
+        assert abs(row.residual) <= 0.02 * max(1.0, abs(row.total))
+    # Different dominant components across the chosen workloads.
+    dominant = {max(("drd", "cache", "store"),
+                    key=lambda c: getattr(r, c)) for r in rows}
+    assert len(dominant) >= 2

@@ -1,0 +1,47 @@
+"""Figure 4: the demand-read model derivation measurements.
+
+Paper: (a) memory-active-cycle proxies with both scaling ratios track
+S_DRd best; (b) s_LLC/C is 50-70% for most workloads; (c) R_N clusters
+at 1.0 (>95% of workloads); (d) baseline DRAM latency correlates
+positively with R_Lat; (f) the latency-tolerance factor follows a
+hyperbola in baseline L/MLP.
+"""
+
+from repro.analysis import ascii_table, fig4_drd_derivation
+
+
+
+def test_fig4_drd_derivation(benchmark, run_once, prediction_lab, record):
+    result = run_once(
+        benchmark, lambda: fig4_drd_derivation("numa", prediction_lab))
+
+    lines = [
+        "(a) S_DRd proxy mean |error| (lower is better):",
+    ]
+    for name, error in result.proxy_errors.items():
+        lines.append(f"      {name:28s} {error:.4f}")
+    lines.append("")
+    lines.append("(b) s_LLC / C percentiles: " + "  ".join(
+        f"{k}={v:.2f}" for k, v in result.sllc_over_c.items()))
+    lines.append("(c) R_N percentiles:      " + "  ".join(
+        f"{k}={v:.3f}" for k, v in result.r_n.items()))
+    lines.append(f"    R_N within 5% of 1.0: "
+                 f"{result.r_n_stable_fraction:.1%} (paper: >95%)")
+    lines.append("(c) R_Lat percentiles:    " + "  ".join(
+        f"{k}={v:.2f}" for k, v in result.r_lat.items()))
+    lines.append("(c) R_MLP percentiles:    " + "  ".join(
+        f"{k}={v:.2f}" for k, v in result.r_mlp.items()))
+    lines.append(f"(d) corr(L_DRAM, R_Lat)  = "
+                 f"{result.latency_vs_rlat_pearson:+.3f} "
+                 f"(paper: positive)")
+    lines.append(f"(e) corr(MLP, R_MLP)     = "
+                 f"{result.mlp_vs_rmlp_pearson:+.3f}")
+    lines.append(f"(f) hyperbola fit vs measured tolerance: r = "
+                 f"{result.tolerance_fit_pearson:+.3f}")
+    record("fig4_drd_derivation", "\n".join(lines))
+
+    # The paper's structural claims.
+    assert result.r_n_stable_fraction > 0.95
+    assert result.latency_vs_rlat_pearson > 0.5
+    assert result.proxy_errors["C with R_Lat and R_MLP"] < \
+        result.proxy_errors["C with R_MLP only"]

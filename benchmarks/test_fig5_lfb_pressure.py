@@ -1,0 +1,30 @@
+"""Figure 5: LFB pressure explains cache-induced slowdown.
+
+Paper: (a) growth in L1-prefetch L3 misses correlates with growth in
+LFB hits on the slow tier; (b) LFB-hit growth comes at the expense of
+L1 hits; (c) workloads with larger cache slowdown have higher LFB-hit
+ratios.
+"""
+
+from repro.analysis import fig5_lfb_pressure
+
+
+
+def test_fig5_lfb_pressure(benchmark, run_once, prediction_lab, record):
+    result = run_once(
+        benchmark, lambda: fig5_lfb_pressure("cxl-a", prediction_lab))
+
+    text = "\n".join([
+        f"(a) corr(d L1PF-L3-miss, d LFB-hits) = "
+        f"{result.pf_miss_vs_lfb_hit_pearson:+.3f}  (paper: positive)",
+        f"(b) corr(d LFB-hits, d L1-hit-rate)  = "
+        f"{result.lfb_vs_l1_hit_pearson:+.3f}  (paper: negative)",
+        f"(c) corr(R_LFB-hit, S_Cache)         = "
+        f"{result.cache_slowdown_vs_lfb_pearson:+.3f}  "
+        f"(paper: positive)",
+    ])
+    record("fig5_lfb_pressure", text)
+
+    assert result.pf_miss_vs_lfb_hit_pearson > 0.5
+    assert result.lfb_vs_l1_hit_pearson < -0.3
+    assert result.cache_slowdown_vs_lfb_pearson > 0.3

@@ -1,0 +1,33 @@
+"""Figure 8: time-series prediction on phased tc-kron.
+
+Paper: per-window predictions track the measured slowdown over time -
+the causal models hold instantaneously, not just in aggregate.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table, fig8_timeseries, pearson, sparkline
+
+
+
+def test_fig8_timeseries(benchmark, run_once, prediction_lab, record):
+    points = run_once(
+        benchmark, lambda: fig8_timeseries("cxl-a", lab=prediction_lab))
+
+    table = ascii_table(
+        ["window", "phase", "predicted", "actual", "error"],
+        [(p.window, p.phase, p.predicted, p.actual,
+          abs(p.predicted - p.actual)) for p in points])
+    predicted = [p.predicted for p in points]
+    actual = [p.actual for p in points]
+    text = (table +
+            f"\n\npredicted: {sparkline(predicted)}" +
+            f"\nactual:    {sparkline(actual)}" +
+            f"\ntime-series pearson: {pearson(predicted, actual):.3f}")
+    record("fig8_timeseries", text)
+
+    assert pearson(predicted, actual) > 0.95
+    errors = np.abs(np.array(predicted) - np.array(actual))
+    assert float(errors.max()) < 0.12
+    # The trace actually oscillates (phases differ).
+    assert max(actual) > 2 * min(actual)

@@ -1,0 +1,43 @@
+"""Figure 9: per-component slowdown vs interleaving ratio.
+
+Paper: bandwidth-bound workloads (649.fotonik3d, 654.roms) exhibit a
+convex bathtub - some ratio beats DRAM-only - while latency-bound ones
+(wmt20, rangeQuery2d) respond linearly and never benefit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table, fig9_interleaving_shapes, sparkline
+
+
+def test_fig9_interleaving_shapes(benchmark, run_once, bw_lab, record):
+    sweeps = run_once(
+        benchmark, lambda: fig9_interleaving_shapes(lab=bw_lab))
+
+    blocks = []
+    for sweep in sweeps:
+        optimal = sweep.optimal()
+        totals = [p.total for p in sweep.points]
+        rows = [(p.dram_fraction, p.total, p.drd, p.cache, p.store)
+                for p in sweep.points[::4]]
+        blocks.append(
+            f"{sweep.workload}  "
+            f"({'convex/bathtub' if sweep.convex else 'linear'}; "
+            f"optimum x={optimal.dram_fraction:.2f}, "
+            f"S={optimal.total:+.3f})\n" +
+            f"S(x): {sparkline(totals)}\n" +
+            ascii_table(["x", "S_total", "S_DRd", "S_Cache", "S_Store"],
+                        rows))
+    record("fig9_interleaving_shapes", "\n\n".join(blocks))
+
+    by_name = {sweep.workload: sweep for sweep in sweeps}
+    assert by_name["649.fotonik3d"].convex
+    assert by_name["654.roms"].convex
+    assert not by_name["wmt20"].convex
+    assert not by_name["rangeQuery2d"].convex
+    # Linear response: midpoint slowdown ~ half the endpoint.
+    linear = by_name["rangeQuery2d"]
+    mid = min(linear.points, key=lambda p: abs(p.dram_fraction - 0.5))
+    end = linear.points[-1]
+    assert mid.total == pytest.approx(end.total / 2.0, rel=0.15)

@@ -1,0 +1,76 @@
+"""Robustness: do the headline claims depend on the population seed?
+
+The 265-workload population is seeded; a reproduction whose claims only
+hold for seed 2026 would be curve-fitting.  This bench re-draws the
+generated 226 family samples with different seeds (the 39 named
+workloads stay fixed) and re-checks the two headline numbers on NUMA:
+
+- CAMP's predictor tops every baseline metric (Table 1's claim);
+- overall accuracy stays paper-grade (Table 6's claim).
+
+It also breaks accuracy down by suite label, exposing *which* workload
+classes carry the error tail (graph/irregular, as in section 4.4.4).
+"""
+
+import collections
+
+import numpy as np
+
+from repro.analysis import Lab, ascii_table, collect_records
+from repro.analysis.stats import accuracy_summary, pearson
+from repro.core.metrics import BASELINE_METRICS
+
+SEEDS = (2026, 7, 424242)
+
+
+def test_seed_robustness(benchmark, run_once, record):
+    def run():
+        rows = []
+        for seed in SEEDS:
+            lab = Lab(seed=seed)
+            records = collect_records("numa", lab)
+            actual = [r.actual_slowdown for r in records]
+            predicted = [r.predicted_slowdown for r in records]
+            summary = accuracy_summary(predicted, actual)
+            best_baseline = max(
+                abs(pearson([spec.compute(r.dram_profile)
+                             for r in records], actual))
+                for spec in BASELINE_METRICS)
+            rows.append((seed, summary, best_baseline))
+        return rows
+
+    rows = run_once(benchmark, run)
+    record("robustness_seeds", ascii_table(
+        ["seed", "CAMP pearson", "<=5%", "<=10%", "best baseline |r|"],
+        [(seed, s.pearson, s.within_5pct, s.within_10pct, baseline)
+         for seed, s, baseline in rows]))
+
+    for seed, summary, best_baseline in rows:
+        assert summary.pearson > 0.95, seed
+        assert summary.within_10pct > 0.95, seed
+        assert summary.pearson > best_baseline + 0.1, seed
+
+
+def test_per_suite_accuracy(benchmark, run_once, prediction_lab,
+                            record):
+    """Which workload classes carry the error (CXL-B, the hard tier)."""
+    records = run_once(
+        benchmark, lambda: collect_records("cxl-b", prediction_lab))
+
+    by_suite = collections.defaultdict(list)
+    for item in records:
+        by_suite[item.suite].append(
+            abs(item.predicted_slowdown - item.actual_slowdown))
+    rows = [(suite, len(errors), float(np.mean(errors)),
+             float(np.mean(np.asarray(errors) <= 0.10)))
+            for suite, errors in sorted(by_suite.items())]
+    record("per_suite_accuracy", ascii_table(
+        ["suite", "n", "mean |err|", "<=10%"], rows))
+
+    by_name = {row[0]: row for row in rows}
+    # The irregular/tail-heavy graph suite is the hardest class;
+    # compute-heavy spec2017 is among the easiest.
+    assert by_name["gapbs"][2] >= by_name["spec2017"][2]
+    # No suite collapses entirely.
+    for suite, _, _, within in rows:
+        assert within >= 0.5, suite

@@ -1,0 +1,62 @@
+"""Table 6 / Figure 7: overall slowdown-prediction accuracy per tier.
+
+Paper: Pearson 0.919-0.965; 77.8-92.4% of workloads within 5% absolute
+error and 90.7-97.3% within 10%, CXL-B being the hardest device.
+"""
+
+from repro.analysis import (ascii_table, paper_vs_measured,
+                            table6_overall_accuracy)
+
+
+#: Paper's Table 6, for side-by-side reporting.
+PAPER_TABLE6 = {
+    "numa": (0.965, 0.884, 0.973),
+    "cxl-a": (0.919, 0.887, 0.943),
+    "cxl-b": (0.963, 0.778, 0.907),
+    "cxl-c": (0.940, 0.924, 0.962),
+}
+
+
+def test_table6_overall_accuracy(benchmark, run_once, prediction_lab, record):
+    rows = run_once(
+        benchmark, lambda: table6_overall_accuracy(lab=prediction_lab))
+
+    table = ascii_table(
+        ["tier", "pearson", "<=5% err", "<=10% err",
+         "paper pearson", "paper <=5%", "paper <=10%"],
+        [(r.tier, r.summary.pearson, r.summary.within_5pct,
+          r.summary.within_10pct, *PAPER_TABLE6[r.tier]) for r in rows])
+    record("table6_overall_accuracy", table)
+
+    by_tier = {r.tier: r.summary for r in rows}
+    # Shape claims: high correlation everywhere; >=90% within 10% on
+    # NUMA/CXL-A/CXL-C; CXL-B is the hardest device (as in the paper).
+    for tier, summary in by_tier.items():
+        assert summary.pearson > 0.9, tier
+    for tier in ("numa", "cxl-a", "cxl-c"):
+        assert by_tier[tier].within_10pct >= 0.90
+    assert by_tier["cxl-b"].within_5pct == min(
+        s.within_5pct for s in by_tier.values())
+
+
+def test_fig7_scatter_shape(benchmark, run_once, prediction_lab, record):
+    """Fig. 7: predicted-vs-actual scatter hugs the diagonal."""
+    import numpy as np
+
+    from repro.analysis import ascii_scatter
+
+    rows = run_once(
+        benchmark, lambda: table6_overall_accuracy(lab=prediction_lab))
+    lines = []
+    for row in rows:
+        predicted = np.array([p for p, _ in row.scatter])
+        actual = np.array([a for _, a in row.scatter])
+        slope = float(np.polyfit(actual, predicted, 1)[0])
+        lines.append(f"{row.tier:6s} regression slope "
+                     f"(predicted ~ actual): {slope:.3f}")
+        assert 0.8 <= slope <= 1.2
+        lines.append(ascii_scatter(actual, predicted, width=50,
+                                   height=14, x_label="actual S",
+                                   y_label=f"predicted S ({row.tier})",
+                                   diagonal=True))
+    record("fig7_scatter_shape", "\n".join(lines))

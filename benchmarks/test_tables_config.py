@@ -1,0 +1,50 @@
+"""Tables 3-5: the testbed, device, and counter inventories.
+
+Configuration tables: the bench renders them and checks the published
+figures are reproduced verbatim.
+"""
+
+from repro.core.counters import COUNTER_TABLE, counters_for_platform
+from repro.uarch import DEVICES, PLATFORMS
+from repro.analysis import ascii_table
+
+
+
+def test_table3_platforms(benchmark, run_once, record):
+    platforms = run_once(benchmark, lambda: dict(PLATFORMS))
+    text = ascii_table(
+        ["platform", "family", "cores", "GHz", "LLC MiB",
+         "DRAM lat ns", "DRAM GB/s"],
+        [(p.name, p.family, p.cores, p.frequency_ghz, p.llc_mib,
+          p.dram.idle_latency_ns, p.dram.peak_bandwidth_gbps)
+         for p in platforms.values()])
+    record("table3_platforms", text)
+    assert platforms["skx2s"].dram.idle_latency_ns == 90.0
+    assert platforms["spr2s"].dram.peak_bandwidth_gbps == 191.0
+
+
+def test_table4_devices(benchmark, run_once, record):
+    devices = run_once(benchmark, lambda: dict(DEVICES))
+    text = ascii_table(
+        ["device", "latency ns", "GB/s", "tail alpha", "RFO factor"],
+        [(d.name, d.idle_latency_ns, d.peak_bandwidth_gbps,
+          d.tail_alpha, d.rfo_latency_factor)
+         for d in devices.values()])
+    record("table4_devices", text)
+    assert devices["cxl-b"].idle_latency_ns == 271.0
+
+
+def test_table5_counters(benchmark, run_once, record):
+    table = run_once(benchmark, lambda: COUNTER_TABLE)
+    text = ascii_table(
+        ["id", "event", "used by", "description"],
+        [(spec.counter.value, spec.intel_event,
+          "/".join(spec.used_by) or "(derivation)", spec.description)
+         for spec in table])
+    record("table5_counters", text)
+    # Paper: 11 counters on SKX, 12 on SPR/EMR (cycles included).
+    skx = [c for c in counters_for_platform("skx")
+           if c.value != "instructions"]
+    spr = [c for c in counters_for_platform("spr")
+           if c.value != "instructions"]
+    assert len(skx) == 11 and len(spr) == 12

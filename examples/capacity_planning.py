@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Capacity planning: how much DRAM does each workload really need?
+
+A cloud operator wants to move memory onto a CXL pool without breaking
+SLOs.  For each candidate workload this script:
+
+1. profiles it once on DRAM;
+2. classifies it (latency-bound vs bandwidth-bound, Fig. 12);
+3. synthesizes its full interleaving performance curve (section 5);
+4. reports the smallest DRAM fraction keeping predicted slowdown under
+   an SLO threshold - the DRAM the workload actually *needs*.
+
+Run:  python examples/capacity_planning.py [--slo 0.10]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Machine, Placement, SKX2S, calibrate, get_workload, synthesize
+
+
+def minimum_dram_fraction(model, slo: float) -> float:
+    """Smallest x whose predicted slowdown stays within the SLO."""
+    for x in np.linspace(0.0, 1.0, 101):
+        if model.predict(float(x)).total <= slo:
+            return float(x)
+    return 1.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slo", type=float, default=0.10,
+                        help="slowdown budget vs DRAM-only (default 10%%)")
+    args = parser.parse_args()
+
+    machine = Machine(SKX2S)
+    calibration = calibrate(machine, "cxl-a")
+
+    candidates = ["605.mcf", "557.xz", "gpt-2", "xsbench", "redis-ycsb",
+                  "625.x264", "500.perlbench", "dlrm", "pr-road"]
+
+    print(f"SLO: predicted slowdown <= {args.slo:.0%} vs DRAM-only\n")
+    header = (f"{'workload':16s} {'class':>16s} {'min DRAM x':>10s} "
+              f"{'DRAM saved':>10s} {'pred S@x':>9s}")
+    print(header)
+    print("-" * len(header))
+
+    total_footprint = 0.0
+    total_needed = 0.0
+    for name in candidates:
+        workload = get_workload(name)
+        dram_profile = machine.profile(workload, Placement.dram_only())
+
+        # Fig. 12 workflow: one run for latency-bound workloads, a
+        # second (slow-tier) run only when contention demands it.
+        from repro.core.classify import classify
+        decision = classify(dram_profile,
+                            calibration.idle_latency_dram_ns)
+        slow_profile = None
+        if decision.is_bandwidth_bound:
+            slow_profile = machine.profile(
+                workload, Placement.slow_only("cxl-a"))
+        model = synthesize(dram_profile, calibration, slow_profile)
+
+        x_needed = minimum_dram_fraction(model, args.slo)
+        saved = (1.0 - x_needed) * workload.footprint_gib
+        total_footprint += workload.footprint_gib
+        total_needed += x_needed * workload.footprint_gib
+        print(f"{name:16s} {decision.workload_class.value:>16s} "
+              f"{x_needed:10.2f} {saved:8.1f}G "
+              f"{model.predict(x_needed).total:9.3f}")
+
+    print("-" * len(header))
+    print(f"{'fleet total':16s} {'':>16s} "
+          f"{total_needed / total_footprint:10.2f} "
+          f"{total_footprint - total_needed:8.1f}G")
+    print("\nEverything beyond the 'min DRAM x' column can live on the "
+          "CXL pool within the SLO - decided at job submission time, "
+          "no trial placement.")
+
+
+if __name__ == "__main__":
+    main()

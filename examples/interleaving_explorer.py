@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Interleaving explorer: synthesize and verify a performance curve.
+
+For a bandwidth-bound workload (10-thread 603.bwaves), this script:
+
+1. profiles the two endpoints (DRAM-only and CXL-only - the at-most-two
+   runs of the paper's Fig. 12 workflow);
+2. synthesizes the predicted slowdown curve for every DRAM:CXL ratio
+   (Eq. 8-10) and picks the Best-shot ratio;
+3. verifies against actual executions across the sweep - which the
+   model never needed.
+
+Run:  python examples/interleaving_explorer.py [--workload 603.bwaves]
+      [--threads 10] [--device cxl-a]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (Machine, Placement, SKX2S, calibrate, get_workload,
+                   slowdown, synthesize)
+from repro.analysis import sparkline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="603.bwaves")
+    parser.add_argument("--threads", type=int, default=10)
+    parser.add_argument("--device", default="cxl-a")
+    args = parser.parse_args()
+
+    machine = Machine(SKX2S)
+    calibration = calibrate(machine, args.device)
+    workload = get_workload(args.workload).with_threads(args.threads)
+
+    dram = machine.run(workload, Placement.dram_only())
+    cxl = machine.run(workload, Placement.slow_only(args.device))
+    model = synthesize(dram.profiled(), calibration, cxl.profiled())
+    print(f"{workload.name}: "
+          f"{model.classification.workload_class.value}, "
+          f"measured DRAM latency "
+          f"{model.classification.measured_latency_ns:.0f} ns vs idle "
+          f"{model.classification.idle_latency_ns:.0f} ns")
+
+    ratios = np.linspace(1.0, 0.0, 21)
+    predicted, actual = [], []
+    print(f"\n{'x':>5s} {'predicted':>10s} {'actual':>8s}")
+    for x in ratios:
+        prediction = model.predict(float(x)).total
+        placement = (Placement.dram_only() if x >= 1.0 else
+                     Placement.interleaved(float(x), args.device))
+        measured = slowdown(dram, machine.run(workload, placement))
+        predicted.append(prediction)
+        actual.append(measured)
+        print(f"{x:5.2f} {prediction:10.3f} {measured:8.3f}")
+
+    print(f"\npredicted S(x): {sparkline(predicted)}")
+    print(f"actual    S(x): {sparkline(actual)}")
+
+    x_best, s_best = model.optimal_ratio()
+    x_oracle = float(ratios[int(np.argmin(actual))])
+    print(f"\nBest-shot ratio: {x_best:.2f} "
+          f"(predicted S = {s_best:+.3f})")
+    print(f"oracle ratio:    {x_oracle:.2f} "
+          f"(actual S = {min(actual):+.3f})")
+    realized = actual[int(np.argmin(np.abs(ratios - x_best)))]
+    print(f"actual S at the Best-shot ratio: {realized:+.3f} - "
+          f"{'beats' if realized < 0 else 'matches'} DRAM-only without "
+          f"any search.")
+
+
+if __name__ == "__main__":
+    main()

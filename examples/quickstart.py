@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: predict CXL slowdown from a DRAM-only profiling run.
+
+The core CAMP workflow in four steps:
+
+1. build a machine (here: the simulated SKX testbed);
+2. calibrate once per (platform, device) with the microbenchmark suite;
+3. profile your workload on DRAM - a single run, 12 PMU counters;
+4. ask the predictor what would happen on CXL, then check it against
+   an actual CXL execution (which CAMP never needed to see).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (Machine, Placement, SKX2S, SlowdownPredictor,
+                   calibrate, get_workload, slowdown)
+
+
+def main() -> None:
+    machine = Machine(SKX2S)
+
+    print("== one-time calibration (microbenchmarks on DRAM + CXL-A)")
+    calibration = calibrate(machine, "cxl-a")
+    for key, value in calibration.describe().items():
+        print(f"   {key:12s} = {value:.4f}")
+
+    predictor = SlowdownPredictor(calibration)
+
+    print("\n== DRAM-only profiling -> CXL forecast vs ground truth")
+    header = (f"{'workload':16s} {'pred S_DRd':>10s} {'pred S_Cache':>12s}"
+              f" {'pred S_Store':>12s} {'pred total':>10s}"
+              f" {'actual':>8s} {'error':>7s}")
+    print(header)
+    print("-" * len(header))
+    for name in ("605.mcf", "557.xz", "619.lbm", "gpt-2", "xsbench",
+                 "625.x264"):
+        workload = get_workload(name)
+
+        dram_run = machine.run(workload, Placement.dram_only())
+        prediction = predictor.predict(dram_run.profiled())
+
+        # Ground truth: actually execute on CXL (CAMP never looked).
+        cxl_run = machine.run(workload, Placement.slow_only("cxl-a"))
+        actual = slowdown(dram_run, cxl_run)
+
+        print(f"{name:16s} {prediction.drd:10.3f} "
+              f"{prediction.cache:12.3f} {prediction.store:12.3f} "
+              f"{prediction.total:10.3f} {actual:8.3f} "
+              f"{abs(prediction.total - actual):7.3f}")
+
+    print("\nForecasts come from the DRAM run alone - the paper's "
+          "'what-if analysis prior to deployment'.")
+
+
+if __name__ == "__main__":
+    main()

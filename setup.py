@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Legacy shim: the execution environment lacks the `wheel` package, so
+# PEP 517 editable installs (bdist_wheel) fail; `setup.py develop` works.
+setup()

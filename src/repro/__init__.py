@@ -1,0 +1,47 @@
+"""CAMP reproduction: performance predictability in heterogeneous memory.
+
+A full reimplementation of the ASPLOS'26 paper "Performance
+Predictability in Heterogeneous Memory" (CAMP), including the substrate
+its evaluation needs: a simulated machine with PMU counters, the
+265-workload population, the prediction and interleaving models, and
+the Best-shot / colocation policies.
+
+Quickstart::
+
+    from repro import Machine, Placement, SKX2S, calibrate
+    from repro import SlowdownPredictor, get_workload
+
+    machine = Machine(SKX2S)
+    calibration = calibrate(machine, "cxl-a")   # one-time, per device
+    predictor = SlowdownPredictor(calibration)
+
+    profile = machine.profile(get_workload("605.mcf"))  # DRAM-only run
+    print(predictor.predict(profile).total)    # forecast CXL slowdown
+
+Package map:
+
+- :mod:`repro.core` - CAMP's models (the paper's contribution);
+- :mod:`repro.uarch` - the simulated machine substrate;
+- :mod:`repro.workloads` - workload population and microbenchmarks;
+- :mod:`repro.policies` - Best-shot and the section 6 baselines;
+- :mod:`repro.analysis` - per-figure experiment drivers.
+"""
+
+from .core import (Calibration, Counter, CounterSample, ProfiledRun,
+                   SlowdownPredictor, calibrate, classify, synthesize)
+from .uarch import (CXL_A, CXL_B, CXL_C, NUMA, SKX2S, SPR2S, EMR2S,
+                    Machine, Placement, RunResult, component_slowdowns,
+                    slowdown)
+from .workloads import (WorkloadSpec, bandwidth_bound_eight,
+                        evaluation_suite, get_workload)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Calibration", "Counter", "CounterSample", "ProfiledRun",
+    "SlowdownPredictor", "calibrate", "classify", "synthesize",
+    "CXL_A", "CXL_B", "CXL_C", "NUMA", "SKX2S", "SPR2S", "EMR2S",
+    "Machine", "Placement", "RunResult", "component_slowdowns",
+    "slowdown", "WorkloadSpec", "bandwidth_bound_eight",
+    "evaluation_suite", "get_workload", "__version__",
+]

@@ -1,0 +1,59 @@
+"""Experiment drivers, statistics, and reporting.
+
+One driver per paper table/figure (see ``DESIGN.md``'s experiment
+index), all sharing the memoizing :class:`~repro.analysis.lab.Lab`.
+"""
+
+from .interleaving_experiments import (Fig13Result, Fig14Result,
+                                       LatencyCurveResult,
+                                       MlpInvarianceResult,
+                                       OptimumComparison, WorkloadSweep,
+                                       build_model,
+                                       fig9_interleaving_shapes,
+                                       fig10_mlp_invariance,
+                                       fig11_latency_curves,
+                                       fig13_interleave_accuracy,
+                                       fig14_interleaving_model_accuracy,
+                                       sweep_workload)
+from .lab import DEFAULT_TIER_PLATFORMS, Lab, REPORT_TIERS, default_lab
+from .policy_experiments import (Fig15Result, MixedRow,
+                                 PlacementComparison,
+                                 fig15_bestshot_vs_baselines,
+                                 fig16a_colocation_prediction,
+                                 fig16b_colocation_placement,
+                                 fig16c_mixed_colocation)
+from .prediction_experiments import (Table1Result, Table6Row,
+                                     WorkloadRecord, collect_records,
+                                     fig2_decomposition,
+                                     fig4_drd_derivation,
+                                     fig5_lfb_pressure,
+                                     fig6_component_error_cdfs,
+                                     fig8_timeseries,
+                                     table1_metric_correlations,
+                                     table6_overall_accuracy)
+from .reporting import (ascii_scatter, ascii_table, cdf_summary,
+                        heading, paper_vs_measured, sparkline)
+from .stats import (AccuracySummary, absolute_errors, accuracy_summary,
+                    cdf_points, fraction_within, geometric_mean,
+                    pearson, percentile_row)
+
+__all__ = [
+    "Fig13Result", "Fig14Result", "LatencyCurveResult",
+    "MlpInvarianceResult", "OptimumComparison", "WorkloadSweep",
+    "build_model", "fig9_interleaving_shapes", "fig10_mlp_invariance",
+    "fig11_latency_curves", "fig13_interleave_accuracy",
+    "fig14_interleaving_model_accuracy", "sweep_workload",
+    "DEFAULT_TIER_PLATFORMS", "Lab", "REPORT_TIERS", "default_lab",
+    "Fig15Result", "MixedRow", "PlacementComparison",
+    "fig15_bestshot_vs_baselines", "fig16a_colocation_prediction",
+    "fig16b_colocation_placement", "fig16c_mixed_colocation",
+    "Table1Result", "Table6Row", "WorkloadRecord", "collect_records",
+    "fig2_decomposition", "fig4_drd_derivation", "fig5_lfb_pressure",
+    "fig6_component_error_cdfs", "fig8_timeseries",
+    "table1_metric_correlations", "table6_overall_accuracy",
+    "ascii_scatter", "ascii_table", "cdf_summary", "heading",
+    "paper_vs_measured",
+    "sparkline", "AccuracySummary", "absolute_errors",
+    "accuracy_summary", "cdf_points", "fraction_within",
+    "geometric_mean", "pearson", "percentile_row",
+]

@@ -1,0 +1,155 @@
+"""The experiment laboratory: machines, calibrations, and cached runs.
+
+Every table/figure driver needs the same ingredients - the evaluation
+suite, a machine per platform, a calibration per device, and a pile of
+(workload, placement) executions.  :class:`Lab` owns and memoizes them
+so the benchmark harness never repeats a simulated run: drivers share
+DRAM baselines, calibrations are fitted once per device, and the whole
+EXPERIMENTS.md regeneration stays minutes-scale.
+
+Platform assignment follows the paper's testbeds: the NUMA tier is
+evaluated on SKX (the paper emulates NUMA there), the three CXL 2.0
+expanders on SPR (their PCIe 5 hosts).  Both can be overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.calibration import Calibration, calibrate
+from ..core.slowdown import SlowdownPredictor
+from ..uarch.config import PlatformConfig, get_platform
+from ..uarch.interleave import Placement
+from ..uarch.machine import Machine, RunResult
+from ..workloads.spec import WorkloadSpec
+from ..workloads.suites import evaluation_suite
+
+#: Which platform hosts which slow tier in the paper's evaluation.
+DEFAULT_TIER_PLATFORMS: Dict[str, str] = {
+    "numa": "skx2s",
+    "cxl-a": "spr2s",
+    "cxl-b": "spr2s",
+    "cxl-c": "spr2s",
+}
+
+#: The evaluation tiers, in the paper's reporting order.
+REPORT_TIERS: Tuple[str, ...] = ("numa", "cxl-a", "cxl-b", "cxl-c")
+
+
+class Lab:
+    """Memoizing facade over machines, calibrations, and runs."""
+
+    def __init__(self, seed: int = 2026,
+                 tier_platforms: Optional[Dict[str, str]] = None,
+                 noise: Optional[float] = None):
+        self.seed = seed
+        self.tier_platforms = dict(tier_platforms or
+                                   DEFAULT_TIER_PLATFORMS)
+        self._noise = noise
+        self._machines: Dict[str, Machine] = {}
+        self._calibrations: Dict[Tuple[str, str], Calibration] = {}
+        self._runs: Dict[Tuple[str, int, WorkloadSpec, Placement],
+                         RunResult] = {}
+        self._suite: Optional[List[WorkloadSpec]] = None
+
+    # -- ingredients ---------------------------------------------------------
+    def suite(self) -> List[WorkloadSpec]:
+        """The 265-workload evaluation population (cached)."""
+        if self._suite is None:
+            self._suite = evaluation_suite(seed=self.seed)
+        return self._suite
+
+    def machine(self, platform_name: str) -> Machine:
+        """The (cached) machine for a platform preset name."""
+        key = platform_name.lower()
+        if key not in self._machines:
+            platform = get_platform(key)
+            if self._noise is None:
+                self._machines[key] = Machine(platform)
+            else:
+                self._machines[key] = Machine(platform,
+                                              noise=self._noise)
+        return self._machines[key]
+
+    def machine_for_tier(self, tier: str) -> Machine:
+        """The machine hosting a slow tier, per the paper's testbeds."""
+        platform_name = self.tier_platforms.get(tier.lower())
+        if platform_name is None:
+            raise KeyError(f"no platform assigned for tier {tier!r}")
+        return self.machine(platform_name)
+
+    def calibration(self, tier: str) -> Calibration:
+        """One-time CAMP calibration for (hosting platform, tier)."""
+        machine = self.machine_for_tier(tier)
+        key = (machine.platform.name, tier.lower())
+        if key not in self._calibrations:
+            self._calibrations[key] = calibrate(machine, tier)
+        return self._calibrations[key]
+
+    def predictor(self, tier: str) -> SlowdownPredictor:
+        return SlowdownPredictor(self.calibration(tier))
+
+    # -- cached execution ----------------------------------------------------
+    def run(self, machine: Machine, workload: WorkloadSpec,
+            placement: Placement) -> RunResult:
+        """Execute (memoized on machine+workload+placement)."""
+        key = (machine.platform.name, machine.seed, workload, placement)
+        if key not in self._runs:
+            self._runs[key] = machine.run(workload, placement)
+        return self._runs[key]
+
+    def dram_run(self, tier: str, workload: WorkloadSpec) -> RunResult:
+        """The DRAM baseline on the tier's hosting platform."""
+        return self.run(self.machine_for_tier(tier), workload,
+                        Placement.dram_only())
+
+    def slow_run(self, tier: str, workload: WorkloadSpec) -> RunResult:
+        """The all-on-slow-tier run."""
+        return self.run(self.machine_for_tier(tier), workload,
+                        Placement.slow_only(tier))
+
+    def interleaved_run(self, tier: str, workload: WorkloadSpec,
+                        dram_fraction: float) -> RunResult:
+        if dram_fraction >= 1.0:
+            return self.dram_run(tier, workload)
+        if dram_fraction <= 0.0:
+            return self.slow_run(tier, workload)
+        return self.run(self.machine_for_tier(tier), workload,
+                        Placement.interleaved(dram_fraction, tier))
+
+    def cache_size(self) -> int:
+        """Number of memoized runs (diagnostics)."""
+        return len(self._runs)
+
+
+#: A process-wide default lab so benches and examples share the cache.
+_DEFAULT_LAB: Optional[Lab] = None
+
+
+def default_lab() -> Lab:
+    """The shared module-level :class:`Lab` instance."""
+    global _DEFAULT_LAB
+    if _DEFAULT_LAB is None:
+        _DEFAULT_LAB = Lab()
+    return _DEFAULT_LAB
+
+
+#: Platform assignment for the *bandwidth* studies (sections 5-6).
+#: The interleaving and policy experiments need a host whose DRAM a
+#: ten-thread streamer can actually contend for; we follow the paper's
+#: Fig. 13 setup (10-thread 603.bwaves - the SKX core count) and host
+#: every tier on SKX2S there.  The slowdown-prediction study keeps the
+#: PCIe5-platform assignment of :data:`DEFAULT_TIER_PLATFORMS`.
+BANDWIDTH_TIER_PLATFORMS: Dict[str, str] = {
+    tier: "skx2s" for tier in REPORT_TIERS
+}
+
+_BANDWIDTH_LAB: Optional[Lab] = None
+
+
+def bandwidth_lab() -> Lab:
+    """The shared lab for the section 5-6 bandwidth experiments."""
+    global _BANDWIDTH_LAB
+    if _BANDWIDTH_LAB is None:
+        _BANDWIDTH_LAB = Lab(tier_platforms=BANDWIDTH_TIER_PLATFORMS)
+    return _BANDWIDTH_LAB

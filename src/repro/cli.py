@@ -1,0 +1,343 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Drives the library end-to-end from a shell, the way an operator would:
+
+====================  ====================================================
+``calibrate``         run the microbenchmark suite, save a calibration
+``predict``           DRAM-only profile -> per-component CXL forecast
+``classify``          latency- vs bandwidth-bound (Fig. 12 branch)
+``sweep``             synthesize (and optionally measure) an
+                      interleaving curve; report the Best-shot ratio
+``suite``             prediction-accuracy table over the 265 workloads
+``fleet``             CAMP-guided capacity plan for a job mix
+``dynamics``          simulate a reactive migration loop vs Best-shot
+``workloads``         list the named paper workloads
+====================  ====================================================
+
+Profiling runs execute on the simulated machine; on real hardware the
+same commands would wrap ``perf stat`` - the models only ever see
+counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .analysis.reporting import ascii_table
+from .analysis.stats import accuracy_summary
+from .core.calibration import Calibration, calibrate
+from .core.classify import classify
+from .core.contention import ContentionAwarePredictor
+from .core.interleaving import synthesize
+from .core.slowdown import SlowdownPredictor
+from .uarch.config import get_platform
+from .uarch.interleave import Placement
+from .uarch.machine import Machine, slowdown
+from .workloads.suites import (evaluation_suite, get_workload,
+                               named_workloads)
+
+
+def _machine(args) -> Machine:
+    return Machine(get_platform(args.platform))
+
+
+def _load_calibration(args, machine: Machine) -> Calibration:
+    """Load from ``--calibration`` or calibrate on the fly."""
+    if getattr(args, "calibration", None):
+        return Calibration.from_json(
+            pathlib.Path(args.calibration).read_text())
+    return calibrate(machine, args.device)
+
+
+def _resolve_workload(name: str, threads: Optional[int]):
+    workload = get_workload(name)
+    if threads:
+        workload = workload.with_threads(threads)
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+def cmd_calibrate(args) -> int:
+    machine = _machine(args)
+    calibration = calibrate(machine, args.device)
+    text = calibration.to_json()
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    machine = _machine(args)
+    calibration = _load_calibration(args, machine)
+    predictor_cls = (ContentionAwarePredictor if args.contention_aware
+                     else SlowdownPredictor)
+    predictor = predictor_cls(calibration)
+
+    rows = []
+    for name in args.workload:
+        workload = _resolve_workload(name, args.threads)
+        profile = machine.profile(workload, Placement.dram_only())
+        prediction = predictor.predict(profile)
+        row = [name, prediction.drd, prediction.cache, prediction.store,
+               prediction.total]
+        if args.verify:
+            dram = machine.run(workload, Placement.dram_only())
+            slow = machine.run(workload,
+                               Placement.slow_only(calibration.device))
+            actual = slowdown(dram, slow)
+            row += [actual, abs(prediction.total - actual)]
+        rows.append(row)
+
+    headers = ["workload", "S_DRd", "S_Cache", "S_Store", "total"]
+    if args.verify:
+        headers += ["actual", "error"]
+    print(ascii_table(headers, rows))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    machine = _machine(args)
+    calibration = _load_calibration(args, machine)
+    rows = []
+    for name in args.workload:
+        workload = _resolve_workload(name, args.threads)
+        profile = machine.profile(workload, Placement.dram_only())
+        decision = classify(profile, calibration.idle_latency_dram_ns,
+                            tolerance=args.tolerance)
+        rows.append([name, decision.workload_class.value,
+                     decision.measured_latency_ns,
+                     decision.idle_latency_ns,
+                     decision.required_profiling_runs])
+    print(ascii_table(["workload", "class", "measured ns", "idle ns",
+                       "runs needed"], rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    machine = _machine(args)
+    calibration = _load_calibration(args, machine)
+    workload = _resolve_workload(args.workload, args.threads)
+
+    dram = machine.run(workload, Placement.dram_only())
+    profile = dram.profiled()
+    decision = classify(profile, calibration.idle_latency_dram_ns)
+    slow_profile = None
+    if decision.is_bandwidth_bound:
+        slow_profile = machine.profile(
+            workload, Placement.slow_only(calibration.device))
+    model = synthesize(profile, calibration, slow_profile)
+
+    rows = []
+    for x in np.linspace(1.0, 0.0, args.points):
+        row = [f"{x:.2f}", model.predict(float(x)).total]
+        if args.measure:
+            placement = (Placement.dram_only() if x >= 1.0 else
+                         Placement.interleaved(float(x),
+                                               calibration.device))
+            row.append(slowdown(dram, machine.run(workload, placement)))
+        rows.append(row)
+    headers = ["x (dram)", "predicted S"]
+    if args.measure:
+        headers.append("actual S")
+    print(f"{workload.name}: {decision.workload_class.value} "
+          f"({decision.required_profiling_runs} profiling run(s))")
+    print(ascii_table(headers, rows))
+
+    x_best, s_best = model.optimal_ratio()
+    print(f"\nBest-shot ratio: {x_best:.2f} "
+          f"(predicted slowdown {s_best:+.3f}; "
+          f"{'beneficial' if model.beneficial else 'defensive'})")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    machine = _machine(args)
+    calibration = _load_calibration(args, machine)
+    predictor_cls = (ContentionAwarePredictor if args.contention_aware
+                     else SlowdownPredictor)
+    predictor = predictor_cls(calibration)
+
+    workloads = evaluation_suite()
+    if args.limit:
+        workloads = workloads[:args.limit]
+    predicted, actual = [], []
+    for workload in workloads:
+        dram = machine.run(workload, Placement.dram_only())
+        slow = machine.run(workload,
+                           Placement.slow_only(calibration.device))
+        predicted.append(predictor.predict(dram.profiled()).total)
+        actual.append(slowdown(dram, slow))
+    summary = accuracy_summary(predicted, actual)
+    print(ascii_table(
+        ["workloads", "pearson", "<=5% err", "<=10% err"],
+        [[summary.count, summary.pearson, summary.within_5pct,
+          summary.within_10pct]]))
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    machine = _machine(args)
+    calibration = _load_calibration(args, machine)
+    from .policies.fleet import FleetPlanner
+    fleet = [_resolve_workload(name, None) for name in args.workload]
+    total = sum(w.footprint_gib for w in fleet)
+    capacity = (args.capacity_gib if args.capacity_gib
+                else args.share * total)
+    plan = FleetPlanner(machine, calibration).plan(fleet, capacity)
+    rows = [(a.workload, f"{a.footprint_gib:.1f}", a.dram_fraction,
+             f"{a.dram_gib:.1f}", a.predicted_slowdown,
+             "bw-bound" if a.bandwidth_bound else "lat-bound")
+            for a in plan.assignments]
+    print(ascii_table(["job", "GiB", "DRAM x", "DRAM GiB", "pred S",
+                       "class"], rows))
+    print(f"\nDRAM used: {plan.dram_used_gib:.1f} / "
+          f"{plan.fast_capacity_gib:.1f} GiB; predicted fleet "
+          f"throughput {plan.predicted_fleet_throughput:.3f}")
+    return 0
+
+
+def cmd_dynamics(args) -> int:
+    machine = _machine(args)
+    calibration = _load_calibration(args, machine)
+    from .analysis.reporting import sparkline
+    from .policies.dynamics import (BestShotDynamics, ColloidDynamics,
+                                    FirstTouchDynamics, NBTDynamics,
+                                    simulate_tiering)
+    workload = _resolve_workload(args.workload, args.threads)
+    capacity = args.share * workload.footprint_gib
+    lineup = [(BestShotDynamics(calibration), 0.0),
+              (FirstTouchDynamics(), 0.10),
+              (NBTDynamics(), 0.30),
+              (ColloidDynamics(), 0.25)]
+    rows = []
+    for policy, bias in lineup:
+        trace = simulate_tiering(machine, workload, args.device,
+                                 capacity, policy, epochs=args.epochs,
+                                 hotness_bias=bias)
+        rows.append((policy.name, trace.normalized_performance,
+                     trace.migration_cycles / trace.total_cycles,
+                     trace.convergence_epoch(),
+                     sparkline([r.placement_x for r in trace.records],
+                               width=args.epochs)))
+    print(ascii_table(["policy", "norm perf", "migration",
+                       "converged@", "x(t)"], rows))
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    rows = [(w.name, w.suite, w.threads, f"{w.footprint_gib:.1f}",
+             f"{w.mlp:.1f}", ",".join(w.tags))
+            for w in named_workloads().values()]
+    print(ascii_table(["name", "suite", "thr", "GiB", "MLP", "tags"],
+                      rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser.
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, device=True):
+        p.add_argument("--platform", default="skx2s",
+                       help="platform preset (skx2s/spr2s/emr2s)")
+        if device:
+            p.add_argument("--device", default="cxl-a",
+                           help="slow tier (numa/cxl-a/cxl-b/cxl-c)")
+            p.add_argument("--calibration",
+                           help="path to a saved calibration JSON "
+                                "(default: calibrate on the fly)")
+
+    p = sub.add_parser("calibrate",
+                       help="fit platform constants from microbenchmarks")
+    common(p)
+    p.add_argument("--out", help="write the calibration JSON here")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("predict",
+                       help="forecast slow-tier slowdown from DRAM runs")
+    common(p)
+    p.add_argument("workload", nargs="+",
+                   help="named workload(s), see `repro workloads`")
+    p.add_argument("--threads", type=int)
+    p.add_argument("--verify", action="store_true",
+                   help="also execute on the slow tier and report error")
+    p.add_argument("--contention-aware", action="store_true",
+                   help="apply the bandwidth-saturation extension")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("classify",
+                       help="latency- vs bandwidth-bound classification")
+    common(p)
+    p.add_argument("workload", nargs="+")
+    p.add_argument("--threads", type=int)
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("sweep",
+                       help="synthesize an interleaving curve + Best-shot")
+    common(p)
+    p.add_argument("workload")
+    p.add_argument("--threads", type=int)
+    p.add_argument("--points", type=int, default=11)
+    p.add_argument("--measure", action="store_true",
+                   help="also execute every ratio for comparison")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("suite",
+                       help="prediction accuracy over the population")
+    common(p)
+    p.add_argument("--limit", type=int,
+                   help="only the first N workloads (quick check)")
+    p.add_argument("--contention-aware", action="store_true")
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("fleet",
+                       help="capacity-plan a job mix with CAMP")
+    common(p)
+    p.add_argument("workload", nargs="+")
+    p.add_argument("--share", type=float, default=0.5,
+                   help="fast capacity as a share of the fleet "
+                        "footprint (default 0.5)")
+    p.add_argument("--capacity-gib", type=float,
+                   help="absolute fast capacity (overrides --share)")
+    p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("dynamics",
+                       help="simulate reactive migration loops")
+    common(p)
+    p.add_argument("workload")
+    p.add_argument("--threads", type=int)
+    p.add_argument("--share", type=float, default=0.8)
+    p.add_argument("--epochs", type=int, default=20)
+    p.set_defaults(func=cmd_dynamics)
+
+    p = sub.add_parser("workloads", help="list named paper workloads")
+    p.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

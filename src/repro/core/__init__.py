@@ -1,0 +1,54 @@
+"""CAMP's core: counter vocabulary, prediction models, calibration.
+
+The paper's primary contribution, as a library:
+
+- :mod:`~repro.core.counters` - the Table 5 PMU vocabulary and the
+  :class:`~repro.core.counters.ProfiledRun` record models consume;
+- :mod:`~repro.core.signature` - derived per-run quantities with the
+  platform-specific counter mappings;
+- :mod:`~repro.core.drd` / :mod:`~repro.core.cache` /
+  :mod:`~repro.core.store` - the three component models (Eq. 5-7);
+- :mod:`~repro.core.calibration` - one-time microbenchmark fitting;
+- :mod:`~repro.core.slowdown` - the combined DRAM-only predictor;
+- :mod:`~repro.core.classify` - the Fig. 12 workflow branch;
+- :mod:`~repro.core.interleaving` - the Eq. 8-10 synthesis model;
+- :mod:`~repro.core.metrics` - the Table 1 baseline proxies.
+"""
+
+from .cache import CacheModel, measured_cache_slowdown
+from .calibration import (Calibration, CalibrationSample, calibrate,
+                          fit_from_samples, fit_hyperbola, roles_for_tags)
+from .classify import (Classification, WorkloadClass, classify,
+                       classify_signature)
+from .contention import (ContentionAwarePredictor, ContentionForecast)
+from .counters import (COUNTER_TABLE, Counter, CounterSample, CounterSpec,
+                       ProfiledRun, counter_spec, counters_for_platform)
+from .drd import (DrdModel, hyperbolic_tolerance, measured_drd_slowdown,
+                  measured_tolerance)
+from .interleaving import (COMPONENTS, InterleavingModel,
+                           InterleavingPrediction, TierEndpoint,
+                           load_scaling_factor, model_from_dram_only,
+                           model_from_two_runs, synthesize)
+from .online import OnlinePredictor, WindowUpdate
+from .metrics import BASELINE_METRICS, MetricSpec, compute_all
+from .signature import Signature, signature, signature_from_sample
+from .slowdown import SlowdownPrediction, SlowdownPredictor
+from .store import StoreModel, measured_store_slowdown
+
+__all__ = [
+    "CacheModel", "measured_cache_slowdown", "Calibration",
+    "CalibrationSample", "calibrate", "fit_from_samples",
+    "fit_hyperbola", "roles_for_tags", "Classification", "WorkloadClass",
+    "classify", "classify_signature", "COUNTER_TABLE", "Counter",
+    "ContentionAwarePredictor", "ContentionForecast",
+    "CounterSample", "CounterSpec", "ProfiledRun", "counter_spec",
+    "counters_for_platform", "DrdModel", "hyperbolic_tolerance",
+    "measured_drd_slowdown", "measured_tolerance", "COMPONENTS",
+    "InterleavingModel", "InterleavingPrediction", "TierEndpoint",
+    "load_scaling_factor", "model_from_dram_only", "model_from_two_runs",
+    "synthesize", "BASELINE_METRICS", "MetricSpec", "compute_all",
+    "OnlinePredictor", "WindowUpdate",
+    "Signature", "signature", "signature_from_sample",
+    "SlowdownPrediction", "SlowdownPredictor", "StoreModel",
+    "measured_store_slowdown",
+]

@@ -1,0 +1,52 @@
+"""Cache/prefetch slowdown model (paper section 4.2, Eq. 6).
+
+Prefetchers lose timeliness as memory latency grows; demand accesses
+then wait on in-flight LFB/SQ entries, and contention in those buffers
+blocks other allocations.  The DRAM-visible precursors are:
+
+- ``R_LFB-hit`` - how much the workload already relies on the LFB for
+  data delivery (P5 / (P4 + P5));
+- ``R_Mem`` - how much of that delivery is fed by prefetches from
+  memory (platform-specific proxy, see
+  :func:`repro.core.signature.mem_prefetch_reliance`);
+- ``s_Cache / c`` - the baseline cache-level stall intensity.
+
+Eq. 6 multiplies the three with a per-(platform, device) constant:
+``S_Cache = k_cache * R_LFB-hit * R_Mem * s_Cache / c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .signature import Signature
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Calibrated Eq. 6 predictor."""
+
+    k: float
+
+    def __post_init__(self):
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+
+    def predict(self, dram: Signature) -> float:
+        """Predicted cache slowdown from a DRAM-only signature."""
+        if dram.cycles <= 0:
+            return 0.0
+        return (self.k * dram.lfb_hit_ratio *
+                dram.mem_prefetch_reliance * dram.cache_stall_fraction)
+
+    def predictor_value(self, dram: Signature) -> float:
+        """The un-scaled predictor (Eq. 6 without ``k``)."""
+        return (dram.lfb_hit_ratio * dram.mem_prefetch_reliance *
+                dram.cache_stall_fraction)
+
+
+def measured_cache_slowdown(dram: Signature, slow: Signature) -> float:
+    """Ground-truth ``S_Cache`` via the cache-level stall delta."""
+    if dram.cycles <= 0:
+        return 0.0
+    return (slow.s_cache - dram.s_cache) / dram.cycles

@@ -1,0 +1,90 @@
+"""Latency-bound vs bandwidth-bound classification (paper Fig. 12).
+
+CAMP's profiling workflow branches on one question: did the DRAM run
+show memory contention?
+
+- **Latency-bound** (measured DRAM latency within ``tau`` of the
+  MLC-measured idle latency): one DRAM run suffices.  Per-tier latency
+  is constant across interleaving ratios, the interleaving response is
+  linear, and the CXL endpoint is predicted analytically (section 4).
+- **Bandwidth-bound** (elevated latency): contention exists, latency
+  varies non-linearly with load, and a second profiling run on the slow
+  tier is required to anchor the interleaving model (section 5).
+
+The measured latency comes from the offcore counters (P11/P12).  Note a
+real-hardware subtlety reproduced here: that latency is diluted by
+LLC-hit reads and uncore buffering, so it can sit *below* the idle probe
+for cache-friendly workloads - which is fine, since the rule only
+triggers on elevation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .counters import ProfiledRun
+from .signature import Signature, signature
+
+#: The paper's default platform tolerance ("e.g. 5%").
+DEFAULT_TOLERANCE = 0.05
+
+
+class WorkloadClass(enum.Enum):
+    LATENCY_BOUND = "latency-bound"
+    BANDWIDTH_BOUND = "bandwidth-bound"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The decision plus the evidence it was based on."""
+
+    workload_class: WorkloadClass
+    measured_latency_ns: float
+    idle_latency_ns: float
+    tolerance: float
+
+    @property
+    def is_bandwidth_bound(self) -> bool:
+        return self.workload_class is WorkloadClass.BANDWIDTH_BOUND
+
+    @property
+    def required_profiling_runs(self) -> int:
+        """1 for latency-bound, 2 for bandwidth-bound (Fig. 12)."""
+        return 2 if self.is_bandwidth_bound else 1
+
+    @property
+    def elevation(self) -> float:
+        """Relative latency elevation over idle (can be negative)."""
+        if self.idle_latency_ns <= 0:
+            return 0.0
+        return (self.measured_latency_ns / self.idle_latency_ns) - 1.0
+
+
+def classify_signature(dram: Signature, idle_latency_dram_ns: float,
+                       tolerance: float = DEFAULT_TOLERANCE
+                       ) -> Classification:
+    """Classify from a DRAM signature and the MLC idle latency."""
+    if idle_latency_dram_ns <= 0:
+        raise ValueError("idle latency must be positive")
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    measured = dram.latency_ns
+    bandwidth_bound = measured > idle_latency_dram_ns * (1.0 + tolerance)
+    workload_class = (WorkloadClass.BANDWIDTH_BOUND if bandwidth_bound
+                      else WorkloadClass.LATENCY_BOUND)
+    return Classification(
+        workload_class=workload_class,
+        measured_latency_ns=measured,
+        idle_latency_ns=idle_latency_dram_ns,
+        tolerance=tolerance,
+    )
+
+
+def classify(profile: ProfiledRun, idle_latency_dram_ns: float,
+             tolerance: float = DEFAULT_TOLERANCE) -> Classification:
+    """Classify a DRAM profiling run (the Fig. 12 branch point)."""
+    if profile.tier != "dram":
+        raise ValueError("classification expects the DRAM profiling run")
+    return classify_signature(signature(profile), idle_latency_dram_ns,
+                              tolerance)

@@ -1,0 +1,269 @@
+"""Interleaving performance synthesis (paper section 5, Eq. 8-10).
+
+Predicts per-component slowdown at *any* DRAM:CXL weighted-interleaving
+ratio ``x`` from at most two profiling runs, exploiting two empirical
+invariants the paper establishes:
+
+- **MLP consistency** (5.2.1): per-core MLP varies negligibly across
+  ratios, so memory-active-cycle changes are pure latency accumulation.
+- **Quadratic latency-load response** (5.2.2): per-tier latency over
+  its load share is well approximated by
+  ``L(x') = L_idle + (L_full - L_idle) * x'^2``  (Eq. 8).
+
+From these, each tier's cycle contribution scales with the
+**load scaling factor** (Eq. 9)::
+
+    M(x') = x' * L(x') / L_full
+
+and the per-component slowdown at ratio ``x`` is (Eq. 10)::
+
+    S(x) = (M(x) * s_DRAM + M(1-x) * s_CXL - s_DRAM) / c_DRAM
+
+The profiling workflow (Fig. 12) is implemented by :func:`synthesize`:
+latency-bound workloads need only the DRAM run (the slow endpoint is
+predicted analytically with the section 4 models and the response is
+linear); bandwidth-bound workloads need a second run on the slow tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .calibration import Calibration
+from .classify import Classification, classify_signature
+from .counters import ProfiledRun
+from .signature import Signature, signature
+from .slowdown import SlowdownPredictor
+
+#: The component keys, in the paper's reporting order.
+COMPONENTS: Tuple[str, ...] = ("drd", "cache", "store")
+
+
+@dataclass(frozen=True)
+class TierEndpoint:
+    """One endpoint run (x=1 on DRAM, or x=0 on the slow tier).
+
+    ``stalls`` maps each slowdown component to its measured (or
+    predicted) stall cycles; ``latency_full_ns`` is the workload's
+    loaded latency on this tier (``L_full`` of Eq. 8);
+    ``latency_idle_ns`` is the tier's MLC idle latency.
+    """
+
+    stalls: Dict[str, float]
+    latency_full_ns: float
+    latency_idle_ns: float
+
+    def __post_init__(self):
+        missing = set(COMPONENTS) - set(self.stalls)
+        if missing:
+            raise ValueError(f"missing stall components: {sorted(missing)}")
+        if self.latency_idle_ns <= 0:
+            raise ValueError("idle latency must be positive")
+
+    @property
+    def effective_full_ns(self) -> float:
+        """``L_full`` floored at idle: measured latency can dip below
+        the probe value through LLC-hit dilution, which would flip the
+        quadratic's sign; the floor restores the no-contention case."""
+        return max(self.latency_full_ns, self.latency_idle_ns)
+
+
+def load_scaling_factor(load_share: float, latency_idle_ns: float,
+                        latency_full_ns: float) -> float:
+    """Eq. 9: a tier's relative cycle contribution at ``load_share``.
+
+    ``M(x') = x' * [L_idle + (L_full - L_idle) * x'^2] / L_full``.
+    With no contention (``L_full ~= L_idle``) this degrades to the
+    linear ``M(x') = x'``; under contention the cubic term produces the
+    super-linear relief that explains the bathtub curves.
+    """
+    if not 0.0 <= load_share <= 1.0:
+        raise ValueError("load share must be within [0, 1]")
+    full = max(latency_full_ns, latency_idle_ns)
+    if full <= 0:
+        return load_share
+    latency = latency_idle_ns + (full - latency_idle_ns) * load_share ** 2
+    return load_share * latency / full
+
+
+@dataclass(frozen=True)
+class InterleavingPrediction:
+    """Predicted slowdown at one interleaving ratio."""
+
+    dram_fraction: float
+    components: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+
+class InterleavingModel:
+    """The Eq. 10 synthesis model for one workload on one device pair.
+
+    Parameters
+    ----------
+    dram, slow:
+        The two tier endpoints.  For latency-bound workloads the slow
+        endpoint's stalls are *predicted* (1-run path); for
+        bandwidth-bound workloads they are measured (2-run path).
+    cycles_dram:
+        The DRAM-baseline execution cycles ``c`` normalizing Eq. 10.
+    label:
+        Workload name for reporting.
+    """
+
+    def __init__(self, dram: TierEndpoint, slow: TierEndpoint,
+                 cycles_dram: float, label: str = "",
+                 classification: Optional[Classification] = None):
+        if cycles_dram <= 0:
+            raise ValueError("cycles_dram must be positive")
+        self.dram = dram
+        self.slow = slow
+        self.cycles_dram = cycles_dram
+        self.label = label
+        self.classification = classification
+
+    def component_slowdown(self, component: str,
+                           dram_fraction: float) -> float:
+        """Eq. 10 for one component at ratio ``x``."""
+        if component not in COMPONENTS:
+            raise KeyError(f"unknown component {component!r}")
+        x = dram_fraction
+        m_dram = load_scaling_factor(x, self.dram.latency_idle_ns,
+                                     self.dram.effective_full_ns)
+        m_slow = load_scaling_factor(1.0 - x, self.slow.latency_idle_ns,
+                                     self.slow.effective_full_ns)
+        s_dram = self.dram.stalls[component]
+        s_slow = self.slow.stalls[component]
+        return (m_dram * s_dram + m_slow * s_slow -
+                s_dram) / self.cycles_dram
+
+    def predict(self, dram_fraction: float) -> InterleavingPrediction:
+        """Predicted per-component slowdown at ratio ``x``."""
+        if not 0.0 <= dram_fraction <= 1.0:
+            raise ValueError("dram_fraction must be within [0, 1]")
+        components = {
+            component: self.component_slowdown(component, dram_fraction)
+            for component in COMPONENTS
+        }
+        return InterleavingPrediction(dram_fraction=dram_fraction,
+                                      components=components)
+
+    def curve(self, ratios: Optional[Sequence[float]] = None
+              ) -> List[InterleavingPrediction]:
+        """The synthesized performance curve over a ratio grid.
+
+        Defaults to the paper's 101-point sweep (100:0 .. 0:100).
+        """
+        if ratios is None:
+            ratios = np.linspace(1.0, 0.0, 101)
+        return [self.predict(float(x)) for x in ratios]
+
+    def optimal_ratio(self, ratios: Optional[Sequence[float]] = None
+                      ) -> Tuple[float, float]:
+        """The ratio minimizing predicted slowdown, with its slowdown.
+
+        This is the analytical optimum Best-shot jumps to.  For
+        latency-bound workloads it is always ``x = 1`` (DRAM-only);
+        bandwidth-bound workloads typically optimize below 80% fast
+        tier (paper Fig. 14b).
+        """
+        best = min(self.curve(ratios), key=lambda pred: pred.total)
+        return best.dram_fraction, best.total
+
+    @property
+    def beneficial(self) -> bool:
+        """Does any interleaving ratio beat DRAM-only execution?"""
+        _, slowdown = self.optimal_ratio()
+        return slowdown < 0.0
+
+
+def _endpoint_from_signature(sig: Signature, latency_idle_ns: float
+                             ) -> TierEndpoint:
+    return TierEndpoint(
+        stalls={"drd": sig.s_llc, "cache": sig.s_cache, "store": sig.s_sb},
+        latency_full_ns=sig.latency_ns,
+        latency_idle_ns=latency_idle_ns,
+    )
+
+
+def model_from_two_runs(dram_profile: ProfiledRun,
+                        slow_profile: ProfiledRun,
+                        calibration: Calibration) -> InterleavingModel:
+    """The 2-run (bandwidth-bound) path: both endpoints measured."""
+    dram_sig = signature(dram_profile)
+    slow_sig = signature(slow_profile)
+    return InterleavingModel(
+        dram=_endpoint_from_signature(
+            dram_sig, calibration.idle_latency_dram_ns),
+        slow=_endpoint_from_signature(
+            slow_sig, calibration.idle_latency_slow_ns),
+        cycles_dram=dram_sig.cycles,
+        label=dram_profile.label,
+    )
+
+
+def model_from_dram_only(dram_profile: ProfiledRun,
+                         calibration: Calibration) -> InterleavingModel:
+    """The 1-run (latency-bound) path: slow endpoint predicted.
+
+    The section 4 models forecast the per-component slowdown on the
+    slow tier; endpoint stalls follow from
+    ``s_slow = s_dram + S_component * c``.  Latency is taken at idle on
+    both tiers (no contention), collapsing Eq. 9 to the linear case.
+    """
+    dram_sig = signature(dram_profile)
+    prediction = SlowdownPredictor(calibration).predict(dram_profile)
+    cycles = dram_sig.cycles
+    slow_stalls = {
+        "drd": dram_sig.s_llc + prediction.drd * cycles,
+        "cache": dram_sig.s_cache + prediction.cache * cycles,
+        "store": dram_sig.s_sb + prediction.store * cycles,
+    }
+    dram_endpoint = TierEndpoint(
+        stalls={"drd": dram_sig.s_llc, "cache": dram_sig.s_cache,
+                "store": dram_sig.s_sb},
+        latency_full_ns=calibration.idle_latency_dram_ns,
+        latency_idle_ns=calibration.idle_latency_dram_ns,
+    )
+    slow_endpoint = TierEndpoint(
+        stalls=slow_stalls,
+        latency_full_ns=calibration.idle_latency_slow_ns,
+        latency_idle_ns=calibration.idle_latency_slow_ns,
+    )
+    return InterleavingModel(dram=dram_endpoint, slow=slow_endpoint,
+                             cycles_dram=cycles,
+                             label=dram_profile.label)
+
+
+def synthesize(dram_profile: ProfiledRun, calibration: Calibration,
+               slow_profile: Optional[ProfiledRun] = None,
+               tolerance: float = 0.05) -> InterleavingModel:
+    """The full Fig. 12 workflow: classify, then build the right model.
+
+    Latency-bound workloads are synthesized from the DRAM run alone
+    (``slow_profile`` is ignored if given).  Bandwidth-bound workloads
+    require ``slow_profile``; a missing one raises - silently falling
+    back to the 1-run path would hide the contention the model exists
+    to capture.
+    """
+    dram_sig = signature(dram_profile)
+    classification = classify_signature(
+        dram_sig, calibration.idle_latency_dram_ns, tolerance)
+    if classification.is_bandwidth_bound:
+        if slow_profile is None:
+            raise ValueError(
+                f"{dram_profile.label or 'workload'} is bandwidth-bound "
+                f"(latency {classification.measured_latency_ns:.0f} ns vs "
+                f"idle {classification.idle_latency_ns:.0f} ns); the "
+                f"interleaving model needs a slow-tier profiling run")
+        model = model_from_two_runs(dram_profile, slow_profile,
+                                    calibration)
+    else:
+        model = model_from_dram_only(dram_profile, calibration)
+    model.classification = classification
+    return model

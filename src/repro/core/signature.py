@@ -1,0 +1,161 @@
+"""Workload signatures: the model-facing view of a counter sample.
+
+A :class:`Signature` packages the derived quantities every CAMP model
+consumes - latency, MLP, AOL, per-component stall fractions, and the two
+cache-pressure ratios - with the platform-specific counter mappings of
+section 4.4.3 applied:
+
+- cache-level stalls come from ``P1 - P2`` on SKX and ``P2 - P3`` on
+  SPR/EMR (the level where each microarchitecture exposes prefetch
+  inefficiency);
+- the memory-prefetch reliance ``R_Mem`` is ``(P7 - P8) / P7`` on SKX
+  and ``(P14/P15) * (P16/(P16+P17))`` on SPR/EMR (uncore proxies,
+  because those cores lack the L1-prefetch data-source events).
+
+Signatures are pure functions of a :class:`~repro.core.counters.
+ProfiledRun`; they never look at simulator ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import Counter, CounterSample, ProfiledRun
+
+
+def _safe_ratio(numerator: float, denominator: float,
+                default: float = 0.0) -> float:
+    if denominator <= 0:
+        return default
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Derived per-run quantities used by the prediction models."""
+
+    #: Workload label (for reporting) and run context.
+    label: str
+    platform_family: str
+    tier: str
+    frequency_ghz: float
+
+    #: Total cycles ``c`` and instructions.
+    cycles: float
+    instructions: float
+
+    #: Little's-law triple over offcore demand reads.
+    latency_cycles: float
+    mlp: float
+    memory_active_cycles: float
+    demand_reads: float
+
+    #: Component stall cycles: s_LLC (P3), cache-level, SB-full (P6).
+    s_llc: float
+    s_cache: float
+    s_sb: float
+
+    #: Cache-pressure ratios of section 4.2.2.
+    lfb_hit_ratio: float
+    mem_prefetch_reliance: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_cycles / self.frequency_ghz
+
+    @property
+    def aol(self) -> float:
+        """SoarAlto's AOL: latency amortized over MLP (cycles)."""
+        return _safe_ratio(self.latency_cycles, self.mlp)
+
+    @property
+    def ipc(self) -> float:
+        return _safe_ratio(self.instructions, self.cycles)
+
+    @property
+    def llc_stall_fraction(self) -> float:
+        """``s_LLC / c``: the demand-read stall intensity."""
+        return _safe_ratio(self.s_llc, self.cycles)
+
+    @property
+    def cache_stall_fraction(self) -> float:
+        return _safe_ratio(self.s_cache, self.cycles)
+
+    @property
+    def sb_stall_fraction(self) -> float:
+        return _safe_ratio(self.s_sb, self.cycles)
+
+    @property
+    def memory_active_fraction(self) -> float:
+        """``C / c``: share of cycles with a pending offcore read."""
+        return _safe_ratio(self.memory_active_cycles, self.cycles)
+
+
+def cache_level_stalls(sample: CounterSample, platform_family: str) -> float:
+    """Cache-level stall cycles with the per-family counter mapping."""
+    family = platform_family.lower()
+    if family == "skx":
+        return max(0.0, sample[Counter.STALLS_L1D_MISS] -
+                   sample[Counter.STALLS_L2_MISS])
+    return max(0.0, sample[Counter.STALLS_L2_MISS] -
+               sample[Counter.STALLS_L3_MISS])
+
+
+def mem_prefetch_reliance(sample: CounterSample,
+                          platform_family: str) -> float:
+    """R_Mem: the fraction of prefetch activity sourced from memory.
+
+    SKX has direct L1-prefetch offcore response events; SPR/EMR use the
+    uncore lookup/TOR proxy (section 4.4.3).  Clamped to [0, 1].
+    """
+    family = platform_family.lower()
+    if family == "skx":
+        any_response = sample[Counter.PF_L1D_ANY_RESPONSE]
+        l3_hits = sample[Counter.PF_L1D_L3_HIT]
+        value = _safe_ratio(any_response - l3_hits, any_response)
+    else:
+        pf_share = _safe_ratio(sample[Counter.LLC_LOOKUP_PF_RD],
+                               sample[Counter.LLC_LOOKUP_ALL])
+        pref_miss = sample[Counter.TOR_INS_IA_PREF]
+        pref_hit = sample[Counter.TOR_INS_IA_HIT_PREF]
+        miss_ratio = _safe_ratio(pref_miss, pref_miss + pref_hit)
+        value = pf_share * miss_ratio
+    return min(1.0, max(0.0, value))
+
+
+def lfb_hit_ratio(sample: CounterSample) -> float:
+    """R_LFB-hit = P5 / (P4 + P5), clamped to [0, 1]."""
+    hits = sample[Counter.LFB_HIT]
+    misses = sample[Counter.L1_MISS]
+    return min(1.0, max(0.0, _safe_ratio(hits, hits + misses)))
+
+
+def signature_from_sample(sample: CounterSample, platform_family: str,
+                          frequency_ghz: float, tier: str = "dram",
+                          label: str = "") -> Signature:
+    """Build a :class:`Signature` from a raw counter sample."""
+    return Signature(
+        label=label,
+        platform_family=platform_family.lower(),
+        tier=tier,
+        frequency_ghz=frequency_ghz,
+        cycles=sample.cycles,
+        instructions=sample.instructions,
+        latency_cycles=sample.latency_cycles,
+        mlp=sample.mlp,
+        memory_active_cycles=sample.memory_active_cycles,
+        demand_reads=sample.demand_reads,
+        s_llc=sample[Counter.STALLS_L3_MISS],
+        s_cache=cache_level_stalls(sample, platform_family),
+        s_sb=sample[Counter.BOUND_ON_STORES],
+        lfb_hit_ratio=lfb_hit_ratio(sample),
+        mem_prefetch_reliance=mem_prefetch_reliance(sample,
+                                                    platform_family),
+    )
+
+
+def signature(profile: ProfiledRun) -> Signature:
+    """Build a :class:`Signature` from a profiling run."""
+    return signature_from_sample(
+        profile.sample, profile.platform_family, profile.frequency_ghz,
+        tier=profile.tier, label=profile.label)

@@ -1,0 +1,46 @@
+"""Store slowdown model (paper section 4.3, Eq. 7).
+
+Stores are asynchronous until the Store Buffer fills; then RFO latency
+back-pressures retirement.  CXL extends each RFO 2-3x, proportionally
+extending the time the SB stays full, so store slowdown is modeled as a
+*linear* function of the DRAM-measured SB-full stall cycles:
+
+``S_Store = k_store * s_SB / c``   (Eq. 7)
+
+with ``k_store`` calibrated from memset-style microbenchmarks per
+(platform, device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .signature import Signature
+
+
+@dataclass(frozen=True)
+class StoreModel:
+    """Calibrated Eq. 7 predictor."""
+
+    k: float
+
+    def __post_init__(self):
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+
+    def predict(self, dram: Signature) -> float:
+        """Predicted store slowdown from a DRAM-only signature."""
+        if dram.cycles <= 0:
+            return 0.0
+        return self.k * dram.sb_stall_fraction
+
+    def predictor_value(self, dram: Signature) -> float:
+        """The un-scaled predictor ``s_SB / c``."""
+        return dram.sb_stall_fraction
+
+
+def measured_store_slowdown(dram: Signature, slow: Signature) -> float:
+    """Ground-truth ``S_Store`` via the SB-full stall delta."""
+    if dram.cycles <= 0:
+        return 0.0
+    return (slow.s_sb - dram.s_sb) / dram.cycles

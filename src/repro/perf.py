@@ -1,0 +1,183 @@
+"""Linux-perf bridge: turn ``perf stat`` output into CounterSamples.
+
+On real hardware CAMP's inputs come from ``perf stat``; this module is
+the counter-plumbing layer that connects the two.  It provides:
+
+- :data:`EVENT_ALIASES` - the mapping from Intel event names (as they
+  appear in a perf event list) to the Table 5 counter ids;
+- :func:`perf_event_list` - the exact ``-e`` argument to profile a
+  workload for CAMP on a given platform family;
+- :func:`parse_perf_csv` - parse ``perf stat -x,`` (CSV) output into a
+  :class:`~repro.core.counters.CounterSample`;
+- :func:`profiled_run_from_perf` - the full
+  :class:`~repro.core.counters.ProfiledRun` record, ready for the
+  predictor.
+
+Only the parsing is exercised in this repository (no PMU here); the
+functions are deliberately free of any simulator dependency so they
+work unchanged next to a real ``perf``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .core.counters import Counter, CounterSample, ProfiledRun
+
+#: Intel event spellings -> CAMP counter ids.  Multiple aliases map to
+#: the same counter where perf exposes several spellings.
+EVENT_ALIASES: Dict[str, Counter] = {
+    "cycles": Counter.CYCLES,
+    "cpu-cycles": Counter.CYCLES,
+    "instructions": Counter.INSTRUCTIONS,
+    "cycle_activity.stalls_l1d_miss": Counter.STALLS_L1D_MISS,
+    "cycle_activity.stalls_l2_miss": Counter.STALLS_L2_MISS,
+    "cycle_activity.stalls_l3_miss": Counter.STALLS_L3_MISS,
+    "mem_load_retired.l1_miss": Counter.L1_MISS,
+    "mem_load_retired.fb_hit": Counter.LFB_HIT,
+    "exe_activity.bound_on_stores": Counter.BOUND_ON_STORES,
+    "ocr.hwpf_l1d.any_response": Counter.PF_L1D_ANY_RESPONSE,
+    "ocr.hwpf_l1d.l3_hit": Counter.PF_L1D_L3_HIT,
+    "ocr.hwpf_l2_rd.any_response": Counter.PF_L2_ANY_RESPONSE,
+    "ocr.hwpf_l2_rd.l3_hit": Counter.PF_L2_L3_HIT,
+    "offcore_requests_outstanding.demand_data_rd":
+        Counter.ORO_DEMAND_RD,
+    "offcore_requests.demand_data_rd": Counter.OR_DEMAND_RD,
+    "offcore_requests_outstanding.cycles_with_demand_data_rd":
+        Counter.ORO_CYC_W_DEMAND_RD,
+    "unc_cha_llc_lookup.data_read_pref": Counter.LLC_LOOKUP_PF_RD,
+    "unc_cha_llc_lookup.all": Counter.LLC_LOOKUP_ALL,
+    "unc_cha_tor_inserts.ia_miss_pref": Counter.TOR_INS_IA_PREF,
+    "unc_cha_tor_inserts.ia_hit_pref": Counter.TOR_INS_IA_HIT_PREF,
+    "unc_m_cas_count.rd": Counter.UNC_CAS_RD,
+    "unc_m_cas_count.wr": Counter.UNC_CAS_WR,
+}
+
+#: Events CAMP profiles per platform family (the 11/12-counter sets of
+#: the paper, plus the bandwidth-monitor CAS events).
+_SKX_EVENTS: Tuple[str, ...] = (
+    "cycles", "instructions",
+    "cycle_activity.stalls_l1d_miss",
+    "cycle_activity.stalls_l2_miss",
+    "cycle_activity.stalls_l3_miss",
+    "mem_load_retired.l1_miss",
+    "mem_load_retired.fb_hit",
+    "exe_activity.bound_on_stores",
+    "ocr.hwpf_l1d.any_response",
+    "ocr.hwpf_l1d.l3_hit",
+    "offcore_requests_outstanding.demand_data_rd",
+    "offcore_requests.demand_data_rd",
+    "offcore_requests_outstanding.cycles_with_demand_data_rd",
+    "unc_m_cas_count.rd", "unc_m_cas_count.wr",
+)
+
+_SPR_EVENTS: Tuple[str, ...] = (
+    "cycles", "instructions",
+    "cycle_activity.stalls_l1d_miss",
+    "cycle_activity.stalls_l2_miss",
+    "cycle_activity.stalls_l3_miss",
+    "mem_load_retired.l1_miss",
+    "mem_load_retired.fb_hit",
+    "exe_activity.bound_on_stores",
+    "offcore_requests_outstanding.demand_data_rd",
+    "offcore_requests.demand_data_rd",
+    "offcore_requests_outstanding.cycles_with_demand_data_rd",
+    "unc_cha_llc_lookup.data_read_pref",
+    "unc_cha_llc_lookup.all",
+    "unc_cha_tor_inserts.ia_miss_pref",
+    "unc_cha_tor_inserts.ia_hit_pref",
+    "unc_m_cas_count.rd", "unc_m_cas_count.wr",
+)
+
+
+def perf_event_list(platform_family: str) -> str:
+    """The comma-joined ``perf stat -e`` argument for a platform."""
+    family = platform_family.lower()
+    if family == "skx":
+        return ",".join(_SKX_EVENTS)
+    if family in ("spr", "emr"):
+        return ",".join(_SPR_EVENTS)
+    raise ValueError(f"unknown platform family: {platform_family!r}")
+
+
+def perf_command(platform_family: str, workload_argv: str,
+                 interval_ms: Optional[int] = None) -> str:
+    """A ready-to-run ``perf stat`` command line for CAMP profiling.
+
+    ``interval_ms`` enables windowed sampling for time-series
+    prediction (Fig. 8).
+    """
+    interval = f" -I {interval_ms}" if interval_ms else ""
+    return (f"perf stat -x, -e {perf_event_list(platform_family)}"
+            f"{interval} -- {workload_argv}")
+
+
+class PerfParseError(ValueError):
+    """Raised when perf output cannot be interpreted."""
+
+
+def _parse_count(field: str) -> Optional[float]:
+    text = field.strip().replace(",", "")
+    if not text or text in ("<not counted>", "<not supported>"):
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        raise PerfParseError(f"unparseable count field: {field!r}")
+
+
+def parse_perf_csv(text: str) -> CounterSample:
+    """Parse ``perf stat -x,`` CSV output into a counter sample.
+
+    Recognized lines look like ``<count>,,<event>,...``; unknown events
+    and non-matching lines (comments, blank lines, the elapsed-time
+    footer) are skipped.  Duplicate events accumulate, which is how
+    per-socket uncore counts aggregate.
+    """
+    values: Dict[Counter, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(",")
+        if len(fields) < 3:
+            continue
+        count = _parse_count(fields[0])
+        if count is None:
+            continue
+        event = fields[2].strip().lower()
+        # perf may suffix the event with a qualifier (":u", "/...").
+        event = event.split(":")[0].split("/")[0]
+        counter = EVENT_ALIASES.get(event)
+        if counter is None:
+            continue
+        values[counter] = values.get(counter, 0.0) + count
+    if Counter.CYCLES not in values:
+        raise PerfParseError(
+            "perf output contained no cycles event; was the event list "
+            "built with perf_event_list()?")
+    return CounterSample(values)
+
+
+def profiled_run_from_perf(text: str, platform_family: str,
+                           frequency_ghz: float, tier: str = "dram",
+                           duration_s: float = 0.0,
+                           label: str = "",
+                           window_texts: Iterable[str] = ()
+                           ) -> ProfiledRun:
+    """Build the model-facing record from raw perf output.
+
+    ``window_texts`` optionally carries per-interval CSV chunks (from
+    ``perf stat -I``) for time-series prediction.
+    """
+    windows: List[CounterSample] = [parse_perf_csv(chunk)
+                                    for chunk in window_texts]
+    return ProfiledRun(
+        sample=parse_perf_csv(text),
+        platform_family=platform_family,
+        tier=tier,
+        frequency_ghz=frequency_ghz,
+        duration_s=duration_s,
+        label=label,
+        windows=tuple(windows),
+    )

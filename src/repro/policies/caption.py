@@ -1,0 +1,71 @@
+"""Caption: coarse-grained interleaving-ratio search (MICRO'23 [46]).
+
+Caption tunes the DRAM:CXL page-interleaving ratio by *probing* a small
+set of candidate ratios online and keeping the one its latency/IPC
+heuristics score best.  Two structural limitations the paper exploits
+(section 6.2.3):
+
+- the search space is coarse (a handful of candidate ratios), so the
+  true optimum usually falls between grid points;
+- every probe executes a slice of the workload at a suboptimal ratio,
+  which costs real runtime.
+
+We reproduce both: the policy measures candidate ratios with short
+probe runs on the machine, picks the best *measured* candidate, and
+charges the probe slices' excess runtime as decision overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..uarch.interleave import Placement
+from .base import PolicyDecision, TieringContext, TieringPolicy
+
+#: Caption's candidate DRAM shares (coarse, as in the paper's critique).
+DEFAULT_CANDIDATES: Tuple[float, ...] = (1.0, 0.9, 0.8, 0.7, 0.5)
+
+#: Fraction of the run spent probing each candidate before converging.
+PROBE_SHARE = 0.04
+
+
+class Caption(TieringPolicy):
+    """Coarse online ratio search with probing overhead."""
+
+    name = "caption"
+
+    def __init__(self,
+                 candidates: Sequence[float] = DEFAULT_CANDIDATES,
+                 probe_share: float = PROBE_SHARE):
+        if not candidates:
+            raise ValueError("need at least one candidate ratio")
+        if not 0.0 <= probe_share < 1.0:
+            raise ValueError("probe share must be within [0, 1)")
+        self.candidates = tuple(sorted(set(candidates), reverse=True))
+        self.probe_share = probe_share
+
+    def decide(self, context: TieringContext) -> PolicyDecision:
+        machine, workload = context.machine, context.workload
+        cap = context.capacity_fraction
+
+        measured = []
+        for ratio in self.candidates:
+            x = min(ratio, cap)
+            placement = (Placement.dram_only() if x >= 1.0 else
+                         Placement.interleaved(x, context.device))
+            cycles = machine.run(workload, placement).cycles
+            measured.append((x, placement, cycles))
+
+        best_x, best_placement, best_cycles = min(measured,
+                                                  key=lambda t: t[2])
+        # Each probe slice runs `probe_share` of the work at its
+        # candidate's speed; the overhead is the excess over running
+        # those slices at the chosen ratio.
+        overhead = sum(
+            self.probe_share * max(0.0, cycles / best_cycles - 1.0)
+            for _, _, cycles in measured)
+        return PolicyDecision(
+            placement=best_placement,
+            runtime_overhead=overhead,
+            note=f"probed {len(measured)} ratios, kept x={best_x:.2f}",
+        )

@@ -1,0 +1,118 @@
+"""Colloid and Alto: latency-equalizing reactive tiering.
+
+**Colloid** (SOSP'24 [51]) migrates pages so that observed access
+latency is equal across tiers.  The paper's section 6.2.3 dissects why
+this is suboptimal under bandwidth pressure: equalizing latency pulls
+pages *into* DRAM until DRAM contention raises its latency to CXL's
+level - the opposite of what minimizes stalls.  (For 654.roms the paper
+measures Colloid at ~168/189 ns DRAM/CXL vs Best-shot's 139/191 ns.)
+
+We implement the decision rule faithfully: a bisection on the machine's
+steady-state per-tier latencies to find the request split where they
+match, plus continuous-migration overhead.  Hot pages migrate first, so
+the placement carries a hotness bias.
+
+**Alto** (OSDI'25 [38]) runs on top of Colloid but suppresses migration
+during high-MLP intervals, which damps the over-migration into DRAM and
+reduces migration traffic - slightly better than Colloid, still blind
+to aggregate bandwidth (section 6.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..uarch.interleave import Placement
+from .base import PolicyDecision, TieringContext, TieringPolicy
+
+#: Migration/monitoring runtime overhead of the reactive loop.
+COLLOID_OVERHEAD = 0.05
+ALTO_OVERHEAD = 0.03
+
+#: Hotness skew of migration-based placements (hot pages move first).
+MIGRATION_BIAS = 0.25
+
+#: Bisection iterations (latency difference is monotone in x).
+_BISECT_STEPS = 12
+
+
+def _latency_gap(context: TieringContext, x: float) -> Tuple[float, float]:
+    """(L_dram - L_slow, achieved x) at a candidate request split."""
+    placement = (Placement.dram_only() if x >= 1.0 else
+                 Placement(dram_fraction=x, device=context.device,
+                           hotness_bias=MIGRATION_BIAS))
+    result = context.machine.run(context.workload, placement)
+    slow_latency = result.slow_latency_ns
+    if slow_latency is None:
+        slow_latency = context.machine.idle_latency_ns(context.device)
+    return result.dram_latency_ns - slow_latency, x
+
+
+class Colloid(TieringPolicy):
+    """Latency-equalization tiering."""
+
+    name = "colloid"
+    runtime_overhead = COLLOID_OVERHEAD
+
+    def decide(self, context: TieringContext) -> PolicyDecision:
+        cap = context.capacity_fraction
+        hi = cap  # most-DRAM placement allowed
+        gap_hi, _ = _latency_gap(context, hi)
+        if gap_hi <= 0.0:
+            # DRAM latency below CXL even with everything local: the
+            # equilibrium is "all pages in DRAM (up to capacity)".
+            placement = (Placement.dram_only() if hi >= 1.0 else
+                         Placement(dram_fraction=hi,
+                                   device=context.device,
+                                   hotness_bias=MIGRATION_BIAS))
+            return PolicyDecision(
+                placement=placement,
+                runtime_overhead=self.runtime_overhead,
+                note=f"DRAM never slower; settled at x={hi:.2f}")
+
+        # DRAM is slower than CXL at max occupancy: back off until the
+        # latencies meet.
+        lo = 0.0
+        for _ in range(_BISECT_STEPS):
+            mid = 0.5 * (lo + hi)
+            gap, _ = _latency_gap(context, mid)
+            if gap > 0.0:
+                hi = mid
+            else:
+                lo = mid
+        x = 0.5 * (lo + hi)
+        return PolicyDecision(
+            placement=Placement(dram_fraction=x, device=context.device,
+                                hotness_bias=MIGRATION_BIAS),
+            runtime_overhead=self.runtime_overhead,
+            note=f"latency equalized at x={x:.2f}")
+
+
+class Alto(Colloid):
+    """Colloid with MLP-gated migration (less aggressive, cheaper).
+
+    Alto suppresses migrations while MLP is high, so under bandwidth
+    pressure it stops short of Colloid's full pull into DRAM: the
+    settled split lands between Colloid's equalization point and the
+    capacity-filling placement it started from, with lower overhead.
+    """
+
+    name = "alto"
+    runtime_overhead = ALTO_OVERHEAD
+
+    #: How far from Colloid's point toward the capacity fill Alto stops.
+    damping = 0.5
+
+    def decide(self, context: TieringContext) -> PolicyDecision:
+        colloid_decision = super().decide(context)
+        x_colloid = colloid_decision.placement.dram_fraction
+        cap = context.capacity_fraction
+        if x_colloid >= cap:
+            return colloid_decision
+        x = x_colloid + self.damping * (cap - x_colloid)
+        return PolicyDecision(
+            placement=Placement(dram_fraction=x, device=context.device,
+                                hotness_bias=MIGRATION_BIAS),
+            runtime_overhead=self.runtime_overhead,
+            note=(f"MLP-gated: settled at x={x:.2f} between colloid "
+                  f"{x_colloid:.2f} and capacity {cap:.2f}"))

@@ -1,0 +1,198 @@
+"""Fleet placement: CAMP-guided capacity planning (paper section 6.4).
+
+The paper's discussion points at CAMP's models enabling "offline
+capacity planning and resource management".  This module implements
+that use case: given a *fleet* of workloads and a machine with fixed
+fast-tier capacity, choose every workload's DRAM fraction to maximize
+predicted fleet throughput.
+
+Each workload's placement quality is summarized by its synthesized
+slowdown curve (section 5), evaluated at a discrete grid of DRAM
+fractions.  The assignment problem - pick one grid point per workload,
+subject to the shared fast-capacity budget - is a multiple-choice
+knapsack; since the per-workload value curves are monotone in capacity,
+a greedy marginal-utility algorithm is near-optimal and transparent:
+repeatedly grant one capacity quantum to whichever workload's predicted
+throughput gains most from it.
+
+Everything the planner consumes is DRAM-side profiling plus (for
+bandwidth-bound members) one slow-tier run - the same inputs Best-shot
+needs; no trial placement of the fleet ever executes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.calibration import Calibration
+from ..core.classify import classify
+from ..core.interleaving import InterleavingModel, synthesize
+from ..uarch.interleave import Placement
+from ..uarch.machine import Machine
+from ..workloads.spec import WorkloadSpec
+
+#: Capacity granularity: fraction of a workload's footprint granted
+#: per planning step.
+DEFAULT_QUANTUM = 0.05
+
+
+@dataclass(frozen=True)
+class FleetAssignment:
+    """One workload's planned placement."""
+
+    workload: str
+    footprint_gib: float
+    dram_fraction: float
+    predicted_slowdown: float
+    bandwidth_bound: bool
+
+    @property
+    def dram_gib(self) -> float:
+        return self.dram_fraction * self.footprint_gib
+
+    @property
+    def predicted_throughput(self) -> float:
+        """Normalized predicted throughput (1 = DRAM-only speed)."""
+        return 1.0 / (1.0 + max(self.predicted_slowdown, -0.5))
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """The planner's output for a whole fleet."""
+
+    assignments: Tuple[FleetAssignment, ...]
+    fast_capacity_gib: float
+
+    @property
+    def dram_used_gib(self) -> float:
+        return sum(a.dram_gib for a in self.assignments)
+
+    @property
+    def predicted_fleet_throughput(self) -> float:
+        """Sum of normalized throughputs (weighted-speedup style)."""
+        return sum(a.predicted_throughput for a in self.assignments)
+
+    def by_workload(self) -> Dict[str, FleetAssignment]:
+        return {a.workload: a for a in self.assignments}
+
+
+class FleetPlanner:
+    """Greedy marginal-utility capacity planner.
+
+    Parameters
+    ----------
+    machine, calibration:
+        Where profiling runs execute and the platform constants.
+    quantum:
+        Planning granularity as a footprint fraction per step.
+    """
+
+    def __init__(self, machine: Machine, calibration: Calibration,
+                 quantum: float = DEFAULT_QUANTUM):
+        if not 0.0 < quantum <= 0.5:
+            raise ValueError("quantum must be in (0, 0.5]")
+        self.machine = machine
+        self.calibration = calibration
+        self.quantum = quantum
+
+    def _model_for(self, workload: WorkloadSpec
+                   ) -> Tuple[InterleavingModel, bool]:
+        dram_profile = self.machine.profile(workload,
+                                            Placement.dram_only())
+        decision = classify(dram_profile,
+                            self.calibration.idle_latency_dram_ns)
+        slow_profile = None
+        if decision.is_bandwidth_bound:
+            slow_profile = self.machine.profile(
+                workload, Placement.slow_only(self.calibration.device))
+        return (synthesize(dram_profile, self.calibration,
+                           slow_profile),
+                decision.is_bandwidth_bound)
+
+    def plan(self, workloads: Sequence[WorkloadSpec],
+             fast_capacity_gib: float) -> FleetPlan:
+        """Plan placements for ``workloads`` under the capacity budget.
+
+        Raises :class:`ValueError` for an empty fleet or non-positive
+        capacity.  If capacity exceeds the fleet's total footprint,
+        every workload simply gets its *predicted-optimal* fraction
+        (which may be below 1.0 for bandwidth-bound members).
+        """
+        if not workloads:
+            raise ValueError("fleet must not be empty")
+        if fast_capacity_gib <= 0:
+            raise ValueError("fast capacity must be positive")
+
+        models: List[InterleavingModel] = []
+        bandwidth_flags: List[bool] = []
+        levels: List[np.ndarray] = []       # per-workload x grid
+        slowdowns: List[np.ndarray] = []    # predicted S at each level
+        for workload in workloads:
+            model, is_bw = self._model_for(workload)
+            models.append(model)
+            bandwidth_flags.append(is_bw)
+            grid = np.arange(0.0, 1.0 + 1e-9, self.quantum)
+            levels.append(grid)
+            slowdowns.append(np.array(
+                [model.predict(float(x)).total for x in grid]))
+
+        # Greedy marginal utility: start everyone at x = 0 and grant
+        # quanta to the workload whose next step gains the most
+        # predicted throughput per GiB.
+        index = [0] * len(workloads)
+        remaining = fast_capacity_gib
+
+        def throughput(i: int, level: int) -> float:
+            return 1.0 / (1.0 + max(slowdowns[i][level], -0.5))
+
+        def gain_per_gib(i: int) -> Optional[Tuple[float, float]]:
+            level = index[i]
+            if level + 1 >= len(levels[i]):
+                return None
+            cost = self.quantum * workloads[i].footprint_gib
+            if cost > remaining + 1e-9:
+                return None
+            gain = throughput(i, level + 1) - throughput(i, level)
+            return gain / cost, cost
+
+        heap: List[Tuple[float, int]] = []
+        for i in range(len(workloads)):
+            entry = gain_per_gib(i)
+            if entry is not None:
+                heapq.heappush(heap, (-entry[0], i))
+
+        while heap:
+            negative_gain, i = heapq.heappop(heap)
+            entry = gain_per_gib(i)
+            if entry is None:
+                continue
+            rate, cost = entry
+            if -negative_gain - rate > 1e-12:
+                # Stale heap entry; reinsert with the current rate.
+                heapq.heappush(heap, (-rate, i))
+                continue
+            if rate <= 0:
+                # No workload gains from more DRAM (bandwidth-bound
+                # members past their optima): stop granting.
+                break
+            index[i] += 1
+            remaining -= cost
+            refreshed = gain_per_gib(i)
+            if refreshed is not None:
+                heapq.heappush(heap, (-refreshed[0], i))
+
+        assignments = tuple(
+            FleetAssignment(
+                workload=w.name,
+                footprint_gib=w.footprint_gib,
+                dram_fraction=float(levels[i][index[i]]),
+                predicted_slowdown=float(slowdowns[i][index[i]]),
+                bandwidth_bound=bandwidth_flags[i],
+            )
+            for i, w in enumerate(workloads))
+        return FleetPlan(assignments=assignments,
+                         fast_capacity_gib=fast_capacity_gib)

@@ -1,0 +1,49 @@
+"""Static placement baselines: Linux 1:1 interleaving and first-touch.
+
+- **Interleave 1:1** (``MPOL_INTERLEAVE``): stripe pages evenly across
+  DRAM and the slow tier regardless of workload behaviour.  Good for
+  some bandwidth-bound workloads, harmful for latency-bound ones.
+- **First-touch**: pages land on DRAM until the fast budget is
+  exhausted, then spill to the slow tier; no migrations ever happen.
+  Allocation order is roughly access order for most programs, so the
+  spilled tail is slightly colder than average - a small hotness bias.
+"""
+
+from __future__ import annotations
+
+from ..uarch.interleave import Placement
+from .base import PolicyDecision, TieringContext, TieringPolicy
+
+#: Mild hotness skew of first-touch spill (early allocations are a bit
+#: hotter than the late tail that spills).
+FIRST_TOUCH_BIAS = 0.10
+
+
+class Interleave11(TieringPolicy):
+    """Linux default 1:1 page interleaving."""
+
+    name = "interleave-1:1"
+
+    def decide(self, context: TieringContext) -> PolicyDecision:
+        x = min(0.5, context.capacity_fraction)
+        return PolicyDecision(
+            placement=Placement.interleaved(x, context.device),
+            note="static 1:1 stripe",
+        )
+
+
+class FirstTouch(TieringPolicy):
+    """First-touch allocation without proactive migration."""
+
+    name = "first-touch"
+
+    def decide(self, context: TieringContext) -> PolicyDecision:
+        x = context.capacity_fraction
+        if x >= 1.0:
+            return PolicyDecision(placement=Placement.dram_only(),
+                                  note="fits in fast tier")
+        return PolicyDecision(
+            placement=Placement(dram_fraction=x, device=context.device,
+                                hotness_bias=FIRST_TOUCH_BIAS),
+            note=f"filled fast tier at x={x:.2f}",
+        )

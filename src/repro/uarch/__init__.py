@@ -1,0 +1,27 @@
+"""Simulated machine substrate: platforms, memory tiers, and the PMU.
+
+This package replaces the paper's physical testbeds (Table 3) and CXL
+devices (Table 4).  The public surface is:
+
+- :class:`~repro.uarch.machine.Machine` - run workloads, read counters;
+- :class:`~repro.uarch.interleave.Placement` - where the pages live;
+- the platform presets :data:`SKX2S`, :data:`SPR2S`, :data:`EMR2S` and
+  device presets :data:`NUMA`, :data:`CXL_A`, :data:`CXL_B`,
+  :data:`CXL_C`;
+- ground-truth helpers :func:`slowdown` and :func:`component_slowdowns`
+  (the Melody-style attribution CAMP's predictions are scored against).
+"""
+
+from .config import (CXL_A, CXL_B, CXL_C, DEVICES, EVALUATION_TIERS, NUMA,
+                     PLATFORMS, SKX2S, SPR2S, EMR2S, MemoryDeviceConfig,
+                     PlatformConfig, get_device, get_platform)
+from .interleave import Placement, request_share
+from .machine import Machine, RunResult, component_slowdowns, slowdown
+
+__all__ = [
+    "CXL_A", "CXL_B", "CXL_C", "DEVICES", "EVALUATION_TIERS", "NUMA",
+    "PLATFORMS", "SKX2S", "SPR2S", "EMR2S", "MemoryDeviceConfig",
+    "PlatformConfig", "get_device", "get_platform", "Placement",
+    "request_share", "Machine", "RunResult", "component_slowdowns",
+    "slowdown",
+]

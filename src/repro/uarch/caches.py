@@ -1,0 +1,94 @@
+"""Demand-side cache hierarchy accounting.
+
+Turns a :class:`~repro.workloads.spec.WorkloadSpec` plus a platform's
+cache geometry into per-level demand miss counts.  This is deliberately
+an *accounting* model, not a trace-driven cache simulator: the paper's
+workload population is characterized by measured hit rates, and what the
+downstream pipeline model needs is exactly those rates.
+
+The one platform-dependent effect that matters for CAMP's cross-platform
+claims is LLC capacity: workloads with reuse (``llc_sensitivity > 0``)
+convert more LLC misses into hits on SPR/EMR's much larger caches, which
+changes both absolute slowdown and its decomposition - see
+:meth:`repro.workloads.spec.WorkloadSpec.l3_hit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.spec import WorkloadSpec
+from .config import PlatformConfig
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """Demand-load flow through the cache hierarchy (whole-run counts)."""
+
+    #: Retired demand loads.
+    loads: float
+    #: Loads missing L1D in total (issued + LFB-coalesced).
+    l1_misses: float
+    #: L1-missing loads that hit an in-flight line in the LFB (P5).
+    lfb_hits: float
+    #: L1-missing loads that allocated a new LFB entry (P4).
+    l1_miss_issued: float
+    #: Demand reads missing L2 (reaching the LLC).
+    l2_misses: float
+    #: Effective LLC hit rate on this platform.
+    l3_hit_rate: float
+    #: Demand reads that would reach memory with prefetching disabled.
+    mem_reads_potential: float
+    #: Retired stores and the subset whose RFO must go to memory.
+    stores: float
+    store_mem_rfos: float
+
+    def __post_init__(self):
+        for name in ("loads", "l1_misses", "lfb_hits", "l1_miss_issued",
+                     "l2_misses", "mem_reads_potential", "stores",
+                     "store_mem_rfos"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.l3_hit_rate <= 1.0:
+            raise ValueError("l3_hit_rate must be within [0, 1]")
+
+    @property
+    def lfb_hit_ratio(self) -> float:
+        """The paper's R_LFB-hit: P5 / (P4 + P5)."""
+        denom = self.lfb_hits + self.l1_miss_issued
+        if denom <= 0:
+            return 0.0
+        return self.lfb_hits / denom
+
+
+def demand_profile(spec: WorkloadSpec,
+                   platform: PlatformConfig) -> DemandProfile:
+    """Account demand loads and stores through the cache hierarchy.
+
+    Flow: loads -> L1 (hit / miss) -> miss either coalesces onto an
+    in-flight LFB line (``same_line_ratio``) or allocates an entry and
+    probes L2 -> L3 -> memory.  Stores are tracked only for their
+    memory-RFO subset, which is what drives Store Buffer backpressure.
+    """
+    loads = spec.loads
+    l1_misses = loads * (1.0 - spec.l1_hit)
+    lfb_hits = l1_misses * spec.same_line_ratio
+    l1_miss_issued = l1_misses - lfb_hits
+    l2_misses = l1_miss_issued * (1.0 - spec.l2_hit)
+    l3_hit_rate = spec.l3_hit(platform.llc_mib)
+    mem_reads_potential = l2_misses * (1.0 - l3_hit_rate)
+
+    stores = spec.stores
+    store_mem_rfos = stores * spec.store_miss_ratio
+
+    return DemandProfile(
+        loads=loads,
+        l1_misses=l1_misses,
+        lfb_hits=lfb_hits,
+        l1_miss_issued=l1_miss_issued,
+        l2_misses=l2_misses,
+        l3_hit_rate=l3_hit_rate,
+        mem_reads_potential=mem_reads_potential,
+        stores=stores,
+        store_mem_rfos=store_mem_rfos,
+    )

@@ -1,0 +1,439 @@
+"""The simulated machine: platform + memory tiers + PMU, with a
+closed-loop performance solver.
+
+:class:`Machine` is the substrate's public facade and plays the role the
+physical testbeds play in the paper: you hand it a workload and a
+placement, it "executes" the workload and returns a :class:`RunResult`
+with the cycle breakdown, achieved bandwidths/latencies, and the Table 5
+PMU counter sample a perf wrapper would have collected.
+
+The performance solve is a closed loop between the core and the memory
+system: stall cycles depend on memory latency, memory latency depends on
+per-tier utilization, and utilization depends on runtime (hence on stall
+cycles).  ``Machine.run`` iterates this loop - damped - to a fixed
+point, which is exactly the steady state a real machine settles into.
+This is what produces the paper's two interleaving regimes without any
+special-casing: low-traffic workloads keep idle latency at every ratio
+(linear slowdown in ``1-x``), while bandwidth-bound workloads trade DRAM
+queueing against CXL latency and develop the convex "bathtub" curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.counters import CounterSample, ProfiledRun
+from ..workloads.spec import WorkloadSpec
+from .caches import DemandProfile, demand_profile
+from .config import (DEVICES, MemoryDeviceConfig, PlatformConfig,
+                     get_device)
+from .core import CycleBreakdown, LatencyContext, account_cycles
+from .interleave import Placement, request_share
+from .memory import (TierLoad, loaded_latency_ns, measure_idle_latency_ns,
+                     rfo_latency_ns, updated_escalation,
+                     utilization_for_bandwidth)
+from .pmu import DEFAULT_NOISE, emit_counters
+from .prefetcher import PrefetchProfile, prefetch_profile
+
+#: Latency of near (uncore / memory-controller buffer) hits, tier
+#: independent - the absorption mechanism behind the paper's Fig. 4d.
+NEAR_BUFFER_LATENCY_NS = 45.0
+
+#: Dirty demand lines written back per demand memory read.
+DEMAND_WRITEBACK_RATIO = 0.10
+
+_MAX_OUTER_ITERATIONS = 600
+_OUTER_TOLERANCE = 1e-9
+_OUTER_DAMPING = 0.35
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one simulated execution produced.
+
+    ``counters`` is what a profiler sees; the remaining fields are
+    ground truth that only the simulator (or the paper's authors with
+    both DRAM and CXL runs) can observe.
+    """
+
+    workload: WorkloadSpec
+    placement: Placement
+    platform: PlatformConfig
+    breakdown: CycleBreakdown
+    demand: DemandProfile
+    prefetch: PrefetchProfile
+    counters: CounterSample
+    #: Mean latencies the run experienced (ns).
+    observed_read_ns: float
+    tier_read_ns: float
+    rfo_ns: float
+    #: Loaded per-tier read latencies (ns); slow is None for DRAM-only.
+    dram_latency_ns: float
+    slow_latency_ns: Optional[float]
+    #: Per-tier achieved traffic (GB/s) and utilization for this
+    #: workload alone (excluding colocated external traffic).
+    dram_gbps: float
+    slow_gbps: float
+    dram_utilization: float
+    slow_utilization: float
+    #: Wall-clock runtime (s).
+    runtime_s: float
+    #: Whether the outer closed loop converged.
+    converged: bool
+
+    @property
+    def cycles(self) -> float:
+        """Per-core execution cycles (the models' ``c``)."""
+        return self.breakdown.cycles
+
+    @property
+    def ipc(self) -> float:
+        per_core_instructions = self.workload.instructions / \
+            self.workload.threads
+        return per_core_instructions / self.cycles
+
+    @property
+    def total_gbps(self) -> float:
+        return self.dram_gbps + self.slow_gbps
+
+    def profiled(self, windows: Tuple[CounterSample, ...] = ()
+                 ) -> ProfiledRun:
+        """Repackage as the profiling record CAMP's models consume."""
+        if self.placement.is_dram_only:
+            tier = "dram"
+        elif self.placement.is_slow_only:
+            tier = self.placement.device or "slow"
+        else:
+            tier = self.placement.describe()
+        return ProfiledRun(
+            sample=self.counters,
+            platform_family=self.platform.family,
+            tier=tier,
+            frequency_ghz=self.platform.frequency_ghz,
+            duration_s=self.runtime_s,
+            label=self.workload.name,
+            windows=windows,
+        )
+
+
+def slowdown(baseline: RunResult, target: RunResult) -> float:
+    """Ground-truth slowdown of ``target`` relative to ``baseline``.
+
+    ``(c_target - c_baseline) / c_baseline``: 0 means identical runtime,
+    0.5 means 50% more cycles, negative means the target configuration
+    is *faster* (bandwidth-bound workloads under good interleaving).
+    """
+    return (target.cycles - baseline.cycles) / baseline.cycles
+
+
+def component_slowdowns(baseline: RunResult,
+                        target: RunResult) -> Dict[str, float]:
+    """Melody-style attribution: per-component slowdown contributions.
+
+    Requires both runs (this is the attribution CAMP replaces with
+    prediction).  Components sum to the total slowdown up to measurement
+    noise, since base cycles are latency-invariant.
+    """
+    c = baseline.cycles
+    return {
+        "drd": (target.breakdown.s_llc - baseline.breakdown.s_llc) / c,
+        "cache": (target.breakdown.s_cache -
+                  baseline.breakdown.s_cache) / c,
+        "store": (target.breakdown.s_sb - baseline.breakdown.s_sb) / c,
+    }
+
+
+@dataclass
+class _SolverState:
+    """Mutable latency state threaded through the outer fixed point."""
+
+    dram_latency_ns: float
+    slow_latency_ns: float
+    dram_rfo_ns: float
+    slow_rfo_ns: float
+    dram_escalation: float = 1.0
+    slow_escalation: float = 1.0
+
+
+class Machine:
+    """A simulated server: one platform, its DRAM, and the slow tiers.
+
+    Parameters
+    ----------
+    platform:
+        A :class:`~repro.uarch.config.PlatformConfig` (e.g. ``SKX2S``).
+    devices:
+        Slow-tier devices reachable from this machine, keyed by name.
+        Defaults to the paper's four evaluation tiers.
+    noise:
+        Relative PMU measurement noise (sigma); 0 disables it.
+    seed:
+        Varies the deterministic noise stream (distinct "runs").
+    """
+
+    def __init__(self, platform: PlatformConfig,
+                 devices: Optional[Mapping[str, MemoryDeviceConfig]] = None,
+                 noise: float = DEFAULT_NOISE, seed: int = 0):
+        self.platform = platform
+        self.devices: Dict[str, MemoryDeviceConfig] = dict(
+            devices if devices is not None else DEVICES)
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.noise = noise
+        self.seed = seed
+
+    # -- probes -------------------------------------------------------------
+    def device(self, name: str) -> MemoryDeviceConfig:
+        """Resolve a tier name ("dram" or a slow-device name)."""
+        if name == "dram":
+            return self.platform.dram
+        if name in self.devices:
+            return self.devices[name]
+        return get_device(name)
+
+    def idle_latency_ns(self, tier: str) -> float:
+        """Intel-MLC-style unloaded latency probe for a tier."""
+        return measure_idle_latency_ns(self.device(tier))
+
+    # -- execution -----------------------------------------------------------
+    def run(self, workload: WorkloadSpec,
+            placement: Optional[Placement] = None,
+            external_traffic: Optional[Mapping[str, float]] = None
+            ) -> RunResult:
+        """Execute ``workload`` under ``placement`` and return the result.
+
+        ``external_traffic`` maps tier names to GB/s of traffic from
+        colocated workloads; it raises tier utilization (and therefore
+        latency) without contributing to this workload's counters.
+        """
+        placement = placement or Placement.dram_only()
+        external = dict(external_traffic or {})
+
+        dram_dev = self.platform.dram
+        slow_dev = placement.slow_device()
+        x_req = request_share(placement, workload.name,
+                              workload.hotness_skew)
+
+        demand = demand_profile(workload, self.platform)
+        idle_dram = dram_dev.idle_latency_ns
+
+        state = _SolverState(
+            dram_latency_ns=idle_dram,
+            slow_latency_ns=(slow_dev.idle_latency_ns if slow_dev else
+                             idle_dram),
+            dram_rfo_ns=idle_dram * dram_dev.rfo_latency_factor,
+            slow_rfo_ns=((slow_dev.idle_latency_ns *
+                          slow_dev.rfo_latency_factor) if slow_dev else
+                         idle_dram),
+        )
+
+        breakdown: Optional[CycleBreakdown] = None
+        prefetch: Optional[PrefetchProfile] = None
+        dram_gbps = slow_gbps = 0.0
+        converged = False
+
+        for _ in range(_MAX_OUTER_ITERATIONS):
+            tier_read = (x_req * state.dram_latency_ns +
+                         (1.0 - x_req) * state.slow_latency_ns)
+            observed = (workload.near_buffer_hit * NEAR_BUFFER_LATENCY_NS +
+                        (1.0 - workload.near_buffer_hit) * tier_read)
+            rfo = (x_req * state.dram_rfo_ns +
+                   (1.0 - x_req) * state.slow_rfo_ns)
+
+            prefetch = prefetch_profile(workload, demand, tier_read)
+            latency = LatencyContext(
+                observed_read_ns=observed,
+                tier_read_ns=tier_read,
+                rfo_ns=rfo,
+                reference_idle_ns=idle_dram,
+            )
+            breakdown = account_cycles(workload, self.platform, demand,
+                                       prefetch, latency)
+
+            runtime_s = breakdown.cycles / (
+                self.platform.frequency_ghz * 1e9)
+            lines = (prefetch.demand_mem_reads + prefetch.pf_mem_reads +
+                     demand.store_mem_rfos +
+                     demand.store_mem_rfos +  # RFO read + writeback
+                     DEMAND_WRITEBACK_RATIO * prefetch.demand_mem_reads)
+            total_gbps = lines * 64.0 / runtime_s / 1e9
+
+            dram_gbps = total_gbps * x_req
+            slow_gbps = total_gbps * (1.0 - x_req)
+
+            dram_offered = dram_gbps + external.get("dram", 0.0)
+            dram_util = utilization_for_bandwidth(dram_dev, dram_offered)
+            state.dram_escalation = updated_escalation(
+                state.dram_escalation, dram_dev, dram_offered)
+            new_dram = loaded_latency_ns(
+                dram_dev, dram_util, 0.0) * state.dram_escalation
+            new_dram_rfo = rfo_latency_ns(
+                dram_dev, dram_util, 0.0) * state.dram_escalation
+            if slow_dev is not None:
+                slow_offered = slow_gbps + external.get(slow_dev.name, 0.0)
+                slow_util = utilization_for_bandwidth(slow_dev,
+                                                      slow_offered)
+                state.slow_escalation = updated_escalation(
+                    state.slow_escalation, slow_dev, slow_offered)
+                new_slow = loaded_latency_ns(
+                    slow_dev, slow_util,
+                    workload.tail_sensitivity) * state.slow_escalation
+                new_slow_rfo = rfo_latency_ns(
+                    slow_dev, slow_util,
+                    workload.tail_sensitivity) * state.slow_escalation
+            else:
+                new_slow, new_slow_rfo = state.slow_latency_ns, \
+                    state.slow_rfo_ns
+
+            delta = (abs(new_dram - state.dram_latency_ns) +
+                     abs(new_slow - state.slow_latency_ns))
+            scale = state.dram_latency_ns + state.slow_latency_ns
+            state.dram_latency_ns += _OUTER_DAMPING * (
+                new_dram - state.dram_latency_ns)
+            state.slow_latency_ns += _OUTER_DAMPING * (
+                new_slow - state.slow_latency_ns)
+            state.dram_rfo_ns += _OUTER_DAMPING * (
+                new_dram_rfo - state.dram_rfo_ns)
+            state.slow_rfo_ns += _OUTER_DAMPING * (
+                new_slow_rfo - state.slow_rfo_ns)
+            if delta <= _OUTER_TOLERANCE * scale:
+                converged = True
+                break
+
+        assert breakdown is not None and prefetch is not None
+
+        tier_read = (x_req * state.dram_latency_ns +
+                     (1.0 - x_req) * state.slow_latency_ns)
+        observed = (workload.near_buffer_hit * NEAR_BUFFER_LATENCY_NS +
+                    (1.0 - workload.near_buffer_hit) * tier_read)
+        rfo = (x_req * state.dram_rfo_ns +
+               (1.0 - x_req) * state.slow_rfo_ns)
+        runtime_s = breakdown.cycles / (self.platform.frequency_ghz * 1e9)
+
+        tier_label = placement.describe()
+        counters = emit_counters(workload, self.platform, demand, prefetch,
+                                 breakdown, tier_label, noise=self.noise,
+                                 seed=self.seed)
+
+        dram_util = utilization_for_bandwidth(
+            dram_dev, dram_gbps + external.get("dram", 0.0))
+        slow_util = 0.0
+        slow_latency: Optional[float] = None
+        if slow_dev is not None:
+            slow_util = utilization_for_bandwidth(
+                slow_dev, slow_gbps + external.get(slow_dev.name, 0.0))
+            slow_latency = state.slow_latency_ns
+
+        return RunResult(
+            workload=workload,
+            placement=placement,
+            platform=self.platform,
+            breakdown=breakdown,
+            demand=demand,
+            prefetch=prefetch,
+            counters=counters,
+            observed_read_ns=observed,
+            tier_read_ns=tier_read,
+            rfo_ns=rfo,
+            dram_latency_ns=state.dram_latency_ns,
+            slow_latency_ns=slow_latency,
+            dram_gbps=dram_gbps,
+            slow_gbps=slow_gbps,
+            dram_utilization=dram_util,
+            slow_utilization=slow_util,
+            runtime_s=runtime_s,
+            converged=converged and breakdown.converged,
+        )
+
+    def profile(self, workload: WorkloadSpec,
+                placement: Optional[Placement] = None) -> ProfiledRun:
+        """Run and return only what a perf wrapper would capture."""
+        return self.run(workload, placement).profiled()
+
+    def profile_phased(self, phased, placement: Optional[Placement] = None
+                       ) -> ProfiledRun:
+        """Profile a phased workload window by window (Fig. 8 style).
+
+        ``phased`` is a :class:`~repro.workloads.phases.PhasedWorkload`.
+        Each phase executes under the same placement and contributes
+        one per-window :class:`~repro.core.counters.CounterSample`; the
+        aggregate sample is their counter-wise sum, exactly what a
+        whole-run perf session would have recorded over the sampling
+        windows.
+        """
+        windows = []
+        results = []
+        for window in phased.windows():
+            result = self.run(window, placement)
+            results.append(result)
+            windows.append(result.counters)
+        merged = windows[0]
+        for sample in windows[1:]:
+            merged = merged.merged(sample)
+        reference = results[0].profiled()
+        return ProfiledRun(
+            sample=merged,
+            platform_family=reference.platform_family,
+            tier=reference.tier,
+            frequency_ghz=reference.frequency_ghz,
+            duration_s=sum(result.runtime_s for result in results),
+            label=phased.name,
+            windows=tuple(windows),
+        )
+
+    # -- colocation -----------------------------------------------------------
+    def run_colocated(self, jobs: Sequence[Tuple[WorkloadSpec, Placement]],
+                      max_iterations: int = 120,
+                      tolerance: float = 1e-6) -> List[RunResult]:
+        """Execute several workloads sharing this machine's memory.
+
+        Solves the joint steady state: each workload's traffic raises
+        tier utilization for everyone, which feeds back into everyone's
+        latency and runtime.  Returns one :class:`RunResult` per job, in
+        order; each result's counters reflect the interference.
+        """
+        if not jobs:
+            return []
+        traffic: List[Dict[str, float]] = [dict() for _ in jobs]
+        results: List[RunResult] = []
+        for _ in range(max_iterations):
+            results = []
+            new_traffic: List[Dict[str, float]] = []
+            for index, (workload, placement) in enumerate(jobs):
+                external: Dict[str, float] = {}
+                for other_index, other in enumerate(traffic):
+                    if other_index == index:
+                        continue
+                    for tier, gbps in other.items():
+                        external[tier] = external.get(tier, 0.0) + gbps
+                result = self.run(workload, placement,
+                                  external_traffic=external)
+                results.append(result)
+                contribution: Dict[str, float] = {
+                    "dram": result.dram_gbps}
+                if placement.device is not None:
+                    contribution[placement.device] = result.slow_gbps
+                new_traffic.append(contribution)
+
+            worst = 0.0
+            for old, new in zip(traffic, new_traffic):
+                tiers = set(old) | set(new)
+                for tier in tiers:
+                    prev = old.get(tier, 0.0)
+                    curr = new.get(tier, 0.0)
+                    worst = max(worst,
+                                abs(curr - prev) / max(1.0, curr, prev))
+            damped: List[Dict[str, float]] = []
+            for old, new in zip(traffic, new_traffic):
+                tiers = set(old) | set(new)
+                damped.append({
+                    tier: old.get(tier, 0.0) + _OUTER_DAMPING * (
+                        new.get(tier, 0.0) - old.get(tier, 0.0))
+                    for tier in tiers
+                })
+            traffic = damped
+            if worst <= tolerance:
+                break
+        return results

@@ -1,0 +1,173 @@
+"""Simulated Performance Monitoring Unit.
+
+Maps the machine model's internal cycle accounting onto the Table 5
+counters (:class:`repro.core.counters.Counter`), producing the
+:class:`~repro.core.counters.CounterSample` that CAMP consumes - the
+same interface a Linux-perf wrapper provides on real hardware.
+
+Counters are reported *aggregated across the workload's threads* (the
+``perf stat`` default).  Per-cycle quantities (CYCLES, stall cycles,
+occupancy integrals) therefore sum over cores too; every CAMP model
+works on ratios, so the convention only needs to be consistent - and
+aggregate counts are what bandwidth-style metrics need.
+
+Measurement noise
+-----------------
+Real counter reads jitter run to run.  :func:`emit_counters` applies a
+small deterministic multiplicative perturbation to every counter, seeded
+by (workload, tier, counter): repeatable experiments, but no artificial
+exactness for the prediction models to exploit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict
+
+from ..core.counters import Counter, CounterSample
+from ..workloads.spec import WorkloadSpec
+from .caches import DemandProfile
+from .config import PlatformConfig
+from .core import CycleBreakdown
+from .prefetcher import PrefetchProfile
+
+#: Default relative noise (sigma) applied to each counter.
+DEFAULT_NOISE = 0.004
+
+#: Fraction of cache stalls that leak into the next-lower stall counter
+#: (counter taxonomies on real PMUs are never perfectly clean).
+_STALL_LEAK = 0.05
+
+#: Cycles of short-stall exposure per L1-miss-to-L2-hit access, modelling
+#: the small L1-level stall component that exists on every platform.
+_L1_LEVEL_STALL_CYCLES = 1.2
+
+
+def _noise_factor(sigma: float, *key_parts: str) -> float:
+    """Deterministic ~N(1, sigma) multiplicative factor from a key."""
+    if sigma <= 0:
+        return 1.0
+    digest = hashlib.sha256("|".join(key_parts).encode()).digest()
+    u1 = max(int.from_bytes(digest[0:8], "big") / float(1 << 64), 1e-12)
+    u2 = int.from_bytes(digest[8:16], "big") / float(1 << 64)
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    # Clamp at 4 sigma: counters never go negative from jitter.
+    z = max(-4.0, min(4.0, z))
+    return max(0.0, 1.0 + sigma * z)
+
+
+def emit_counters(spec: WorkloadSpec, platform: PlatformConfig,
+                  demand: DemandProfile, prefetch: PrefetchProfile,
+                  breakdown: CycleBreakdown, tier_label: str,
+                  noise: float = DEFAULT_NOISE,
+                  seed: int = 0) -> CounterSample:
+    """Render one run's internals as a per-core Table 5 counter sample."""
+    threads = spec.threads
+
+    # Demand-load retirement counters.  A timely L1-prefetched line
+    # turns the demand access into an L1 *hit* (neither P4 nor P5); a
+    # late prefetch leaves the line in flight, so the load counts as an
+    # LFB hit (P5).  Rising latency converts timely hits into LFB hits
+    # - the paper's Fig. 5 mechanism: LFB hits grow and L1 hit rate
+    # falls together on slow tiers.
+    late_covered = prefetch.covered * prefetch.late_fraction
+    timely_l1_covered = (prefetch.covered *
+                         (1.0 - prefetch.late_fraction) *
+                         spec.pf_l1_share)
+    lfb_hit = (demand.lfb_hits + late_covered) / threads
+    l1_miss = max(0.0, demand.l1_miss_issued - late_covered -
+                  timely_l1_covered) / threads
+
+    # Stall-cycle taxonomy.  The latency-sensitive prefetch stalls
+    # (s_cache) manifest at the L1 level on SKX (the paper's S_Cache
+    # uses P1-P2 there) and at the L2 level on SPR/EMR (P2-P3).  Each
+    # band also carries its latency-insensitive mass: short stalls on
+    # L2 hits (L1-miss band) and on L3 hits (L2-miss band) - real
+    # counters never isolate the tier-sensitive part, which is why
+    # Eq. 6 needs the R_LFB-hit x R_Mem weighting.
+    s_llc = breakdown.s_llc
+    s_cache = breakdown.s_cache
+    l1_level = (demand.l1_miss_issued / threads) * _L1_LEVEL_STALL_CYCLES \
+        * spec.stall_exposure / max(2.0, breakdown.mlp_effective)
+    if platform.family == "skx":
+        stalls_l3 = s_llc
+        stalls_l2 = s_llc + breakdown.s_l3_hit + _STALL_LEAK * s_cache
+        stalls_l1 = (stalls_l2 + (1.0 - _STALL_LEAK) * s_cache +
+                     breakdown.s_l2_hit + l1_level)
+    else:
+        stalls_l3 = s_llc
+        stalls_l2 = (s_llc + breakdown.s_l3_hit +
+                     (1.0 - _STALL_LEAK) * s_cache)
+        stalls_l1 = (stalls_l2 + l1_level + breakdown.s_l2_hit +
+                     _STALL_LEAK * s_cache)
+
+    # Offcore demand-read counters (Little's-law triple).  Real Intel
+    # OFFCORE_REQUESTS* events count every demand read leaving the L2 -
+    # L3 hits included - so the observed offcore latency (P11/P12) is a
+    # blend of LLC-hit latency and memory latency.  Only the L3-hit
+    # reads the prefetchers did NOT cover reach offcore as demand
+    # (covered lines are L1/L2 hits by the time the load retires).
+    demand_l3_hits = (demand.l2_misses * demand.l3_hit_rate *
+                      (1.0 - spec.pf_friend)) / threads
+    demand_mem = prefetch.demand_mem_reads / threads
+    demand_reads = demand_mem + demand_l3_hits
+    llc_cycles = platform.ns_to_cycles(platform.llc_latency_ns)
+    l3_hit_occupancy = demand_l3_hits * llc_cycles
+    outstanding = (breakdown.mlp_effective * breakdown.memory_active +
+                   l3_hit_occupancy)
+    memory_active = (breakdown.memory_active +
+                     l3_hit_occupancy / breakdown.mlp_effective)
+
+    # Uncore lookup counters (SPR/EMR R_Mem proxy).
+    pf_l1_any = prefetch.pf_l1_any / threads
+    pf_l1_l3_hit = prefetch.pf_l1_l3_hit / threads
+    pf_l2_any = prefetch.pf_l2_any / threads
+    pf_l2_l3_hit = prefetch.pf_l2_l3_hit / threads
+    pf_lookups = pf_l1_any + pf_l2_any
+    # Demand LLC lookups: the demand reads that actually reach offcore
+    # (prefetch-covered lines hit L1/L2 and never look up the LLC as
+    # demand).  P15 uses the CHA lookup event's data-read filtering
+    # (RFOs excluded) - with write lookups included, the R_Mem proxy
+    # of section 4.4.3 collapses for store-bearing streamers.
+    all_lookups = pf_lookups + demand_l3_hits + demand_mem
+    tor_pref_miss = prefetch.pf_mem_reads / threads
+    tor_pref_hit = pf_l1_l3_hit + pf_l2_l3_hit
+
+    # Uncore CAS (bandwidth-monitor) counters: every line moved to or
+    # from memory, reads and writes separately.
+    cas_rd = (demand_mem + prefetch.pf_mem_reads / threads +
+              demand.store_mem_rfos / threads)
+    cas_wr = (demand.store_mem_rfos / threads +
+              0.10 * demand_mem)  # writebacks (DEMAND_WRITEBACK_RATIO)
+
+    raw: Dict[Counter, float] = {
+        Counter.CYCLES: breakdown.cycles,
+        Counter.UNC_CAS_RD: cas_rd,
+        Counter.UNC_CAS_WR: cas_wr,
+        Counter.INSTRUCTIONS: spec.instructions / threads,
+        Counter.STALLS_L1D_MISS: stalls_l1,
+        Counter.STALLS_L2_MISS: stalls_l2,
+        Counter.STALLS_L3_MISS: stalls_l3,
+        Counter.L1_MISS: l1_miss,
+        Counter.LFB_HIT: lfb_hit,
+        Counter.BOUND_ON_STORES: breakdown.s_sb,
+        Counter.PF_L1D_ANY_RESPONSE: pf_l1_any,
+        Counter.PF_L1D_L3_HIT: pf_l1_l3_hit,
+        Counter.PF_L2_ANY_RESPONSE: pf_l2_any,
+        Counter.PF_L2_L3_HIT: pf_l2_l3_hit,
+        Counter.ORO_DEMAND_RD: outstanding,
+        Counter.OR_DEMAND_RD: demand_reads,
+        Counter.ORO_CYC_W_DEMAND_RD: memory_active,
+        Counter.LLC_LOOKUP_PF_RD: pf_lookups,
+        Counter.LLC_LOOKUP_ALL: all_lookups,
+        Counter.TOR_INS_IA_PREF: tor_pref_miss,
+        Counter.TOR_INS_IA_HIT_PREF: tor_pref_hit,
+    }
+
+    noisy = {
+        counter: value * threads * _noise_factor(
+            noise, spec.name, tier_label, counter.value, str(seed))
+        for counter, value in raw.items()
+    }
+    return CounterSample(noisy)

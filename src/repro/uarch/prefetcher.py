@@ -1,0 +1,156 @@
+"""Hardware prefetcher model: coverage, traffic, and timeliness.
+
+The paper's S_Cache component comes from prefetchers losing timeliness as
+memory latency grows (section 4.2): a prefetch issued ``lookahead`` ns
+before the demand access needs its line arrives ``latency`` ns later, so
+any latency beyond the lookahead leaves the demand access waiting on an
+in-flight LFB/SQ entry.  On CXL the L2 prefetcher additionally fails to
+look far enough ahead, pushing traffic onto the L1 prefetcher path.
+
+This module computes, per run:
+
+- which fraction of would-be demand memory reads the prefetchers cover,
+- how much memory traffic the prefetchers generate (including wasted
+  fetches),
+- the expected *residual wait* a demand access suffers on a late
+  prefetch, given the tier's read latency.
+
+Timeliness uses a dispersed-lookahead model: individual prefetches have
+runway uniformly distributed in ``[0.5, 1.5] * lookahead``, which smooths
+the late/timely threshold exactly the way real access streams do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.spec import WorkloadSpec
+from .caches import DemandProfile
+
+#: Fraction of prefetched lines that are never used (overshoot past the
+#: end of streams, wrong-path strides).  Constant across tiers; the
+#: paper's R_Mem signal is about where prefetches go, not their accuracy.
+PREFETCH_WASTE_RATIO = 0.15
+
+#: On slow tiers the L2 prefetcher progressively yields to the L1
+#: prefetcher issuing directly to the uncore (paper 4.2.1).  This is the
+#: maximum share of L2-prefetch traffic that shifts to the L1 path when
+#: latency far exceeds the lookahead runway.
+L2_TO_L1_SHIFT_MAX = 0.45
+
+
+@dataclass(frozen=True)
+class PrefetchProfile:
+    """Prefetch flow for one run on one memory configuration."""
+
+    #: Demand memory reads covered (converted to cache/LFB hits).
+    covered: float
+    #: Demand reads still going to memory as demand (offcore) reads.
+    demand_mem_reads: float
+    #: Prefetch requests fetching from memory (useful + wasted).
+    pf_mem_reads: float
+    #: Memory-bound prefetch traffic split by issuing prefetcher.
+    pf_l1_mem: float
+    pf_l2_mem: float
+    #: Offcore L1-prefetch requests: any response (P7) and L3 hits (P8).
+    pf_l1_any: float
+    pf_l1_l3_hit: float
+    #: Offcore L2-prefetch requests: any response (P9) and L3 hits (P10).
+    pf_l2_any: float
+    pf_l2_l3_hit: float
+    #: Expected residual wait (ns) per covered line at this latency.
+    late_wait_ns: float
+    #: Fraction of covered lines arriving late at all.
+    late_fraction: float
+
+    def __post_init__(self):
+        for name in ("covered", "demand_mem_reads", "pf_mem_reads",
+                     "pf_l1_mem", "pf_l2_mem", "pf_l1_any", "pf_l1_l3_hit",
+                     "pf_l2_any", "pf_l2_l3_hit", "late_wait_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.late_fraction <= 1.0:
+            raise ValueError("late_fraction must be within [0, 1]")
+
+
+def expected_late_wait_ns(latency_ns: float, lookahead_ns: float) -> float:
+    """E[max(0, latency - runway)] with runway ~ U[0, 2] * lookahead.
+
+    The runway - how far ahead of its consumer each individual prefetch
+    is issued - spreads from "just issued" to twice the mean lookahead.
+    Piecewise closed form:
+
+    - ``latency >= 2 * lookahead``: every prefetch is late ->
+      ``latency - lookahead``;
+    - otherwise: ``latency^2 / (4 * lookahead)``.
+
+    In the usual operating range (latency below twice the lookahead)
+    the expected wait is *quadratic in latency*, so the DRAM->slow-tier
+    growth of prefetch-induced stalls is ``(L_slow / L_DRAM)^2``
+    regardless of the individual lookahead - the near-uniform
+    amplification that lets the paper's single calibrated ``k_cache``
+    generalize across workloads.
+    """
+    if latency_ns <= 0:
+        return 0.0
+    if lookahead_ns <= 0:
+        return latency_ns
+    if latency_ns >= 2.0 * lookahead_ns:
+        return latency_ns - lookahead_ns
+    return latency_ns ** 2 / (4.0 * lookahead_ns)
+
+
+def late_fraction(latency_ns: float, lookahead_ns: float) -> float:
+    """P[latency > runway] under the same dispersed-runway model."""
+    if latency_ns <= 0:
+        return 0.0
+    if lookahead_ns <= 0:
+        return 1.0
+    return min(1.0, latency_ns / (2.0 * lookahead_ns))
+
+
+def prefetch_profile(spec: WorkloadSpec, demand: DemandProfile,
+                     read_latency_ns: float) -> PrefetchProfile:
+    """Prefetch accounting for one run at a given mean read latency.
+
+    Coverage itself is intrinsic (``pf_friend``); what latency changes is
+    (a) timeliness - the residual wait per covered line - and (b) the
+    L1/L2 split, because long latency defeats the L2 prefetcher's runway
+    and shifts traffic onto the L1 prefetch path (paper Fig. 5a).
+    """
+    covered = demand.mem_reads_potential * spec.pf_friend
+    demand_mem_reads = demand.mem_reads_potential - covered
+    pf_mem_reads = covered * (1.0 + PREFETCH_WASTE_RATIO)
+
+    late = late_fraction(read_latency_ns, spec.pf_lookahead_ns)
+    l1_share = min(
+        1.0, spec.pf_l1_share + L2_TO_L1_SHIFT_MAX * late *
+        (1.0 - spec.pf_l1_share))
+    pf_l1_mem = pf_mem_reads * l1_share
+    pf_l2_mem = pf_mem_reads - pf_l1_mem
+
+    # Offcore prefetch requests also probe the L3; the memory-bound
+    # subset above is the L3-miss remainder of a larger request stream
+    # whose hit rate matches the demand stream's.
+    l3_hit = demand.l3_hit_rate
+    miss_rate = max(1e-9, 1.0 - l3_hit)
+    pf_l1_any = pf_l1_mem / miss_rate
+    pf_l1_l3_hit = pf_l1_any - pf_l1_mem
+    pf_l2_any = pf_l2_mem / miss_rate
+    pf_l2_l3_hit = pf_l2_any - pf_l2_mem
+
+    wait = expected_late_wait_ns(read_latency_ns, spec.pf_lookahead_ns)
+
+    return PrefetchProfile(
+        covered=covered,
+        demand_mem_reads=demand_mem_reads,
+        pf_mem_reads=pf_mem_reads,
+        pf_l1_mem=pf_l1_mem,
+        pf_l2_mem=pf_l2_mem,
+        pf_l1_any=pf_l1_any,
+        pf_l1_l3_hit=pf_l1_l3_hit,
+        pf_l2_any=pf_l2_any,
+        pf_l2_l3_hit=pf_l2_l3_hit,
+        late_wait_ns=wait,
+        late_fraction=late,
+    )

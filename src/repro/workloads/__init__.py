@@ -1,0 +1,35 @@
+"""Workload population: characterizations, suites, and microbenchmarks.
+
+Replaces the paper's 265 real programs with a parametric population
+covering the same behavioural axes (see ``DESIGN.md``).  Public surface:
+
+- :class:`~repro.workloads.spec.WorkloadSpec` - one workload;
+- :func:`~repro.workloads.suites.evaluation_suite` - the 265-workload
+  population used throughout the evaluation;
+- :mod:`~repro.workloads.microbench` - the calibration microbenchmarks
+  (pointer chasing, sequential reads, strided access, memset);
+- :mod:`~repro.workloads.phases` - phased workloads for time-series
+  prediction (Fig. 8).
+"""
+
+from .generator import (FAMILIES, Family, Range, generate_population,
+                        near_buffer_from_footprint, typical_mlp_headroom,
+                        typical_near_buffer)
+from .microbench import (calibration_suite, memset, pointer_chase,
+                         sequential_read, strided_access)
+from .phases import Phase, PhasedWorkload, tc_kron_phased
+from .spec import WorkloadSpec
+from .suites import (EVALUATION_SUITE_SIZE, bandwidth_bound_eight,
+                     bandwidth_bound_twenty, colocation_pairs,
+                     evaluation_suite, get_workload, named_workloads)
+
+__all__ = [
+    "FAMILIES", "Family", "Range", "generate_population",
+    "near_buffer_from_footprint", "typical_mlp_headroom",
+    "typical_near_buffer",
+    "calibration_suite", "memset", "pointer_chase", "sequential_read",
+    "strided_access", "Phase", "PhasedWorkload", "tc_kron_phased",
+    "WorkloadSpec", "EVALUATION_SUITE_SIZE", "bandwidth_bound_eight",
+    "bandwidth_bound_twenty", "colocation_pairs", "evaluation_suite",
+    "get_workload", "named_workloads",
+]

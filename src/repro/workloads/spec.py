@@ -1,0 +1,204 @@
+"""Workload characterization: the intrinsic inputs to the machine model.
+
+The paper evaluates CAMP over 265 real programs (SPEC CPU 2017, PARSEC,
+GAPBS, PBBS, XSbench, Phoronix, Redis, Spark, VoltDB, MLPerf, Llama,
+GPT-2, DLRM).  We cannot run those binaries here, so each workload is
+represented by a :class:`WorkloadSpec`: the intrinsic, device-independent
+characteristics that determine how it exercises the memory hierarchy.
+
+These fields map one-to-one onto the causal axes the paper identifies:
+
+- demand-read pressure: miss rates, per-thread MLP, dependency structure
+  (``stall_exposure``), and the headroom for MLP to grow under latency
+  (paper Fig. 4c/e);
+- cache/prefetch pressure: prefetcher coverage and lookahead runway,
+  same-line locality feeding the LFB (paper Fig. 5);
+- store pressure: store miss ratio and burstiness driving Store Buffer
+  backpressure (paper section 4.3);
+- the misprediction classes the paper reports: ``burstiness`` (AI
+  workloads whose instantaneous MLP exceeds the mean - Llama),
+  ``tail_sensitivity`` (irregular access triggering CXL tail latency -
+  pr-twitter), and extreme ``mlp`` (pr-kron's hyper-parallelism).
+
+A spec is immutable; use :meth:`evolved` to derive variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Tuple
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Intrinsic characteristics of one workload.
+
+    All rates are per-thread unless stated otherwise; the machine model
+    scales traffic by ``threads``.
+    """
+
+    name: str
+    #: Suite label for reporting ("spec2017", "gapbs", "ai", ...).
+    suite: str = "synthetic"
+    threads: int = 1
+    #: Total retired instructions (across the whole run, all threads).
+    instructions: float = 2e9
+
+    # -- compute shape ------------------------------------------------------
+    #: Cycles per instruction with a perfect memory system.
+    base_cpi: float = 0.6
+    #: Demand loads / stores per kilo-instruction.
+    loads_per_ki: float = 280.0
+    stores_per_ki: float = 90.0
+
+    # -- locality ------------------------------------------------------------
+    #: Memory footprint in GiB (drives tiering capacity decisions).
+    footprint_gib: float = 8.0
+    #: Conditional hit rates along the demand-load path.
+    l1_hit: float = 0.92
+    l2_hit: float = 0.45
+    #: L3 hit rate measured with a small (14 MiB-class) LLC.
+    l3_hit_small_llc: float = 0.30
+    #: How much extra LLC capacity helps (0 = streaming/no reuse).
+    llc_sensitivity: float = 0.3
+
+    # -- demand-read behaviour ------------------------------------------------
+    #: Intrinsic memory-level parallelism per thread (bounded by the
+    #: platform's LFB at run time).
+    mlp: float = 4.0
+    #: Fractional MLP growth available when latency rises (R_MLP - 1 at
+    #: saturation); bounded by hardware buffers at run time.
+    mlp_headroom: float = 0.10
+    #: Fraction of memory-active cycles exposed as retirement stalls
+    #: (dependency structure; the paper's s_LLC/C, mostly 0.5-0.7).
+    stall_exposure: float = 0.6
+    #: Fraction of L1-missing loads that coalesce onto an in-flight line
+    #: (LFB hits): high for streaming, ~0 for pointer chasing.
+    same_line_ratio: float = 0.35
+
+    # -- prefetch behaviour ----------------------------------------------------
+    #: Fraction of would-be demand L3 misses covered by HW prefetchers.
+    pf_friend: float = 0.5
+    #: Share of memory-bound prefetch traffic issued by the L1 prefetcher
+    #: (the remainder comes from the L2 prefetcher).
+    pf_l1_share: float = 0.35
+    #: Prefetch runway: how far ahead (ns) prefetches are issued before
+    #: the demand access needs the line.
+    pf_lookahead_ns: float = 70.0
+
+    # -- store behaviour ---------------------------------------------------------
+    #: Fraction of stores missing all caches (RFO goes to memory).
+    store_miss_ratio: float = 0.05
+    #: Temporal burstiness of stores (raises effective SB occupancy).
+    store_burst: float = 0.2
+
+    # -- misprediction-class knobs -------------------------------------------
+    #: MLP burstiness: instantaneous MLP exceeds the average during
+    #: memory bursts, hiding more latency than the mean suggests (Llama).
+    burstiness: float = 0.0
+    #: Irregularity exposing the slow device's latency tail (pr-twitter).
+    tail_sensitivity: float = 0.0
+    #: Fraction of offcore demand reads absorbed by near (uncore/MC)
+    #: buffers at ~45 ns regardless of the backing tier.  Workloads with
+    #: high absorption show lower baseline DRAM latency and smaller
+    #: latency growth on slow tiers (paper Fig. 4d).
+    near_buffer_hit: float = 0.10
+    #: How skewed the page-access distribution is (0 = uniform).  This
+    #: is what hotness-based tiering (NBT, Soar, first-touch spill) can
+    #: exploit: concentrating hot pages in DRAM only raises the DRAM
+    #: request share if some pages are actually hotter than others.
+    hotness_skew: float = 0.4
+
+    #: Free-form tags ("bandwidth-bound", "pointer-chase", ...).
+    tags: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.instructions <= 0:
+            raise ValueError("instructions must be positive")
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if self.loads_per_ki < 0 or self.stores_per_ki < 0:
+            raise ValueError("memory-op rates must be non-negative")
+        if self.footprint_gib <= 0:
+            raise ValueError("footprint must be positive")
+        if self.mlp < 1.0:
+            raise ValueError("mlp must be >= 1")
+        if self.mlp_headroom < 0:
+            raise ValueError("mlp_headroom must be non-negative")
+        if self.pf_lookahead_ns < 0:
+            raise ValueError("pf_lookahead_ns must be non-negative")
+        for name in ("l1_hit", "l2_hit", "l3_hit_small_llc",
+                     "llc_sensitivity", "stall_exposure", "same_line_ratio",
+                     "pf_friend", "pf_l1_share", "store_miss_ratio",
+                     "store_burst", "burstiness", "tail_sensitivity",
+                     "near_buffer_hit", "hotness_skew"):
+            _check_unit(name, getattr(self, name))
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def loads(self) -> float:
+        """Total demand loads across the run."""
+        return self.instructions * self.loads_per_ki / 1000.0
+
+    @property
+    def stores(self) -> float:
+        """Total stores across the run."""
+        return self.instructions * self.stores_per_ki / 1000.0
+
+    def l3_hit(self, llc_mib: float) -> float:
+        """LLC hit rate on a platform with ``llc_mib`` of last-level cache.
+
+        ``l3_hit_small_llc`` anchors behaviour at a 14 MiB-class LLC
+        (the SKX testbed); larger caches recover a fraction of the
+        remaining misses controlled by ``llc_sensitivity``.  Footprints
+        that fit in the LLC outright are nearly all hits.
+        """
+        if llc_mib <= 0:
+            return 0.0
+        if self.footprint_gib * 1024.0 <= llc_mib:
+            return max(self.l3_hit_small_llc, 0.98)
+        extra = max(0.0, llc_mib - 14.0)
+        import math
+        recovered = (1.0 - self.l3_hit_small_llc) * self.llc_sensitivity * (
+            1.0 - math.exp(-extra / 80.0))
+        return min(0.995, self.l3_hit_small_llc + recovered)
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def evolved(self, **changes: Any) -> "WorkloadSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def with_threads(self, threads: int) -> "WorkloadSpec":
+        """The same program at a different thread count.
+
+        Instruction count scales with threads (same per-thread work),
+        matching how the paper's bwaves 2-thread vs 8-thread comparison
+        changes aggregate bandwidth demand but not per-thread behaviour.
+        """
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        per_thread = self.instructions / self.threads
+        return replace(self, threads=threads,
+                       instructions=per_thread * threads)
+
+    def describe(self) -> Dict[str, float]:
+        """A compact numeric summary used by reports and examples."""
+        return {
+            "threads": float(self.threads),
+            "loads_per_ki": self.loads_per_ki,
+            "stores_per_ki": self.stores_per_ki,
+            "mlp": self.mlp,
+            "pf_friend": self.pf_friend,
+            "same_line_ratio": self.same_line_ratio,
+            "store_miss_ratio": self.store_miss_ratio,
+            "footprint_gib": self.footprint_gib,
+        }

@@ -1,0 +1,84 @@
+"""Shared fixtures: machines, calibrations, and canonical workloads.
+
+Session-scoped where construction is expensive (calibration runs the
+microbenchmark suite on two tiers), function-scoped where mutation is
+possible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import Calibration, calibrate
+from repro.uarch import Machine, Placement, SKX2S, SPR2S
+from repro.workloads import WorkloadSpec, get_workload
+
+
+@pytest.fixture(scope="session")
+def skx_machine() -> Machine:
+    return Machine(SKX2S)
+
+@pytest.fixture(scope="session")
+def spr_machine() -> Machine:
+    return Machine(SPR2S)
+
+
+@pytest.fixture(scope="session")
+def skx_numa_calibration(skx_machine) -> Calibration:
+    return calibrate(skx_machine, "numa")
+
+
+@pytest.fixture(scope="session")
+def skx_cxla_calibration(skx_machine) -> Calibration:
+    return calibrate(skx_machine, "cxl-a")
+
+
+@pytest.fixture(scope="session")
+def spr_cxla_calibration(spr_machine) -> Calibration:
+    return calibrate(spr_machine, "cxl-a")
+
+
+@pytest.fixture()
+def pointer_workload() -> WorkloadSpec:
+    """A serialized, latency-sensitive workload."""
+    return WorkloadSpec(
+        "test-pointer", mlp=1.3, mlp_headroom=0.01, l1_hit=0.84,
+        l2_hit=0.2, l3_hit_small_llc=0.1, same_line_ratio=0.03,
+        pf_friend=0.08, pf_lookahead_ns=60.0, loads_per_ki=320.0,
+        stores_per_ki=30.0, base_cpi=0.8, stall_exposure=0.7,
+        near_buffer_hit=0.05)
+
+
+@pytest.fixture()
+def streaming_workload() -> WorkloadSpec:
+    """A bandwidth-hungry, prefetch-friendly workload."""
+    return WorkloadSpec(
+        "test-stream", threads=8, mlp=8.0, mlp_headroom=0.3,
+        l1_hit=0.9, l2_hit=0.3, l3_hit_small_llc=0.05,
+        llc_sensitivity=0.05, same_line_ratio=0.6, pf_friend=0.88,
+        pf_lookahead_ns=130.0, loads_per_ki=320.0, stores_per_ki=100.0,
+        store_miss_ratio=0.08, base_cpi=0.4, stall_exposure=0.55,
+        near_buffer_hit=0.2)
+
+
+@pytest.fixture()
+def store_workload() -> WorkloadSpec:
+    """A store-dominated workload (memset-like)."""
+    return WorkloadSpec(
+        "test-store", mlp=2.0, loads_per_ki=30.0, stores_per_ki=330.0,
+        store_miss_ratio=0.125, store_burst=0.5, l1_hit=0.95,
+        l2_hit=0.5, l3_hit_small_llc=0.1, pf_friend=0.2, base_cpi=0.4)
+
+
+@pytest.fixture()
+def compute_workload() -> WorkloadSpec:
+    """A cache-resident, memory-insensitive workload."""
+    return WorkloadSpec(
+        "test-compute", mlp=2.0, loads_per_ki=150.0, stores_per_ki=40.0,
+        l1_hit=0.99, l2_hit=0.9, l3_hit_small_llc=0.85,
+        llc_sensitivity=0.5, footprint_gib=1.0, base_cpi=0.5)
+
+
+@pytest.fixture()
+def bwaves10() -> WorkloadSpec:
+    return get_workload("603.bwaves").with_threads(10)

@@ -1,0 +1,140 @@
+"""Tests for the one-time microbenchmark calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (Calibration, CalibrationSample,
+                                    calibrate, fit_from_samples,
+                                    fit_hyperbola, roles_for_tags)
+from repro.core.drd import hyperbolic_tolerance
+
+
+class TestHyperbolaFit:
+    def test_recovers_known_parameters(self):
+        rng = np.random.default_rng(0)
+        p_true, q_true = 1.8, 40.0
+        aol = rng.uniform(5.0, 300.0, size=40)
+        tolerance = np.array([hyperbolic_tolerance(a, p_true, q_true)
+                              for a in aol])
+        p, q = fit_hyperbola(aol, tolerance)
+        assert p == pytest.approx(p_true, rel=0.02)
+        assert q == pytest.approx(q_true, rel=0.05)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(1)
+        aol = rng.uniform(5.0, 300.0, size=60)
+        tolerance = np.array([
+            hyperbolic_tolerance(a, 2.0, 50.0) * rng.normal(1.0, 0.05)
+            for a in aol])
+        p, q = fit_hyperbola(aol, tolerance)
+        assert p == pytest.approx(2.0, rel=0.15)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_hyperbola([10.0], [0.5])
+
+    def test_requires_positive_aol(self):
+        with pytest.raises(ValueError):
+            fit_hyperbola([0.0, -1.0, -5.0], [0.1, 0.2, 0.3])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_hyperbola([1.0, 2.0], [0.1])
+
+
+class TestRoles:
+    def test_tag_mapping(self):
+        assert roles_for_tags(("microbench", "pointer-chase")) == \
+            ("drd",)
+        assert roles_for_tags(("strided",)) == ("cache",)
+        assert roles_for_tags(("streaming",)) == ("cache",)
+        assert roles_for_tags(("store-heavy",)) == ("store",)
+        assert roles_for_tags(("unknown",)) == ()
+
+
+class TestCalibrate:
+    def test_constants_are_sane(self, skx_cxla_calibration):
+        cal = skx_cxla_calibration
+        assert cal.platform_family == "skx"
+        assert cal.device == "cxl-a"
+        # The hyperbola must be increasing (q > 0) and saturate at a
+        # positive latency-ratio-scale value (p of order 1).
+        assert cal.drd.q > 0
+        assert 0.3 < cal.drd.p < 10.0
+        assert cal.drd.k > 0
+        assert cal.cache.k > 0
+        assert cal.store.k > 0
+        assert cal.idle_latency_dram_ns == 90.0
+        assert cal.idle_latency_slow_ns == 214.0
+
+    def test_worse_device_bigger_constants(self, skx_machine,
+                                           skx_cxla_calibration):
+        cal_b = calibrate(skx_machine, "cxl-b")
+        # CXL-B is slower in both latency and RFO cost: the cache and
+        # store scaling constants must exceed CXL-A's.
+        assert cal_b.cache.k > skx_cxla_calibration.cache.k
+        assert cal_b.store.k > skx_cxla_calibration.store.k
+
+    def test_numa_milder_than_cxl(self, skx_numa_calibration,
+                                  skx_cxla_calibration):
+        assert skx_numa_calibration.store.k < \
+            skx_cxla_calibration.store.k
+
+    def test_describe_keys(self, skx_numa_calibration):
+        described = skx_numa_calibration.describe()
+        assert set(described) == {"p", "q", "k_drd", "k_cache",
+                                  "k_store", "idle_dram_ns",
+                                  "idle_slow_ns"}
+
+    def test_sample_count_recorded(self, skx_numa_calibration):
+        assert skx_numa_calibration.sample_count >= 40
+
+
+class TestFitFromSamples:
+    def _samples(self, machine, device, benches):
+        from repro.core.signature import signature
+        from repro.uarch import Placement
+        out = []
+        for bench in benches:
+            dram = signature(machine.profile(bench))
+            slow = signature(machine.profile(
+                bench, Placement.slow_only(device)))
+            out.append(CalibrationSample(
+                dram=dram, slow=slow, roles=roles_for_tags(bench.tags)))
+        return out
+
+    def test_requires_each_role(self, skx_machine):
+        from repro.workloads import pointer_chase
+        benches = [pointer_chase(c) for c in (1, 2, 4)]
+        samples = self._samples(skx_machine, "cxl-a", benches)
+        with pytest.raises(ValueError, match="cache"):
+            fit_from_samples(samples, "skx", "cxl-a", 90.0, 214.0)
+
+    def test_requires_three_drd_samples(self, skx_machine):
+        from repro.workloads import memset, pointer_chase, strided_access
+        benches = [pointer_chase(1), strided_access(1), memset()]
+        samples = self._samples(skx_machine, "cxl-a", benches)
+        with pytest.raises(ValueError, match="drd"):
+            fit_from_samples(samples, "skx", "cxl-a", 90.0, 214.0)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, skx_cxla_calibration):
+        from repro.core.calibration import Calibration
+        restored = Calibration.from_json(skx_cxla_calibration.to_json())
+        assert restored.describe() == \
+            pytest.approx(skx_cxla_calibration.describe())
+        assert restored.platform_family == "skx"
+        assert restored.device == "cxl-a"
+        assert restored.sample_count == \
+            skx_cxla_calibration.sample_count
+
+    def test_restored_calibration_predicts_identically(
+            self, skx_machine, skx_cxla_calibration, pointer_workload):
+        from repro.core.calibration import Calibration
+        from repro.core.slowdown import SlowdownPredictor
+        restored = Calibration.from_json(skx_cxla_calibration.to_json())
+        profile = skx_machine.profile(pointer_workload)
+        assert SlowdownPredictor(restored).predict(profile).total == \
+            pytest.approx(SlowdownPredictor(
+                skx_cxla_calibration).predict(profile).total)

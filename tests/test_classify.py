@@ -1,0 +1,70 @@
+"""Tests for latency-bound vs bandwidth-bound classification (Fig. 12)."""
+
+import pytest
+
+from repro.core.classify import (Classification, WorkloadClass, classify,
+                                 classify_signature)
+from repro.uarch import Placement
+from repro.workloads import get_workload
+
+
+class TestClassification:
+    def test_latency_bound_workload(self, skx_machine, pointer_workload,
+                                    skx_cxla_calibration):
+        profile = skx_machine.profile(pointer_workload)
+        decision = classify(profile,
+                            skx_cxla_calibration.idle_latency_dram_ns)
+        assert decision.workload_class is WorkloadClass.LATENCY_BOUND
+        assert decision.required_profiling_runs == 1
+        assert not decision.is_bandwidth_bound
+
+    def test_bandwidth_bound_workload(self, skx_machine, bwaves10,
+                                      skx_cxla_calibration):
+        profile = skx_machine.profile(bwaves10)
+        decision = classify(profile,
+                            skx_cxla_calibration.idle_latency_dram_ns)
+        assert decision.workload_class is WorkloadClass.BANDWIDTH_BOUND
+        assert decision.required_profiling_runs == 2
+        assert decision.elevation > 0.05
+
+    def test_thread_count_flips_class(self, skx_machine,
+                                      skx_cxla_calibration):
+        # The paper's Fig. 11: 2-thread bwaves is not bandwidth-bound,
+        # 8-thread is.
+        idle = skx_cxla_calibration.idle_latency_dram_ns
+        two = classify(skx_machine.profile(
+            get_workload("603.bwaves").with_threads(2)), idle)
+        eight = classify(skx_machine.profile(
+            get_workload("603.bwaves").with_threads(8)), idle)
+        assert not two.is_bandwidth_bound
+        assert eight.is_bandwidth_bound
+
+    def test_rejects_slow_profile(self, skx_machine, pointer_workload):
+        profile = skx_machine.profile(pointer_workload,
+                                      Placement.slow_only("cxl-a"))
+        with pytest.raises(ValueError):
+            classify(profile, 90.0)
+
+    def test_tolerance_shifts_boundary(self, skx_machine,
+                                       streaming_workload):
+        profile = skx_machine.profile(streaming_workload)
+        strict = classify(profile, 90.0, tolerance=0.0)
+        lax = classify(profile, 90.0, tolerance=10.0)
+        assert strict.is_bandwidth_bound
+        assert not lax.is_bandwidth_bound
+
+    def test_validation(self, skx_machine, pointer_workload):
+        profile = skx_machine.profile(pointer_workload)
+        with pytest.raises(ValueError):
+            classify(profile, 0.0)
+        with pytest.raises(ValueError):
+            classify(profile, 90.0, tolerance=-0.1)
+
+    def test_elevation_can_be_negative(self):
+        # Cache-friendly workloads observe latency below the idle probe
+        # through LLC-hit dilution; that must classify as latency-bound.
+        decision = Classification(
+            workload_class=WorkloadClass.LATENCY_BOUND,
+            measured_latency_ns=60.0, idle_latency_ns=90.0,
+            tolerance=0.05)
+        assert decision.elevation < 0.0

@@ -1,0 +1,132 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestWorkloadsCommand:
+    def test_lists_named_workloads(self, capsys):
+        code, out = run_cli(capsys, "workloads")
+        assert code == 0
+        assert "603.bwaves" in out
+        assert "gpt-2" in out
+
+
+class TestCalibrateCommand:
+    def test_writes_json(self, capsys, tmp_path):
+        out_file = tmp_path / "cal.json"
+        code, _ = run_cli(capsys, "calibrate", "--device", "numa",
+                          "--out", str(out_file))
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert data["device"] == "numa"
+        assert data["constants"]["q"] > 0
+
+    def test_prints_json_without_out(self, capsys):
+        code, out = run_cli(capsys, "calibrate", "--device", "numa")
+        assert code == 0
+        assert json.loads(out)["platform_family"] == "skx"
+
+
+@pytest.fixture(scope="module")
+def calibration_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cal") / "cxl-a.json"
+    main(["calibrate", "--device", "cxl-a", "--out", str(path)])
+    return str(path)
+
+
+class TestPredictCommand:
+    def test_predict_table(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "predict", "--calibration",
+                            calibration_file, "605.mcf", "557.xz")
+        assert code == 0
+        assert "605.mcf" in out and "S_DRd" in out
+
+    def test_predict_verify(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "predict", "--calibration",
+                            calibration_file, "557.xz", "--verify")
+        assert code == 0
+        assert "error" in out
+
+    def test_contention_aware_flag(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "predict", "--calibration",
+                            calibration_file, "603.bwaves",
+                            "--threads", "10", "--contention-aware")
+        assert code == 0
+
+
+class TestClassifyCommand:
+    def test_classify(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "classify", "--calibration",
+                            calibration_file, "603.bwaves", "605.mcf",
+                            "--threads", "10")
+        assert code == 0
+        assert "bandwidth-bound" in out
+
+
+class TestSweepCommand:
+    def test_sweep_prediction_only(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "sweep", "--calibration",
+                            calibration_file, "603.bwaves",
+                            "--threads", "10", "--points", "5")
+        assert code == 0
+        assert "Best-shot ratio" in out
+
+    def test_sweep_with_measurement(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "sweep", "--calibration",
+                            calibration_file, "557.xz", "--points", "3",
+                            "--measure")
+        assert code == 0
+        assert "actual S" in out
+
+
+class TestSuiteCommand:
+    def test_suite_subset(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "suite", "--calibration",
+                            calibration_file, "--limit", "10")
+        assert code == 0
+        assert "pearson" in out
+
+
+class TestFleetCommand:
+    def test_fleet_plan(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "fleet", "--calibration",
+                            calibration_file, "605.mcf", "557.xz",
+                            "gpt-2", "--share", "0.5")
+        assert code == 0
+        assert "DRAM used" in out and "pred S" in out
+
+    def test_fleet_absolute_capacity(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "fleet", "--calibration",
+                            calibration_file, "557.xz",
+                            "--capacity-gib", "4.0")
+        assert code == 0
+
+
+class TestDynamicsCommand:
+    def test_dynamics_table(self, capsys, calibration_file):
+        code, out = run_cli(capsys, "dynamics", "--calibration",
+                            calibration_file, "603.bwaves",
+                            "--threads", "10", "--epochs", "8")
+        assert code == 0
+        assert "best-shot" in out and "colloid" in out
+        assert "converged@" in out

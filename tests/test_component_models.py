@@ -1,0 +1,145 @@
+"""Tests for the three component models (Eq. 5-7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cache import CacheModel, measured_cache_slowdown
+from repro.core.drd import (DrdModel, hyperbolic_tolerance,
+                            measured_drd_slowdown, measured_tolerance)
+from repro.core.signature import signature, signature_from_sample
+from repro.core.store import StoreModel, measured_store_slowdown
+from repro.uarch import Placement
+
+from tests.test_signature import sample
+
+
+def sig(values=None, family="spr"):
+    return signature_from_sample(sample(values), family, 2.1)
+
+
+class TestHyperbola:
+    def test_saturates_at_high_aol(self):
+        # f -> 1/p as AOL -> infinity (latency-ratio dominated).
+        assert hyperbolic_tolerance(1e9, p=2.0, q=50.0) == \
+            pytest.approx(0.5, rel=1e-3)
+
+    def test_small_at_low_aol(self):
+        # f -> AOL/q as AOL -> 0 (MLP-scaling dominated).
+        assert hyperbolic_tolerance(1.0, p=2.0, q=50.0) == \
+            pytest.approx(1.0 / 52.0, rel=1e-6)
+
+    @given(aol1=st.floats(min_value=0.1, max_value=1e4),
+           aol2=st.floats(min_value=0.1, max_value=1e4))
+    def test_monotone_increasing(self, aol1, aol2):
+        lo, hi = sorted((aol1, aol2))
+        assert hyperbolic_tolerance(lo, 2.0, 50.0) <= \
+            hyperbolic_tolerance(hi, 2.0, 50.0) + 1e-12
+
+    def test_degenerate_fit_does_not_explode(self):
+        value = hyperbolic_tolerance(10.0, p=0.5, q=-100.0)
+        assert value > 0
+
+
+class TestDrdModel:
+    def test_prediction_structure(self):
+        model = DrdModel(p=2.0, q=50.0, k=1.2)
+        dram = sig()
+        expected = 1.2 * model.tolerance(dram.aol) * \
+            dram.llc_stall_fraction
+        assert model.predict(dram) == pytest.approx(expected)
+
+    def test_zero_without_stalls(self):
+        model = DrdModel(p=2.0, q=50.0, k=1.0)
+        quiet = sig({"P3": 0.0})
+        assert model.predict(quiet) == 0.0
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            DrdModel(p=1.0, q=1.0, k=-1.0)
+
+    def test_predictor_value_unscaled(self):
+        model = DrdModel(p=2.0, q=50.0, k=3.0)
+        dram = sig()
+        assert model.predict(dram) == \
+            pytest.approx(3.0 * model.predictor_value(dram))
+
+
+class TestMeasuredQuantities:
+    def test_measured_tolerance(self):
+        dram = sig()
+        slow = sig({"P11": 1.2e9})  # latency and MLP both x2
+        # R_Lat = 2, R_MLP = 2 -> factor 0.
+        assert measured_tolerance(dram, slow) == pytest.approx(0.0)
+
+    def test_measured_tolerance_latency_only(self):
+        dram = sig()
+        slow = sig({"P11": 1.2e9, "P13": 3.0e8})  # MLP constant
+        assert measured_tolerance(dram, slow) == pytest.approx(1.0)
+
+    def test_measured_drd(self):
+        dram = sig()
+        slow = sig({"P3": 5.0e8})
+        assert measured_drd_slowdown(dram, slow) == pytest.approx(0.3)
+
+    def test_measured_cache_uses_family_band(self):
+        dram = sig()
+        slow = sig({"P2": 3.2e8})  # band grows by 8e7 on spr
+        assert measured_cache_slowdown(dram, slow) == pytest.approx(0.08)
+
+    def test_measured_store(self):
+        dram = sig()
+        slow = sig({"P6": 1.5e8})
+        assert measured_store_slowdown(dram, slow) == pytest.approx(0.1)
+
+
+class TestCacheModel:
+    def test_prediction_structure(self):
+        model = CacheModel(k=4.0)
+        dram = sig()
+        expected = (4.0 * dram.lfb_hit_ratio *
+                    dram.mem_prefetch_reliance *
+                    dram.cache_stall_fraction)
+        assert model.predict(dram) == pytest.approx(expected)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            CacheModel(k=-0.1)
+
+
+class TestStoreModel:
+    def test_linear_in_sb_stalls(self):
+        model = StoreModel(k=2.5)
+        dram = sig()
+        assert model.predict(dram) == pytest.approx(2.5 * 0.05)
+
+    def test_double_stalls_double_prediction(self):
+        model = StoreModel(k=2.5)
+        assert model.predict(sig({"P6": 1e8})) == pytest.approx(
+            2.0 * model.predict(sig()))
+
+
+class TestAgainstSimulator:
+    """The component ground-truth extractors agree with the machine's
+    internal attribution (up to counter noise and band leakage)."""
+
+    def test_drd_matches_internal(self, skx_machine, pointer_workload):
+        dram_run = skx_machine.run(pointer_workload)
+        slow_run = skx_machine.run(pointer_workload,
+                                   Placement.slow_only("cxl-a"))
+        from_counters = measured_drd_slowdown(
+            signature(dram_run.profiled()),
+            signature(slow_run.profiled()))
+        internal = (slow_run.breakdown.s_llc -
+                    dram_run.breakdown.s_llc) / dram_run.cycles
+        assert from_counters == pytest.approx(internal, rel=0.05)
+
+    def test_store_matches_internal(self, skx_machine, store_workload):
+        dram_run = skx_machine.run(store_workload)
+        slow_run = skx_machine.run(store_workload,
+                                   Placement.slow_only("cxl-a"))
+        from_counters = measured_store_slowdown(
+            signature(dram_run.profiled()),
+            signature(slow_run.profiled()))
+        internal = (slow_run.breakdown.s_sb -
+                    dram_run.breakdown.s_sb) / dram_run.cycles
+        assert from_counters == pytest.approx(internal, rel=0.05)

@@ -1,0 +1,91 @@
+"""Tests for the bandwidth-saturation-aware extension (section 4.4.6)."""
+
+import pytest
+
+from repro.core.contention import ContentionAwarePredictor
+from repro.core.slowdown import SlowdownPredictor
+from repro.uarch import Placement, slowdown
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def aware(skx_cxla_calibration):
+    return ContentionAwarePredictor(skx_cxla_calibration)
+
+
+class TestSelfDisabling:
+    def test_matches_base_below_knee(self, skx_machine, aware,
+                                     skx_cxla_calibration,
+                                     pointer_workload):
+        base = SlowdownPredictor(skx_cxla_calibration)
+        profile = skx_machine.profile(pointer_workload)
+        assert aware.predict(profile).total == pytest.approx(
+            base.predict(profile).total)
+
+    def test_compute_bound_untouched(self, skx_machine, aware,
+                                     skx_cxla_calibration,
+                                     compute_workload):
+        base = SlowdownPredictor(skx_cxla_calibration)
+        profile = skx_machine.profile(compute_workload)
+        assert aware.predict(profile).total == pytest.approx(
+            base.predict(profile).total)
+
+
+class TestSaturationFloor:
+    def test_floor_zero_for_light_traffic(self, skx_machine, aware,
+                                          pointer_workload):
+        profile = skx_machine.profile(pointer_workload)
+        assert aware.bandwidth_floor(profile) == 0.0
+
+    def test_floor_positive_for_streamers(self, skx_machine, aware,
+                                          bwaves10):
+        profile = skx_machine.profile(bwaves10)
+        assert aware.bandwidth_floor(profile) > 0.5
+
+    def test_saturated_prediction_near_floor(self, skx_machine, aware,
+                                             bwaves10):
+        profile = skx_machine.profile(bwaves10)
+        prediction = aware.predict(profile)
+        floor = aware.bandwidth_floor(profile)
+        assert prediction.total == pytest.approx(floor, rel=0.02)
+
+    def test_recovers_saturated_accuracy(self, skx_machine, aware,
+                                         skx_cxla_calibration,
+                                         bwaves10):
+        base = SlowdownPredictor(skx_cxla_calibration)
+        dram = skx_machine.run(bwaves10)
+        slow = skx_machine.run(bwaves10, Placement.slow_only("cxl-a"))
+        actual = slowdown(dram, slow)
+        profile = dram.profiled()
+        base_error = abs(base.predict(profile).total - actual)
+        aware_error = abs(aware.predict(profile).total - actual)
+        assert aware_error < base_error
+        assert aware_error < 0.1
+
+
+class TestForecastDiagnostics:
+    def test_forecast_fields(self, skx_machine, aware, bwaves10):
+        profile = skx_machine.profile(bwaves10)
+        forecast = aware.forecast_contention(profile, base_total=1.0)
+        assert forecast.dram_traffic_gbps > 20.0
+        assert 0.0 < forecast.projected_utilization <= 0.97
+        assert forecast.projected_latency_ns >= \
+            forecast.idle_latency_ns
+        assert forecast.amplification >= 1.0
+
+    def test_component_proportions_preserved(self, skx_machine, aware,
+                                             skx_cxla_calibration,
+                                             streaming_workload):
+        base = SlowdownPredictor(skx_cxla_calibration)
+        profile = skx_machine.profile(streaming_workload)
+        base_pred = base.predict(profile)
+        aware_pred = aware.predict(profile)
+        if base_pred.total > 0 and aware_pred.total > 0:
+            assert aware_pred.drd / aware_pred.total == pytest.approx(
+                base_pred.drd / base_pred.total, abs=1e-9)
+
+    def test_custom_device(self, skx_cxla_calibration):
+        from repro.uarch import CXL_C
+        predictor = ContentionAwarePredictor(skx_cxla_calibration,
+                                             device=CXL_C)
+        assert predictor.device_config is CXL_C

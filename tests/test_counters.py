@@ -1,0 +1,199 @@
+"""Unit tests for the Table 5 counter vocabulary and CounterSample."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import (COUNTER_TABLE, Counter, CounterSample,
+                                 ProfiledRun, counter_spec,
+                                 counters_for_platform)
+
+
+def make_sample(overrides=None):
+    values = {
+        Counter.CYCLES: 1e9,
+        Counter.INSTRUCTIONS: 2e9,
+        Counter.ORO_DEMAND_RD: 4e8,
+        Counter.OR_DEMAND_RD: 2e6,
+        Counter.ORO_CYC_W_DEMAND_RD: 1e8,
+        Counter.STALLS_L3_MISS: 6e7,
+    }
+    values.update(overrides or {})
+    return CounterSample(values)
+
+
+class TestCounterEnum:
+    def test_paper_indices_cover_1_to_17(self):
+        indices = sorted(c.paper_index for c in Counter
+                         if c.paper_index is not None)
+        assert indices == list(range(1, 18))
+
+    def test_fixed_counters_have_no_paper_index(self):
+        assert Counter.CYCLES.paper_index is None
+        assert Counter.INSTRUCTIONS.paper_index is None
+
+    def test_lookup_by_string_id(self):
+        assert Counter("P3") is Counter.STALLS_L3_MISS
+        assert Counter("cycles") is Counter.CYCLES
+
+
+class TestCounterTable:
+    def test_table_covers_every_p_counter(self):
+        listed = {spec.counter for spec in COUNTER_TABLE}
+        expected = {c for c in Counter if c.paper_index is not None}
+        assert listed == expected
+
+    def test_counter_spec_lookup(self):
+        spec = counter_spec(Counter.BOUND_ON_STORES)
+        assert "Store Buffer" in spec.description
+        assert "skx" in spec.used_by
+
+    def test_fixed_counters_not_in_table(self):
+        with pytest.raises(KeyError):
+            counter_spec(Counter.CYCLES)
+
+    def test_derivation_only_counters(self):
+        derivation = {spec.counter for spec in COUNTER_TABLE
+                      if spec.derivation_only}
+        assert Counter.ORO_DEMAND_RD in derivation
+        assert Counter.PF_L2_ANY_RESPONSE in derivation
+        # Derivation-only counters appear in no platform's final model.
+        for spec in COUNTER_TABLE:
+            if spec.derivation_only:
+                assert spec.used_by == ()
+
+
+class TestCountersForPlatform:
+    def test_paper_counter_counts(self):
+        # Paper: 11 counters on SKX, 12 on SPR/EMR, including cycles.
+        # Our tuples additionally list the instructions fixed counter.
+        skx = counters_for_platform("skx")
+        spr = counters_for_platform("spr")
+        assert len([c for c in skx if c is not Counter.INSTRUCTIONS]) == 11
+        assert len([c for c in spr if c is not Counter.INSTRUCTIONS]) == 12
+
+    def test_emr_matches_spr(self):
+        assert counters_for_platform("emr") == \
+            counters_for_platform("spr")
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            counters_for_platform("zen4")
+
+    def test_skx_uses_l1_prefetch_events(self):
+        skx = counters_for_platform("skx")
+        assert Counter.PF_L1D_ANY_RESPONSE in skx
+        assert Counter.LLC_LOOKUP_ALL not in skx
+
+    def test_spr_uses_uncore_events(self):
+        spr = counters_for_platform("spr")
+        assert Counter.LLC_LOOKUP_ALL in spr
+        assert Counter.PF_L1D_ANY_RESPONSE not in spr
+
+
+class TestCounterSample:
+    def test_requires_cycles(self):
+        with pytest.raises(ValueError):
+            CounterSample({Counter.INSTRUCTIONS: 1.0})
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            make_sample({Counter.L1_MISS: -1.0})
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            make_sample({Counter.L1_MISS: float("nan")})
+
+    def test_item_access_by_enum_and_string(self):
+        sample = make_sample()
+        assert sample[Counter.CYCLES] == 1e9
+        assert sample["cycles"] == 1e9
+        assert sample["P3"] == 6e7
+
+    def test_missing_counter_reads_zero(self):
+        sample = make_sample()
+        assert sample[Counter.LFB_HIT] == 0.0
+        assert Counter.LFB_HIT not in sample
+
+    def test_mapping_protocol(self):
+        sample = make_sample()
+        assert len(sample) == 6
+        assert set(sample) == set(sample.as_dict())
+
+    def test_ipc(self):
+        assert make_sample().ipc == pytest.approx(2.0)
+
+    def test_latency_littles_law(self):
+        sample = make_sample()
+        assert sample.latency_cycles == pytest.approx(4e8 / 2e6)
+
+    def test_latency_zero_without_reads(self):
+        sample = make_sample({Counter.OR_DEMAND_RD: 0.0})
+        assert sample.latency_cycles == 0.0
+
+    def test_mlp(self):
+        sample = make_sample()
+        assert sample.mlp == pytest.approx(4e8 / 1e8)
+
+    def test_mlp_neutral_when_inactive(self):
+        sample = make_sample({Counter.ORO_CYC_W_DEMAND_RD: 0.0})
+        assert sample.mlp == 1.0
+
+    def test_mlp_floor_is_one(self):
+        sample = make_sample({Counter.ORO_DEMAND_RD: 1e7})
+        assert sample.mlp == 1.0
+
+    def test_aol(self):
+        sample = make_sample()
+        assert sample.aol == pytest.approx(sample.latency_cycles /
+                                           sample.mlp)
+
+    def test_scaled(self):
+        doubled = make_sample().scaled(2.0)
+        assert doubled.cycles == 2e9
+        assert doubled["P3"] == 1.2e8
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_sample().scaled(-1.0)
+
+    def test_merged(self):
+        merged = make_sample().merged(make_sample())
+        assert merged.cycles == 2e9
+        assert merged.instructions == 4e9
+
+    @given(factor=st.floats(min_value=0.0, max_value=1e6,
+                            allow_nan=False))
+    def test_scaling_preserves_ratios(self, factor):
+        base = make_sample()
+        scaled = base.scaled(factor)
+        if factor > 0:
+            assert scaled.mlp == pytest.approx(base.mlp)
+            assert scaled.ipc == pytest.approx(base.ipc)
+
+    def test_repr_mentions_cycles(self):
+        assert "cycles" in repr(make_sample())
+
+
+class TestProfiledRun:
+    def test_validates_platform_family(self):
+        with pytest.raises(ValueError):
+            ProfiledRun(sample=make_sample(), platform_family="arm",
+                        tier="dram")
+
+    def test_validates_frequency(self):
+        with pytest.raises(ValueError):
+            ProfiledRun(sample=make_sample(), platform_family="skx",
+                        tier="dram", frequency_ghz=0.0)
+
+    def test_latency_ns_conversion(self):
+        run = ProfiledRun(sample=make_sample(), platform_family="skx",
+                          tier="dram", frequency_ghz=2.0)
+        assert run.latency_ns == pytest.approx(
+            make_sample().latency_cycles / 2.0)
+
+    def test_cycles_passthrough(self):
+        run = ProfiledRun(sample=make_sample(), platform_family="spr",
+                          tier="cxl-a")
+        assert run.cycles == 1e9

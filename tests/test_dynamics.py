@@ -1,0 +1,109 @@
+"""Tests for the epoch-based tiering-dynamics simulator."""
+
+import pytest
+
+from repro.policies import (BestShotDynamics, ColloidDynamics,
+                            FirstTouchDynamics, NBTDynamics,
+                            simulate_tiering)
+from repro.policies.dynamics import (DEFAULT_MIGRATION_RATE,
+                                     EpochObservation)
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def bw_workload():
+    return get_workload("603.bwaves").with_threads(10)
+
+
+class TestSimulation:
+    def test_trace_structure(self, skx_machine, bw_workload):
+        trace = simulate_tiering(skx_machine, bw_workload, "cxl-a",
+                                 0.8 * bw_workload.footprint_gib,
+                                 FirstTouchDynamics(), epochs=5)
+        assert len(trace.records) == 5
+        assert trace.total_cycles > 0
+        assert trace.dram_only_cycles > 0
+        assert trace.policy == "first-touch"
+
+    def test_rejects_zero_epochs(self, skx_machine, bw_workload):
+        with pytest.raises(ValueError):
+            simulate_tiering(skx_machine, bw_workload, "cxl-a", 8.0,
+                             FirstTouchDynamics(), epochs=0)
+
+    def test_static_policy_never_migrates(self, skx_machine,
+                                          bw_workload):
+        trace = simulate_tiering(skx_machine, bw_workload, "cxl-a",
+                                 0.8 * bw_workload.footprint_gib,
+                                 FirstTouchDynamics(), epochs=5)
+        assert trace.migration_cycles == 0.0
+        assert trace.convergence_epoch() == 0
+
+    def test_capacity_respected_every_epoch(self, skx_machine,
+                                            bw_workload):
+        capacity = 0.6 * bw_workload.footprint_gib
+        trace = simulate_tiering(skx_machine, bw_workload, "cxl-a",
+                                 capacity, NBTDynamics(), epochs=10)
+        cap_fraction = capacity / bw_workload.footprint_gib
+        for record in trace.records:
+            assert record.placement_x <= cap_fraction + 1e-9
+
+    def test_epoch_seconds_scaling(self, skx_machine, bw_workload):
+        short = simulate_tiering(skx_machine, bw_workload, "cxl-a",
+                                 8.0, NBTDynamics(), epochs=5,
+                                 epoch_seconds=0.5)
+        long = simulate_tiering(skx_machine, bw_workload, "cxl-a",
+                                8.0, NBTDynamics(), epochs=5,
+                                epoch_seconds=2.0)
+        # Migration cost is wall-clock: longer epochs amortize it.
+        assert (long.migration_cycles / long.total_cycles) < \
+            (short.migration_cycles / short.total_cycles)
+
+
+class TestPolicies:
+    def test_nbt_climbs_monotonically(self, skx_machine, bw_workload):
+        trace = simulate_tiering(skx_machine, bw_workload, "cxl-a",
+                                 0.8 * bw_workload.footprint_gib,
+                                 NBTDynamics(), epochs=12)
+        xs = [record.placement_x for record in trace.records]
+        assert all(b >= a - 1e-9 for a, b in zip(xs, xs[1:]))
+        assert xs[-1] > xs[0]
+
+    def test_colloid_deadband_holds(self):
+        policy = ColloidDynamics()
+        observation = EpochObservation(
+            epoch=0, placement_x=0.5, dram_latency_ns=100.0,
+            slow_latency_ns=102.0, dram_utilization=0.3,
+            slow_utilization=0.3)
+        assert policy.adjust(observation, 1.0) == 0.5
+
+    def test_colloid_step_bounded(self):
+        policy = ColloidDynamics()
+        observation = EpochObservation(
+            epoch=0, placement_x=0.5, dram_latency_ns=100.0,
+            slow_latency_ns=500.0, dram_utilization=0.3,
+            slow_utilization=0.9)
+        new_x = policy.adjust(observation, 1.0)
+        assert new_x - 0.5 <= DEFAULT_MIGRATION_RATE + 1e-9
+
+    def test_colloid_moves_toward_slow_when_dram_contended(self):
+        policy = ColloidDynamics()
+        observation = EpochObservation(
+            epoch=0, placement_x=0.8, dram_latency_ns=400.0,
+            slow_latency_ns=230.0, dram_utilization=0.97,
+            slow_utilization=0.4)
+        assert policy.adjust(observation, 1.0) < 0.8
+
+    def test_bestshot_jumps_to_predicted_ratio(self, skx_machine,
+                                               skx_cxla_calibration,
+                                               bw_workload):
+        policy = BestShotDynamics(skx_cxla_calibration)
+        x0 = policy.initial_x(skx_machine, bw_workload, "cxl-a", 0.8)
+        assert 0.5 < x0 < 0.8
+
+    def test_bestshot_defensive_for_latency_bound(self, skx_machine,
+                                                  skx_cxla_calibration,
+                                                  pointer_workload):
+        policy = BestShotDynamics(skx_cxla_calibration)
+        x0 = policy.initial_x(skx_machine, pointer_workload, "cxl-a",
+                              0.8)
+        assert x0 == pytest.approx(0.8, abs=0.02)

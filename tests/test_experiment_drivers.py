@@ -1,0 +1,111 @@
+"""Tests for the analysis experiment drivers (reduced inputs).
+
+The benchmarks exercise the drivers at full scale; these tests pin the
+drivers' *interfaces and invariants* on small inputs so refactors break
+loudly and quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (Lab, collect_records, fig2_decomposition,
+                            fig8_timeseries, fig9_interleaving_shapes,
+                            fig13_interleave_accuracy,
+                            fig16c_mixed_colocation, sweep_workload,
+                            table1_metric_correlations,
+                            table6_overall_accuracy)
+from repro.analysis.lab import BANDWIDTH_TIER_PLATFORMS
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_lab():
+    return Lab()
+
+
+@pytest.fixture(scope="module")
+def small_suite(small_lab):
+    return small_lab.suite()[:12]
+
+
+class TestCollectRecords:
+    def test_record_fields(self, small_lab, small_suite):
+        records = collect_records("numa", small_lab,
+                                  workloads=small_suite)
+        assert len(records) == len(small_suite)
+        for record in records:
+            assert set(record.predicted_components) == \
+                {"drd", "cache", "store"}
+            assert set(record.actual_components) == \
+                {"drd", "cache", "store"}
+            assert record.predicted_slowdown == pytest.approx(
+                sum(record.predicted_components.values()))
+            # Attribution additivity.
+            assert sum(record.actual_components.values()) == \
+                pytest.approx(record.actual_slowdown, abs=1e-6)
+
+    def test_records_cached_between_drivers(self, small_lab,
+                                            small_suite):
+        before = small_lab.cache_size()
+        collect_records("numa", small_lab, workloads=small_suite)
+        mid = small_lab.cache_size()
+        collect_records("numa", small_lab, workloads=small_suite)
+        assert small_lab.cache_size() == mid
+        assert mid >= before
+
+
+class TestDecompositionDriver:
+    def test_rows_for_requested_workloads(self, small_lab):
+        rows = fig2_decomposition("cxl-a",
+                                  workload_names=("605.mcf", "557.xz"),
+                                  lab=small_lab)
+        assert {row.name for row in rows} == {"605.mcf", "557.xz"}
+        for row in rows:
+            assert abs(row.residual) < 0.02
+
+
+class TestSweepDriver:
+    def test_sweep_points_ordered(self, small_lab):
+        bw_lab = Lab(tier_platforms=BANDWIDTH_TIER_PLATFORMS)
+        sweep = sweep_workload(get_workload("557.xz"), "cxl-a",
+                               ratios=(1.0, 0.5, 0.0), lab=bw_lab)
+        assert [p.dram_fraction for p in sweep.points] == [1.0, 0.5, 0.0]
+        assert sweep.points[0].total == pytest.approx(0.0, abs=1e-9)
+        assert not sweep.convex
+        assert sweep.optimal().dram_fraction == 1.0
+
+
+class TestTimeseriesDriver:
+    def test_window_count(self, small_lab):
+        points = fig8_timeseries("cxl-a", cycles=1, lab=small_lab)
+        assert len(points) == 3
+        assert [p.window for p in points] == [0, 1, 2]
+
+
+class TestTable1Driver:
+    def test_includes_camp_row(self, small_lab):
+        result = table1_metric_correlations("numa", small_lab)
+        metrics = {c.metric for c in result.correlations}
+        assert "camp" in metrics
+        assert len(result.correlations) == 7
+        for correlation in result.correlations:
+            assert 0.0 <= correlation.measured_pearson <= 1.0
+            assert len(correlation.series) == 265
+
+
+class TestTable6Driver:
+    def test_single_tier(self, small_lab):
+        rows = table6_overall_accuracy(tiers=("numa",), lab=small_lab)
+        assert len(rows) == 1
+        assert rows[0].summary.count == 265
+
+
+class TestMixedColocationDriver:
+    def test_row_structure(self):
+        bw_lab = Lab(tier_platforms=BANDWIDTH_TIER_PLATFORMS)
+        rows = fig16c_mixed_colocation(
+            fast_shares=(0.8,), policies=("best-shot", "first-touch"),
+            lab=bw_lab)
+        assert len(rows) == 1
+        assert set(rows[0].speedups) == {"best-shot", "first-touch"}
+        assert all(v > 0 for v in rows[0].speedups.values())

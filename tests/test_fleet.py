@@ -1,0 +1,114 @@
+"""Tests for the CAMP-guided fleet capacity planner."""
+
+import pytest
+
+from repro.policies import FleetPlanner
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    members = [get_workload(name) for name in
+               ("605.mcf", "557.xz", "gpt-2", "625.x264", "xsbench")]
+    members.append(get_workload("603.bwaves").with_threads(10))
+    return members
+
+
+@pytest.fixture(scope="module")
+def planner(skx_machine, skx_cxla_calibration):
+    return FleetPlanner(skx_machine, skx_cxla_calibration)
+
+
+class TestValidation:
+    def test_rejects_empty_fleet(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan([], 10.0)
+
+    def test_rejects_nonpositive_capacity(self, planner, fleet):
+        with pytest.raises(ValueError):
+            planner.plan(fleet, 0.0)
+
+    def test_rejects_bad_quantum(self, skx_machine,
+                                 skx_cxla_calibration):
+        with pytest.raises(ValueError):
+            FleetPlanner(skx_machine, skx_cxla_calibration, quantum=0.0)
+
+
+class TestPlanning:
+    def test_budget_respected(self, planner, fleet):
+        total = sum(w.footprint_gib for w in fleet)
+        for share in (0.3, 0.5, 0.8):
+            plan = planner.plan(fleet, share * total)
+            assert plan.dram_used_gib <= plan.fast_capacity_gib + 1e-6
+
+    def test_capacity_monotonicity(self, planner, fleet):
+        total = sum(w.footprint_gib for w in fleet)
+        thin = planner.plan(fleet, 0.3 * total)
+        rich = planner.plan(fleet, 0.8 * total)
+        assert rich.predicted_fleet_throughput >= \
+            thin.predicted_fleet_throughput - 1e-9
+
+    def test_sensitive_workloads_protected_first(self, planner, fleet):
+        total = sum(w.footprint_gib for w in fleet)
+        plan = planner.plan(fleet, 0.5 * total).by_workload()
+        # The serialized, latency-critical members get full DRAM before
+        # the tolerant big ones get any.
+        assert plan["gpt-2"].dram_fraction == pytest.approx(1.0)
+        assert plan["557.xz"].dram_fraction == pytest.approx(1.0)
+        assert plan["xsbench"].dram_fraction < \
+            plan["605.mcf"].dram_fraction
+
+    def test_bandwidth_bound_capped_at_its_optimum(self, planner,
+                                                   fleet):
+        total = sum(w.footprint_gib for w in fleet)
+        # Even with abundant capacity, bwaves stops at its predicted
+        # optimal ratio (more DRAM would *hurt* it).
+        plan = planner.plan(fleet, 2.0 * total).by_workload()
+        bwaves = plan["603.bwaves"]
+        assert bwaves.bandwidth_bound
+        assert 0.55 <= bwaves.dram_fraction <= 0.9
+        assert bwaves.predicted_slowdown < 0.0
+
+    def test_insensitive_members_yield_capacity(self, planner, fleet):
+        total = sum(w.footprint_gib for w in fleet)
+        plan = planner.plan(fleet, 0.3 * total).by_workload()
+        # Under pressure the tolerant members (xsbench: high MLP and
+        # buffering) give way entirely.
+        assert plan["xsbench"].dram_fraction <= 0.1
+
+    def test_assignment_fields(self, planner, fleet):
+        plan = planner.plan(fleet, 20.0)
+        for assignment in plan.assignments:
+            assert 0.0 <= assignment.dram_fraction <= 1.0
+            assert assignment.dram_gib == pytest.approx(
+                assignment.dram_fraction * assignment.footprint_gib)
+            assert assignment.predicted_throughput > 0.0
+
+
+class TestPlannerProperties:
+    """Budget/monotonicity properties over varied capacities."""
+
+    def test_plan_deterministic(self, planner, fleet):
+        a = planner.plan(fleet, 25.0)
+        b = planner.plan(fleet, 25.0)
+        assert a == b
+
+    def test_quantum_granularity(self, skx_machine,
+                                 skx_cxla_calibration, fleet):
+        from repro.policies import FleetPlanner
+        coarse = FleetPlanner(skx_machine, skx_cxla_calibration,
+                              quantum=0.25)
+        plan = coarse.plan(fleet, 30.0)
+        for assignment in plan.assignments:
+            # Fractions land on the quantum grid.
+            steps = assignment.dram_fraction / 0.25
+            assert abs(steps - round(steps)) < 1e-9
+
+    def test_throughput_never_decreases_with_capacity(self, planner,
+                                                      fleet):
+        total = sum(w.footprint_gib for w in fleet)
+        previous = 0.0
+        for share in (0.1, 0.25, 0.4, 0.6, 0.9):
+            plan = planner.plan(fleet, share * total)
+            assert plan.predicted_fleet_throughput >= previous - 1e-9
+            previous = plan.predicted_fleet_throughput

@@ -1,0 +1,127 @@
+"""Property-based tests over random workloads: machine invariants.
+
+Hypothesis generates arbitrary (valid) WorkloadSpecs and checks the
+physical invariants the rest of the stack depends on:
+
+- the closed loop converges;
+- no tier ever serves beyond its capacity;
+- the Melody decomposition is exactly additive;
+- slower devices never make things faster (for equal bandwidth);
+- placement monotonicity for latency-bound workloads.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.uarch import (Machine, Placement, SKX2S, component_slowdowns,
+                         slowdown)
+from repro.uarch.memory import MAX_UTILIZATION
+from repro.workloads import WorkloadSpec
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def workload_specs(draw):
+    mlp = draw(st.floats(min_value=1.0, max_value=12.0))
+    return WorkloadSpec(
+        name=f"hyp-{draw(st.integers(min_value=0, max_value=10**6))}",
+        threads=draw(st.sampled_from([1, 2, 4])),
+        instructions=5e8,
+        base_cpi=draw(st.floats(min_value=0.3, max_value=1.5)),
+        loads_per_ki=draw(st.floats(min_value=20.0, max_value=420.0)),
+        stores_per_ki=draw(st.floats(min_value=0.0, max_value=340.0)),
+        footprint_gib=draw(st.floats(min_value=0.5, max_value=64.0)),
+        l1_hit=draw(st.floats(min_value=0.5, max_value=0.995)),
+        l2_hit=draw(unit) * 0.9,
+        l3_hit_small_llc=draw(unit) * 0.9,
+        llc_sensitivity=draw(unit),
+        mlp=mlp,
+        mlp_headroom=draw(unit) * 0.4,
+        stall_exposure=draw(st.floats(min_value=0.3, max_value=0.8)),
+        same_line_ratio=draw(unit) * 0.85,
+        pf_friend=draw(unit) * 0.95,
+        pf_l1_share=draw(unit),
+        pf_lookahead_ns=draw(st.floats(min_value=0.0, max_value=200.0)),
+        store_miss_ratio=draw(unit) * 0.3,
+        store_burst=draw(unit),
+        burstiness=draw(unit),
+        tail_sensitivity=draw(unit),
+        near_buffer_hit=draw(unit) * 0.45,
+        hotness_skew=draw(unit),
+    )
+
+
+MACHINE = Machine(SKX2S, noise=0.0)
+
+hyp_settings = settings(max_examples=30, deadline=None,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestMachineInvariants:
+    @given(spec=workload_specs())
+    @hyp_settings
+    def test_converges_and_respects_capacity(self, spec):
+        result = MACHINE.run(spec)
+        assert result.converged
+        assert result.cycles >= result.breakdown.base_cycles
+        capacity = SKX2S.dram.peak_bandwidth_gbps * MAX_UTILIZATION
+        assert result.dram_gbps <= capacity * 1.05
+
+    @given(spec=workload_specs())
+    @hyp_settings
+    def test_slow_tier_capacity_and_latency_floor(self, spec):
+        result = MACHINE.run(spec, Placement.slow_only("cxl-a"))
+        assert result.converged
+        assert result.slow_gbps <= 24.0 * MAX_UTILIZATION * 1.05
+        assert result.slow_latency_ns >= 214.0 * 0.999
+
+    @given(spec=workload_specs())
+    @hyp_settings
+    def test_decomposition_additive(self, spec):
+        dram = MACHINE.run(spec)
+        cxl = MACHINE.run(spec, Placement.slow_only("cxl-a"))
+        components = component_slowdowns(dram, cxl)
+        assert sum(components.values()) == pytest.approx(
+            slowdown(dram, cxl), abs=1e-6)
+
+    @given(spec=workload_specs())
+    @hyp_settings
+    def test_cxl_never_faster_than_dram(self, spec):
+        dram = MACHINE.run(spec)
+        cxl = MACHINE.run(spec, Placement.slow_only("cxl-a"))
+        assert slowdown(dram, cxl) >= -1e-6
+
+    @given(spec=workload_specs())
+    @hyp_settings
+    def test_cxl_b_at_least_as_slow_as_cxl_a_when_unsaturated(self,
+                                                              spec):
+        # CXL-B is strictly worse in latency with comparable bandwidth;
+        # below saturation it can never win.
+        on_a = MACHINE.run(spec, Placement.slow_only("cxl-a"))
+        if on_a.slow_utilization > 0.6:
+            return  # saturation regimes may differ; skip
+        on_b = MACHINE.run(spec, Placement.slow_only("cxl-b"))
+        assert on_b.cycles >= on_a.cycles * 0.999
+
+    @given(spec=workload_specs(),
+           x=st.floats(min_value=0.05, max_value=0.95))
+    @hyp_settings
+    def test_interleaving_bounded_by_endpoints_when_latency_bound(
+            self, spec, x):
+        dram = MACHINE.run(spec)
+        if dram.dram_utilization > 0.3:
+            return  # only the latency-bound linear regime
+        mid = MACHINE.run(spec, Placement.interleaved(x, "cxl-a"))
+        full = MACHINE.run(spec, Placement.slow_only("cxl-a"))
+        s_mid, s_full = slowdown(dram, mid), slowdown(dram, full)
+        assert -1e-6 <= s_mid <= s_full + 1e-6
+
+    @given(spec=workload_specs())
+    @hyp_settings
+    def test_counters_non_negative_and_consistent(self, spec):
+        sample = MACHINE.run(spec).counters
+        for counter, value in sample.items():
+            assert value >= 0.0, counter
+        assert sample["P1"] >= sample["P3"]
+        assert sample.mlp >= 1.0

@@ -1,0 +1,175 @@
+"""Unit + property tests for the memory-tier latency/bandwidth model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uarch.config import CXL_A, SKX2S
+from repro.uarch.memory import (MAX_ESCALATION, MAX_UTILIZATION,
+                                BlendedMemory, TierLoad, gbps_from_lines,
+                                lines_per_second, loaded_latency_ns,
+                                measure_idle_latency_ns, rfo_latency_ns,
+                                updated_escalation,
+                                utilization_for_bandwidth)
+
+DRAM = SKX2S.dram
+
+utilizations = st.floats(min_value=0.0, max_value=1.5, allow_nan=False)
+
+
+class TestLoadedLatency:
+    def test_idle_latency_at_zero_load(self):
+        assert loaded_latency_ns(DRAM, 0.0) == DRAM.idle_latency_ns
+
+    @given(u=utilizations)
+    def test_never_below_idle(self, u):
+        assert loaded_latency_ns(DRAM, u) >= DRAM.idle_latency_ns
+
+    @given(u1=utilizations, u2=utilizations)
+    def test_monotone_in_utilization(self, u1, u2):
+        lo, hi = sorted((u1, u2))
+        assert loaded_latency_ns(DRAM, lo) <= \
+            loaded_latency_ns(DRAM, hi) + 1e-9
+
+    def test_clamped_beyond_ceiling(self):
+        assert loaded_latency_ns(DRAM, 2.0) == \
+            loaded_latency_ns(DRAM, MAX_UTILIZATION)
+
+    def test_full_load_latency_in_physical_range(self):
+        # MLC-style loaded latency: ~2-3x idle near saturation.
+        ratio = loaded_latency_ns(DRAM, MAX_UTILIZATION) / \
+            DRAM.idle_latency_ns
+        assert 1.8 <= ratio <= 3.2
+
+    def test_tail_sensitivity_inflates_cxl(self):
+        base = loaded_latency_ns(CXL_A, 0.3, tail_sensitivity=0.0)
+        tail = loaded_latency_ns(CXL_A, 0.3, tail_sensitivity=1.0)
+        assert tail == pytest.approx(base * (1.0 + CXL_A.tail_alpha))
+
+    def test_tail_sensitivity_noop_on_dram(self):
+        assert loaded_latency_ns(DRAM, 0.3, 1.0) == \
+            loaded_latency_ns(DRAM, 0.3, 0.0)
+
+
+class TestRfoLatency:
+    @given(u=utilizations)
+    def test_rfo_at_least_read_latency(self, u):
+        assert rfo_latency_ns(CXL_A, u) >= \
+            loaded_latency_ns(CXL_A, u) - 1e-9
+
+    def test_rfo_factor_applied(self):
+        assert rfo_latency_ns(CXL_A, 0.0) == pytest.approx(
+            CXL_A.idle_latency_ns * CXL_A.rfo_latency_factor)
+
+
+class TestEscalation:
+    def test_no_escalation_below_capacity(self):
+        assert updated_escalation(1.0, DRAM, 10.0) == 1.0
+
+    def test_escalation_grows_when_oversubscribed(self):
+        over = DRAM.peak_bandwidth_gbps * 1.5
+        assert updated_escalation(1.0, DRAM, over) > 1.0
+
+    def test_escalation_decays_when_relieved(self):
+        relaxed = updated_escalation(2.0, DRAM, 10.0)
+        assert relaxed < 2.0
+
+    def test_escalation_never_below_one(self):
+        assert updated_escalation(1.0, DRAM, 0.0) == 1.0
+        assert updated_escalation(0.5, DRAM, 1.0) >= 1.0
+
+    def test_escalation_capped(self):
+        value = 1.0
+        for _ in range(1000):
+            value = updated_escalation(
+                value, DRAM, DRAM.peak_bandwidth_gbps * 100)
+        assert value == MAX_ESCALATION
+
+    @given(esc=st.floats(min_value=1.0, max_value=50.0),
+           offered=st.floats(min_value=0.0, max_value=500.0))
+    def test_escalation_bounds(self, esc, offered):
+        new = updated_escalation(esc, DRAM, offered)
+        assert 1.0 <= new <= MAX_ESCALATION
+
+    def test_fixed_point_at_capacity(self):
+        capacity = DRAM.peak_bandwidth_gbps * MAX_UTILIZATION
+        assert updated_escalation(3.0, DRAM, capacity) == \
+            pytest.approx(3.0)
+
+
+class TestUtilization:
+    def test_zero_bandwidth(self):
+        assert utilization_for_bandwidth(DRAM, 0.0) == 0.0
+
+    def test_clamped_at_ceiling(self):
+        assert utilization_for_bandwidth(DRAM, 1e6) == MAX_UTILIZATION
+
+    def test_proportional_below_ceiling(self):
+        assert utilization_for_bandwidth(DRAM, 26.0) == \
+            pytest.approx(0.5)
+
+
+class TestIdleProbe:
+    def test_mlc_probe_returns_configured_idle(self):
+        assert measure_idle_latency_ns(CXL_A) == CXL_A.idle_latency_ns
+
+
+class TestTierLoad:
+    def test_total_includes_external(self):
+        load = TierLoad(DRAM, own_gbps=10.0, external_gbps=5.0)
+        assert load.total_gbps == 15.0
+        assert load.utilization == pytest.approx(15.0 / 52.0)
+
+    def test_latency_reflects_combined_load(self):
+        alone = TierLoad(DRAM, own_gbps=20.0)
+        shared = TierLoad(DRAM, own_gbps=20.0, external_gbps=25.0)
+        assert shared.latency_ns() > alone.latency_ns()
+
+
+class TestBlendedMemory:
+    def test_requires_slow_tier_when_interleaved(self):
+        with pytest.raises(ValueError):
+            BlendedMemory(dram=TierLoad(DRAM), slow=None,
+                          dram_fraction=0.5)
+
+    def test_pure_dram_latency(self):
+        blended = BlendedMemory(dram=TierLoad(DRAM), slow=None,
+                                dram_fraction=1.0)
+        assert blended.read_latency_ns() == \
+            pytest.approx(DRAM.idle_latency_ns)
+
+    def test_blend_is_request_weighted(self):
+        blended = BlendedMemory(dram=TierLoad(DRAM),
+                                slow=TierLoad(CXL_A), dram_fraction=0.75)
+        expected = 0.75 * 90.0 + 0.25 * 214.0
+        assert blended.read_latency_ns() == pytest.approx(expected)
+
+    def test_distribute_splits_by_fraction(self):
+        blended = BlendedMemory(dram=TierLoad(DRAM),
+                                slow=TierLoad(CXL_A), dram_fraction=0.6)
+        blended.distribute(10.0)
+        assert blended.dram.own_gbps == pytest.approx(6.0)
+        assert blended.slow.own_gbps == pytest.approx(4.0)
+
+    def test_aggregate_peak_limited_by_split(self):
+        blended = BlendedMemory(dram=TierLoad(DRAM),
+                                slow=TierLoad(CXL_A), dram_fraction=0.9)
+        # At 90:10 the slow tier's 24 GB/s can never be the binding
+        # constraint; DRAM saturates first at 52/0.9.
+        assert blended.aggregate_peak_gbps == pytest.approx(52.0 / 0.9)
+
+    def test_aggregate_peak_balanced_split(self):
+        # The best possible aggregate: each tier loaded to its peak.
+        x_balanced = 52.0 / (52.0 + 24.0)
+        blended = BlendedMemory(dram=TierLoad(DRAM),
+                                slow=TierLoad(CXL_A),
+                                dram_fraction=x_balanced)
+        assert blended.aggregate_peak_gbps == pytest.approx(76.0)
+
+
+class TestLineConversions:
+    def test_roundtrip(self):
+        lines = lines_per_second(10.0)
+        assert gbps_from_lines(lines, 1.0) == pytest.approx(10.0)
+
+    def test_zero_duration(self):
+        assert gbps_from_lines(1e9, 0.0) == 0.0

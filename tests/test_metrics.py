@@ -1,0 +1,66 @@
+"""Tests for the Table 1 baseline metrics."""
+
+import pytest
+
+from repro.core.metrics import (BASELINE_METRICS, aol, bandwidth_gbps,
+                                compute_all, ipc, latency_ns, mpki,
+                                stall_fraction)
+from repro.core.signature import signature
+
+
+class TestMetricInventory:
+    def test_table1_systems_present(self):
+        systems = {spec.system for spec in BASELINE_METRICS}
+        assert systems == {"Memstrata", "BATMAN", "Caption", "Colloid",
+                           "X-Mem", "SoarAlto"}
+
+    def test_paper_pearson_values(self):
+        by_name = {spec.name: spec.paper_pearson
+                   for spec in BASELINE_METRICS}
+        assert by_name == {"mpki": 0.40, "bandwidth": 0.66,
+                           "latency": 0.60, "ipc": 0.37,
+                           "stalls": 0.84, "aol": 0.88}
+
+
+class TestMetricValues:
+    def test_compute_all_keys(self, skx_machine, pointer_workload):
+        profile = skx_machine.profile(pointer_workload)
+        values = compute_all(profile)
+        assert set(values) == {spec.name for spec in BASELINE_METRICS}
+        assert all(v >= 0.0 or k == "ipc" for k, v in values.items())
+
+    def test_pointer_chaser_vs_compute(self, skx_machine,
+                                       pointer_workload,
+                                       compute_workload):
+        pointer_sig = signature(skx_machine.profile(pointer_workload))
+        compute_sig = signature(skx_machine.profile(compute_workload))
+        assert mpki(pointer_sig) > mpki(compute_sig)
+        assert aol(pointer_sig) > aol(compute_sig)
+        assert stall_fraction(pointer_sig) > stall_fraction(compute_sig)
+        assert ipc(compute_sig) > ipc(pointer_sig)
+
+    def test_latency_matches_signature(self, skx_machine,
+                                       pointer_workload):
+        profile = skx_machine.profile(pointer_workload)
+        assert latency_ns(signature(profile)) == pytest.approx(
+            signature(profile).latency_ns)
+
+    def test_bandwidth_reasonable(self, skx_machine,
+                                  streaming_workload):
+        profile = skx_machine.profile(streaming_workload)
+        value = bandwidth_gbps(profile)
+        # Streaming 8 threads saturates SKX DRAM; the counter-derived
+        # figure should land in the tens of GB/s.
+        assert 15.0 < value < 80.0
+
+    def test_bandwidth_zero_without_duration(self, skx_machine,
+                                             streaming_workload):
+        profile = skx_machine.profile(streaming_workload)
+        from dataclasses import replace
+        assert bandwidth_gbps(replace(profile, duration_s=0.0)) == 0.0
+
+    def test_mpki_zero_without_instructions(self, skx_machine,
+                                            pointer_workload):
+        sig = signature(skx_machine.profile(pointer_workload))
+        from dataclasses import replace
+        assert mpki(replace(sig, instructions=0.0)) == 0.0

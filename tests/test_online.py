@@ -1,0 +1,72 @@
+"""Tests for the online windowed predictor + phase detection."""
+
+import pytest
+
+from repro.core import OnlinePredictor
+from repro.workloads import tc_kron_phased
+
+
+@pytest.fixture()
+def online(skx_cxla_calibration):
+    return OnlinePredictor(skx_cxla_calibration, "skx", 2.2)
+
+
+class TestValidation:
+    def test_alpha_range(self, skx_cxla_calibration):
+        with pytest.raises(ValueError):
+            OnlinePredictor(skx_cxla_calibration, "skx", 2.2, alpha=0.0)
+
+    def test_threshold_positive(self, skx_cxla_calibration):
+        with pytest.raises(ValueError):
+            OnlinePredictor(skx_cxla_calibration, "skx", 2.2,
+                            phase_threshold=0.0)
+
+
+class TestStreaming:
+    def test_empty_state(self, online):
+        assert online.current_estimate is None
+        assert online.phase_count == 0
+        assert online.phase_boundaries() == ()
+
+    def test_first_window_opens_phase_zero(self, skx_machine, online,
+                                           pointer_workload):
+        sample = skx_machine.run(pointer_workload).counters
+        update = online.observe(sample)
+        assert update.window == 0
+        assert update.phase == 0
+        assert not update.phase_change
+        assert online.phase_count == 1
+
+    def test_stable_stream_stays_one_phase(self, skx_machine, online,
+                                           pointer_workload):
+        sample = skx_machine.run(pointer_workload).counters
+        for _ in range(5):
+            update = online.observe(sample)
+        assert online.phase_count == 1
+        assert update.smoothed_total == pytest.approx(
+            update.instant.total, rel=0.01)
+
+    def test_phase_change_detected(self, skx_machine, online,
+                                   pointer_workload, compute_workload):
+        quiet = skx_machine.run(compute_workload).counters
+        loud = skx_machine.run(pointer_workload).counters
+        online.observe(quiet)
+        update = online.observe(loud)
+        assert update.phase_change
+        assert online.phase_count == 2
+        assert online.phase_boundaries() == (1,)
+
+    def test_phased_workload_boundaries(self, skx_machine, online):
+        profile = skx_machine.profile_phased(tc_kron_phased(cycles=2))
+        updates = online.observe_profile(profile)
+        assert len(updates) == 6
+        # Every scan->ramp->probe transition differs by more than the
+        # threshold, so every window boundary is a phase boundary.
+        assert online.phase_count == 6
+
+    def test_history_matches_observations(self, skx_machine, online,
+                                          pointer_workload):
+        sample = skx_machine.run(pointer_workload).counters
+        online.observe(sample)
+        online.observe(sample)
+        assert [u.window for u in online.history] == [0, 1]

@@ -1,0 +1,88 @@
+"""Tests for placements and the request-share model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uarch.interleave import (REQUEST_SHARE_JITTER, Placement,
+                                    request_share)
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPlacement:
+    def test_dram_only(self):
+        placement = Placement.dram_only()
+        assert placement.is_dram_only
+        assert placement.slow_device() is None
+        assert placement.describe() == "dram"
+
+    def test_slow_only(self):
+        placement = Placement.slow_only("cxl-b")
+        assert placement.is_slow_only
+        assert placement.slow_device().idle_latency_ns == 271.0
+
+    def test_interleaved_describe(self):
+        placement = Placement.interleaved(0.7, "cxl-a")
+        assert placement.describe() == "70:30 dram:cxl-a"
+
+    def test_requires_device_when_spilling(self):
+        with pytest.raises(ValueError):
+            Placement(dram_fraction=0.5, device=None)
+
+    def test_validates_fraction(self):
+        with pytest.raises(ValueError):
+            Placement(dram_fraction=1.5, device="cxl-a")
+
+    def test_validates_bias(self):
+        with pytest.raises(ValueError):
+            Placement(dram_fraction=0.5, device="cxl-a",
+                      hotness_bias=2.0)
+
+    def test_validates_device_eagerly(self):
+        with pytest.raises(KeyError):
+            Placement(dram_fraction=0.5, device="optane")
+
+    def test_hashable(self):
+        assert len({Placement.dram_only(), Placement.dram_only()}) == 1
+
+
+class TestRequestShare:
+    def test_endpoints_exact(self):
+        assert request_share(Placement.dram_only(), "w") == 1.0
+        assert request_share(Placement.slow_only("cxl-a"), "w") == 0.0
+
+    @given(x=fractions)
+    def test_bounded(self, x):
+        placement = (Placement.dram_only() if x >= 1.0 else
+                     Placement(dram_fraction=x, device="cxl-a"))
+        assert 0.0 <= request_share(placement, "any") <= 1.0
+
+    def test_jitter_small(self):
+        # Paper 5.2: request share tracks footprint share within ~2%.
+        for x in (0.2, 0.5, 0.8):
+            placement = Placement.interleaved(x, "cxl-a")
+            for name in ("a", "b", "c", "longer-name"):
+                share = request_share(placement, name)
+                assert abs(share - x) <= REQUEST_SHARE_JITTER + 1e-12
+
+    def test_deterministic_per_workload(self):
+        placement = Placement.interleaved(0.5, "cxl-a")
+        assert request_share(placement, "w1") == \
+            request_share(placement, "w1")
+
+    def test_varies_across_workloads(self):
+        placement = Placement.interleaved(0.5, "cxl-a")
+        shares = {request_share(placement, f"w{i}") for i in range(16)}
+        assert len(shares) > 1
+
+    def test_hotness_bias_raises_share(self):
+        uniform = Placement(dram_fraction=0.6, device="cxl-a")
+        skewed = Placement(dram_fraction=0.6, device="cxl-a",
+                           hotness_bias=0.4)
+        assert request_share(skewed, "w") > request_share(uniform, "w")
+
+    def test_full_bias_sends_all_requests_to_dram(self):
+        skewed = Placement(dram_fraction=0.5, device="cxl-a",
+                           hotness_bias=1.0)
+        assert request_share(skewed, "w") == pytest.approx(1.0,
+                                                           abs=0.02)

@@ -1,0 +1,105 @@
+"""Tests for signature extraction and platform counter mappings."""
+
+import pytest
+
+from repro.core.counters import Counter, CounterSample, ProfiledRun
+from repro.core.signature import (Signature, cache_level_stalls,
+                                  lfb_hit_ratio, mem_prefetch_reliance,
+                                  signature, signature_from_sample)
+
+
+def sample(values=None):
+    base = {
+        Counter.CYCLES: 1e9,
+        Counter.INSTRUCTIONS: 1.5e9,
+        Counter.STALLS_L1D_MISS: 3.0e8,
+        Counter.STALLS_L2_MISS: 2.4e8,
+        Counter.STALLS_L3_MISS: 2.0e8,
+        Counter.L1_MISS: 6e6,
+        Counter.LFB_HIT: 4e6,
+        Counter.BOUND_ON_STORES: 5e7,
+        Counter.PF_L1D_ANY_RESPONSE: 8e6,
+        Counter.PF_L1D_L3_HIT: 2e6,
+        Counter.ORO_DEMAND_RD: 6e8,
+        Counter.OR_DEMAND_RD: 3e6,
+        Counter.ORO_CYC_W_DEMAND_RD: 1.5e8,
+        Counter.LLC_LOOKUP_PF_RD: 7e6,
+        Counter.LLC_LOOKUP_ALL: 1e7,
+        Counter.TOR_INS_IA_PREF: 5e6,
+        Counter.TOR_INS_IA_HIT_PREF: 1e6,
+    }
+    base.update(values or {})
+    return CounterSample(base)
+
+
+class TestCounterMappings:
+    def test_cache_stalls_skx_uses_l1_band(self):
+        assert cache_level_stalls(sample(), "skx") == \
+            pytest.approx(3.0e8 - 2.4e8)
+
+    def test_cache_stalls_spr_uses_l2_band(self):
+        assert cache_level_stalls(sample(), "spr") == \
+            pytest.approx(2.4e8 - 2.0e8)
+
+    def test_cache_stalls_clamped_non_negative(self):
+        inverted = sample({Counter.STALLS_L2_MISS: 4e8})
+        assert cache_level_stalls(inverted, "skx") == 0.0
+
+    def test_rmem_skx_formula(self):
+        # (P7 - P8) / P7
+        assert mem_prefetch_reliance(sample(), "skx") == \
+            pytest.approx((8e6 - 2e6) / 8e6)
+
+    def test_rmem_spr_formula(self):
+        # (P14/P15) * (P16/(P16+P17))
+        expected = (7e6 / 1e7) * (5e6 / 6e6)
+        assert mem_prefetch_reliance(sample(), "spr") == \
+            pytest.approx(expected)
+
+    def test_rmem_zero_when_no_prefetch(self):
+        quiet = sample({Counter.PF_L1D_ANY_RESPONSE: 0.0})
+        assert mem_prefetch_reliance(quiet, "skx") == 0.0
+
+    def test_lfb_hit_ratio(self):
+        assert lfb_hit_ratio(sample()) == pytest.approx(0.4)
+
+
+class TestSignature:
+    def test_extraction_roundtrip(self):
+        sig = signature_from_sample(sample(), "spr", 2.1, tier="dram",
+                                    label="w")
+        assert sig.cycles == 1e9
+        assert sig.latency_cycles == pytest.approx(200.0)
+        assert sig.mlp == pytest.approx(4.0)
+        assert sig.aol == pytest.approx(50.0)
+        assert sig.latency_ns == pytest.approx(200.0 / 2.1)
+        assert sig.s_llc == 2.0e8
+        assert sig.s_cache == pytest.approx(4e7)  # spr: P2 - P3
+        assert sig.s_sb == 5e7
+        assert sig.llc_stall_fraction == pytest.approx(0.2)
+        assert sig.sb_stall_fraction == pytest.approx(0.05)
+        assert sig.memory_active_fraction == pytest.approx(0.15)
+        assert sig.ipc == pytest.approx(1.5)
+
+    def test_family_changes_cache_band(self):
+        skx = signature_from_sample(sample(), "skx", 2.2)
+        spr = signature_from_sample(sample(), "spr", 2.1)
+        assert skx.s_cache != spr.s_cache
+
+    def test_signature_from_profile(self, skx_machine,
+                                    streaming_workload):
+        profile = skx_machine.profile(streaming_workload)
+        sig = signature(profile)
+        assert sig.platform_family == "skx"
+        assert sig.label == streaming_workload.name
+        assert 0.0 <= sig.lfb_hit_ratio <= 1.0
+        assert 0.0 <= sig.mem_prefetch_reliance <= 1.0
+
+    def test_streaming_has_high_cache_pressure_ratios(
+            self, skx_machine, streaming_workload, pointer_workload):
+        stream_sig = signature(skx_machine.profile(streaming_workload))
+        pointer_sig = signature(skx_machine.profile(pointer_workload))
+        assert stream_sig.lfb_hit_ratio > pointer_sig.lfb_hit_ratio
+        assert stream_sig.mem_prefetch_reliance > \
+            pointer_sig.mem_prefetch_reliance
+        assert pointer_sig.aol > stream_sig.aol

@@ -1,0 +1,116 @@
+"""Integration tests for the combined DRAM-only slowdown predictor.
+
+These assert the paper's *headline behaviour* on canonical workloads:
+the forecast from a DRAM-only run tracks the measured slowdown.
+"""
+
+import pytest
+
+from repro.core.slowdown import SlowdownPredictor
+from repro.uarch import Placement, slowdown
+from repro.workloads import get_workload
+
+
+class TestPredictorPlumbing:
+    def test_rejects_slow_tier_profile(self, skx_machine,
+                                       skx_cxla_calibration,
+                                       pointer_workload):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        slow_profile = skx_machine.profile(
+            pointer_workload, Placement.slow_only("cxl-a"))
+        with pytest.raises(ValueError, match="DRAM"):
+            predictor.predict(slow_profile)
+
+    def test_rejects_foreign_platform(self, spr_machine,
+                                      skx_cxla_calibration,
+                                      pointer_workload):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        profile = spr_machine.profile(pointer_workload)
+        with pytest.raises(ValueError, match="calibration"):
+            predictor.predict(profile)
+
+    def test_prediction_total_is_component_sum(self, skx_machine,
+                                               skx_cxla_calibration,
+                                               pointer_workload):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        prediction = predictor.predict(
+            skx_machine.profile(pointer_workload))
+        assert prediction.total == pytest.approx(
+            prediction.drd + prediction.cache + prediction.store)
+        assert prediction.device == "cxl-a"
+
+    def test_as_dict(self, skx_machine, skx_cxla_calibration,
+                     pointer_workload):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        prediction = predictor.predict(
+            skx_machine.profile(pointer_workload))
+        assert set(prediction.as_dict()) == {"drd", "cache", "store",
+                                             "total"}
+
+
+class TestPredictionAccuracy:
+    def _check(self, machine, calibration, workload, tolerance):
+        predictor = SlowdownPredictor(calibration)
+        dram = machine.run(workload)
+        slow = machine.run(workload,
+                           Placement.slow_only(calibration.device))
+        predicted = predictor.predict(dram.profiled()).total
+        actual = slowdown(dram, slow)
+        assert predicted == pytest.approx(actual, abs=tolerance), \
+            f"{workload.name}: predicted {predicted}, actual {actual}"
+
+    def test_pointer_chaser_cxl(self, skx_machine,
+                                skx_cxla_calibration,
+                                pointer_workload):
+        # A big-slowdown workload (~1.0x); tolerance matches the
+        # paper's ~10% relative error tail.
+        self._check(skx_machine, skx_cxla_calibration,
+                    pointer_workload, tolerance=0.16)
+
+    def test_compute_bound_cxl(self, skx_machine, skx_cxla_calibration,
+                               compute_workload):
+        self._check(skx_machine, skx_cxla_calibration,
+                    compute_workload, tolerance=0.03)
+
+    def test_store_workload_cxl(self, skx_machine,
+                                skx_cxla_calibration, store_workload):
+        self._check(skx_machine, skx_cxla_calibration, store_workload,
+                    tolerance=0.25)
+
+    def test_named_workloads_numa(self, skx_machine,
+                                  skx_numa_calibration):
+        for name in ("605.mcf", "557.xz", "rangeQuery2d", "xsbench"):
+            self._check(skx_machine, skx_numa_calibration,
+                        get_workload(name), tolerance=0.08)
+
+    def test_predicts_component_dominance(self, skx_machine,
+                                          skx_cxla_calibration,
+                                          store_workload,
+                                          pointer_workload):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        store_pred = predictor.predict(
+            skx_machine.profile(store_workload))
+        pointer_pred = predictor.predict(
+            skx_machine.profile(pointer_workload))
+        assert store_pred.store > store_pred.drd
+        assert pointer_pred.drd > pointer_pred.store
+
+
+class TestWindowedPrediction:
+    def test_predict_windows(self, skx_machine, skx_cxla_calibration,
+                             pointer_workload):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        base = skx_machine.run(pointer_workload)
+        windows = (base.counters, base.counters.scaled(0.5))
+        profile = base.profiled(windows=windows)
+        predictions = predictor.predict_windows(profile)
+        assert len(predictions) == 2
+        # Scaling all counters uniformly preserves every model ratio.
+        assert predictions[0].total == pytest.approx(
+            predictions[1].total)
+
+    def test_no_windows(self, skx_machine, skx_cxla_calibration,
+                        pointer_workload):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        profile = skx_machine.profile(pointer_workload)
+        assert predictor.predict_windows(profile) == []

@@ -1,0 +1,120 @@
+"""Unit tests for platform/device configuration (Tables 3-4)."""
+
+import pytest
+
+from repro.uarch.config import (CXL_A, CXL_B, CXL_C, DEVICES,
+                                EVALUATION_TIERS, NUMA, PLATFORMS, SKX2S,
+                                SPR2S, EMR2S, MemoryDeviceConfig,
+                                PlatformConfig, get_device, get_platform)
+
+
+class TestPaperFigures:
+    """The published latency/bandwidth numbers are reproduced verbatim."""
+
+    def test_table3_platforms(self):
+        assert SKX2S.cores == 10 and SKX2S.frequency_ghz == 2.2
+        assert SPR2S.cores == 32 and SPR2S.frequency_ghz == 2.1
+        assert EMR2S.llc_mib == 160.0
+        assert SKX2S.dram.idle_latency_ns == 90.0
+        assert SPR2S.dram.idle_latency_ns == 114.0
+        assert EMR2S.dram.idle_latency_ns == 111.0
+        assert SKX2S.dram.peak_bandwidth_gbps == 52.0
+        assert SPR2S.dram.peak_bandwidth_gbps == 191.0
+        assert EMR2S.dram.peak_bandwidth_gbps == 246.0
+
+    def test_table4_devices(self):
+        assert CXL_A.idle_latency_ns == 214.0
+        assert CXL_B.idle_latency_ns == 271.0
+        assert CXL_C.idle_latency_ns == 239.0
+        assert CXL_A.peak_bandwidth_gbps == 24.0
+        assert CXL_B.peak_bandwidth_gbps == 22.0
+        assert CXL_C.peak_bandwidth_gbps == 52.0
+        assert NUMA.idle_latency_ns == 140.0
+
+    def test_cxl_b_has_27pct_higher_latency_than_a(self):
+        assert CXL_B.idle_latency_ns / CXL_A.idle_latency_ns == \
+            pytest.approx(1.27, abs=0.01)
+
+    def test_cxl_c_has_double_bandwidth_of_a(self):
+        ratio = CXL_C.peak_bandwidth_gbps / CXL_A.peak_bandwidth_gbps
+        assert ratio == pytest.approx(2.0, abs=0.2)
+
+    def test_numa_to_dram_idle_ratio_is_156pct(self):
+        # Paper 4.1.2: "the unloaded latency ratio for CXL versus DRAM
+        # is 156%" - the NUMA tier relative to SKX's local DRAM.
+        assert NUMA.idle_latency_ns / SKX2S.dram.idle_latency_ns == \
+            pytest.approx(1.56, abs=0.01)
+
+    def test_tail_variance_ordering(self):
+        # The paper reports CXL-A/B tail variance; CXL-C is cleaner.
+        assert CXL_B.tail_alpha > CXL_C.tail_alpha
+        assert CXL_A.tail_alpha > CXL_C.tail_alpha
+        assert NUMA.tail_alpha < CXL_A.tail_alpha
+
+    def test_rfo_costlier_on_cxl(self):
+        for device in (CXL_A, CXL_B, CXL_C):
+            assert device.rfo_latency_factor > 1.05
+        assert SKX2S.dram.rfo_latency_factor == 1.0
+
+
+class TestValidation:
+    def test_device_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            MemoryDeviceConfig("x", idle_latency_ns=0.0,
+                               peak_bandwidth_gbps=10.0)
+
+    def test_device_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemoryDeviceConfig("x", idle_latency_ns=100.0,
+                               peak_bandwidth_gbps=0.0)
+
+    def test_device_rejects_bad_knee(self):
+        with pytest.raises(ValueError):
+            MemoryDeviceConfig("x", idle_latency_ns=100.0,
+                               peak_bandwidth_gbps=10.0, queue_knee=1.0)
+
+    def test_platform_requires_dram(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(name="x", family="skx", cores=4,
+                           frequency_ghz=2.0, llc_mib=10.0, dram=None)
+
+    def test_platform_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(name="x", family="zen", cores=4,
+                           frequency_ghz=2.0, llc_mib=10.0,
+                           dram=SKX2S.dram)
+
+    def test_platform_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(name="x", family="skx", cores=0,
+                           frequency_ghz=2.0, llc_mib=10.0,
+                           dram=SKX2S.dram)
+
+
+class TestHelpers:
+    def test_ns_cycles_roundtrip(self):
+        assert SKX2S.cycles_to_ns(SKX2S.ns_to_cycles(123.0)) == \
+            pytest.approx(123.0)
+
+    def test_ns_to_cycles_uses_frequency(self):
+        assert SKX2S.ns_to_cycles(100.0) == pytest.approx(220.0)
+
+    def test_with_device(self):
+        modified = SKX2S.with_device(CXL_A)
+        assert modified.dram is CXL_A
+        assert modified.cores == SKX2S.cores
+        assert SKX2S.dram is not CXL_A  # original untouched
+
+    def test_lookup_case_insensitive(self):
+        assert get_platform("SKX2S") is SKX2S
+        assert get_device("CXL-A") is CXL_A
+
+    def test_lookup_unknown_raises_keyerror_with_choices(self):
+        with pytest.raises(KeyError, match="spr2s"):
+            get_platform("nope")
+        with pytest.raises(KeyError, match="cxl-a"):
+            get_device("nope")
+
+    def test_registries_consistent(self):
+        assert set(EVALUATION_TIERS) == set(DEVICES)
+        assert set(PLATFORMS) == {"skx2s", "spr2s", "emr2s"}

@@ -1,0 +1,233 @@
+"""Tests for the workload substrate: specs, suites, microbenchmarks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads import (EVALUATION_SUITE_SIZE, WorkloadSpec,
+                             bandwidth_bound_eight,
+                             bandwidth_bound_twenty, calibration_suite,
+                             colocation_pairs, evaluation_suite,
+                             generate_population, get_workload, memset,
+                             named_workloads, pointer_chase,
+                             sequential_read, strided_access,
+                             tc_kron_phased, typical_mlp_headroom,
+                             typical_near_buffer)
+from repro.workloads.generator import FAMILIES
+from repro.workloads.phases import Phase, PhasedWorkload
+
+
+class TestWorkloadSpec:
+    def test_validation_ranges(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", threads=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", l1_hit=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", mlp=0.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", base_cpi=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", footprint_gib=-1.0)
+
+    def test_derived_counts(self):
+        spec = WorkloadSpec("x", instructions=1e9, loads_per_ki=200.0,
+                            stores_per_ki=50.0)
+        assert spec.loads == pytest.approx(2e8)
+        assert spec.stores == pytest.approx(5e7)
+
+    def test_l3_hit_grows_with_llc(self):
+        spec = WorkloadSpec("x", l3_hit_small_llc=0.2,
+                            llc_sensitivity=0.5, footprint_gib=16.0)
+        assert spec.l3_hit(14.0) == pytest.approx(0.2)
+        assert spec.l3_hit(160.0) > spec.l3_hit(60.0) > spec.l3_hit(14.0)
+
+    def test_l3_hit_insensitive_workload(self):
+        spec = WorkloadSpec("x", l3_hit_small_llc=0.1,
+                            llc_sensitivity=0.0)
+        assert spec.l3_hit(160.0) == pytest.approx(0.1)
+
+    def test_l3_hit_fits_in_llc(self):
+        spec = WorkloadSpec("x", footprint_gib=0.01,
+                            l3_hit_small_llc=0.3)
+        assert spec.l3_hit(60.0) >= 0.98
+
+    def test_evolved_revalidates(self):
+        spec = WorkloadSpec("x")
+        with pytest.raises(ValueError):
+            spec.evolved(l1_hit=2.0)
+
+    def test_with_threads_scales_instructions(self):
+        spec = WorkloadSpec("x", threads=2, instructions=2e9)
+        scaled = spec.with_threads(8)
+        assert scaled.threads == 8
+        assert scaled.instructions == pytest.approx(8e9)
+
+    def test_tags(self):
+        spec = WorkloadSpec("x", tags=("a", "b"))
+        assert spec.has_tag("a") and not spec.has_tag("c")
+
+    def test_hashable(self):
+        assert len({WorkloadSpec("x"), WorkloadSpec("x")}) == 1
+
+
+class TestCorrelationHelpers:
+    @given(mlp=st.floats(min_value=1.0, max_value=20.0))
+    def test_headroom_bounds(self, mlp):
+        assert 0.0 <= typical_mlp_headroom(mlp) <= 0.45
+
+    def test_headroom_zero_for_serialized(self):
+        assert typical_mlp_headroom(1.0) == 0.0
+
+    @given(fp=st.floats(min_value=0.1, max_value=128.0),
+           sl=st.floats(min_value=0.0, max_value=1.0))
+    def test_near_buffer_bounds(self, fp, sl):
+        assert 0.0 < typical_near_buffer(fp, sl) <= 0.45
+
+    def test_near_buffer_monotone(self):
+        assert typical_near_buffer(1.0, 0.5) > \
+            typical_near_buffer(32.0, 0.5)
+        assert typical_near_buffer(8.0, 0.8) > \
+            typical_near_buffer(8.0, 0.1)
+
+
+class TestGenerator:
+    def test_deterministic_across_calls(self):
+        a = generate_population({"pointer": 5}, seed=7)
+        b = generate_population({"pointer": 5}, seed=7)
+        assert a == b
+
+    def test_seed_changes_population(self):
+        a = generate_population({"pointer": 5}, seed=7)
+        b = generate_population({"pointer": 5}, seed=8)
+        assert a != b
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            generate_population({"bogus": 3})
+
+    def test_family_count_respected(self):
+        population = generate_population({"graph": 7, "compute": 3})
+        assert len(population) == 10
+
+    def test_families_have_distinct_characters(self):
+        pointer = FAMILIES["pointer"].generate(10, seed=1)
+        stream = FAMILIES["hpc-stream"].generate(10, seed=1)
+        assert max(w.mlp for w in pointer) < min(w.mlp for w in stream)
+        assert max(w.pf_friend for w in pointer) < \
+            min(w.pf_friend for w in stream)
+
+    def test_generated_names_unique(self):
+        population = generate_population({"pointer": 20, "graph": 20})
+        names = [w.name for w in population]
+        assert len(set(names)) == len(names)
+
+
+class TestSuites:
+    def test_evaluation_suite_size(self):
+        assert len(evaluation_suite()) == EVALUATION_SUITE_SIZE == 265
+
+    def test_evaluation_suite_deterministic(self):
+        assert evaluation_suite() == evaluation_suite()
+
+    def test_suite_names_unique(self):
+        names = [w.name for w in evaluation_suite()]
+        assert len(set(names)) == len(names)
+
+    def test_paper_workloads_present(self):
+        names = {w.name for w in evaluation_suite()}
+        for expected in ("603.bwaves", "654.roms", "649.fotonik3d",
+                         "557.xz", "pr-kron", "pr-twitter", "tc-road",
+                         "tc-kron", "gpt-2", "llama-7b", "wmt20",
+                         "rangeQuery2d", "xsbench", "dlrm"):
+            assert expected in names
+
+    def test_get_workload(self):
+        assert get_workload("605.mcf").suite == "spec2017"
+        with pytest.raises(KeyError):
+            get_workload("999.nope")
+
+    def test_outlier_characterizations(self):
+        # The misprediction classes the paper names.
+        assert get_workload("pr-kron").mlp > 8.0            # hyper-MLP
+        assert get_workload("llama-7b").burstiness > 0.5    # bursty
+        assert get_workload("pr-twitter").tail_sensitivity > 0.4  # tail
+        # gpt-2: low MPKI (warm caches) yet latency-sensitive.
+        gpt2 = get_workload("gpt-2")
+        assert gpt2.l1_hit > 0.94 and gpt2.mlp < 2.5
+        # tc-road: high miss rate but tolerant.
+        tc_road = get_workload("tc-road")
+        assert tc_road.l1_hit <= 0.8 and tc_road.mlp_headroom > 0.2
+
+    def test_bandwidth_bound_eight(self):
+        eight = bandwidth_bound_eight()
+        assert len(eight) == 8
+        assert all(w.threads == 10 for w in eight)
+
+    def test_bandwidth_bound_twenty(self):
+        twenty = bandwidth_bound_twenty()
+        assert len(twenty) == 20
+        assert len({w.name for w in twenty}) == 20
+
+    def test_colocation_pairs(self):
+        pairs = colocation_pairs()
+        assert len(pairs) == 3
+        assert all(len(pair) == 2 for pair in pairs)
+
+
+class TestMicrobenchmarks:
+    def test_pointer_chase_mlp_control(self):
+        assert pointer_chase(1).mlp == 1.0
+        assert pointer_chase(8).mlp == 8.0
+        with pytest.raises(ValueError):
+            pointer_chase(0)
+
+    def test_pointer_chase_l3_hits_near_llc_size(self):
+        small = pointer_chase(1, footprint_gib=0.03)
+        large = pointer_chase(1, footprint_gib=16.0)
+        assert small.l3_hit_small_llc > large.l3_hit_small_llc
+
+    def test_memset_is_store_dominated(self):
+        spec = memset()
+        assert spec.stores_per_ki > 5 * spec.loads_per_ki
+        assert spec.store_miss_ratio == pytest.approx(0.125)
+
+    def test_strided_coverage_falls_with_stride(self):
+        assert strided_access(1).pf_friend > strided_access(4).pf_friend
+        with pytest.raises(ValueError):
+            strided_access(0)
+
+    def test_sequential_read_is_streaming(self):
+        spec = sequential_read()
+        assert spec.same_line_ratio > 0.7
+        assert spec.pf_friend > 0.8
+
+    def test_calibration_suite_has_all_roles(self):
+        suite = calibration_suite()
+        tags = {tag for spec in suite for tag in spec.tags}
+        assert {"pointer-chase", "streaming", "strided",
+                "store-heavy"} <= tags
+        names = [spec.name for spec in suite]
+        assert len(set(names)) == len(names)
+
+
+class TestPhasedWorkloads:
+    def test_tc_kron_structure(self):
+        phased = tc_kron_phased(cycles=2)
+        assert len(phased.phases) == 6
+        assert phased.total_weight == pytest.approx(10.0)
+
+    def test_windows_split_instructions(self):
+        phased = tc_kron_phased(cycles=1)
+        windows = phased.windows(total_instructions=1e9)
+        assert sum(w.instructions for w in windows) == pytest.approx(1e9)
+        assert all("-p" in w.name for w in windows)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase(get_workload("557.xz"), weight=0.0)
+        with pytest.raises(ValueError):
+            PhasedWorkload(name="x", phases=())
+
+    def test_named_workloads_all_valid(self):
+        # Construction itself runs validation; spot-check count.
+        assert len(named_workloads()) == 39
