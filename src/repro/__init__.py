@@ -24,7 +24,8 @@ Package map:
 - :mod:`repro.uarch` - the simulated machine substrate;
 - :mod:`repro.workloads` - workload population and microbenchmarks;
 - :mod:`repro.policies` - Best-shot and the section 6 baselines;
-- :mod:`repro.analysis` - per-figure experiment drivers.
+- :mod:`repro.analysis` - per-figure experiment drivers;
+- :mod:`repro.runtime` - parallel executor + persistent result cache.
 """
 
 from .core import (Calibration, Counter, CounterSample, ProfiledRun,
@@ -37,11 +38,15 @@ from .workloads import (WorkloadSpec, bandwidth_bound_eight,
 
 __version__ = "1.0.0"
 
+from .runtime import (Executor, ResultStore, RunSpec,  # noqa: E402
+                      Telemetry)
+
 __all__ = [
     "Calibration", "Counter", "CounterSample", "ProfiledRun",
     "SlowdownPredictor", "calibrate", "classify", "synthesize",
     "CXL_A", "CXL_B", "CXL_C", "NUMA", "SKX2S", "SPR2S", "EMR2S",
     "Machine", "Placement", "RunResult", "component_slowdowns",
     "slowdown", "WorkloadSpec", "bandwidth_bound_eight",
-    "evaluation_suite", "get_workload", "__version__",
+    "evaluation_suite", "get_workload", "Executor", "ResultStore",
+    "RunSpec", "Telemetry", "__version__",
 ]

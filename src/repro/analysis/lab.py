@@ -18,6 +18,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.calibration import Calibration, calibrate
 from ..core.slowdown import SlowdownPredictor
+from ..runtime.executor import Executor
+from ..runtime.spec import RunSpec
+from ..runtime.store import ResultStore
 from ..uarch.config import PlatformConfig, get_platform
 from ..uarch.interleave import Placement
 from ..uarch.machine import Machine, RunResult
@@ -37,15 +40,28 @@ REPORT_TIERS: Tuple[str, ...] = ("numa", "cxl-a", "cxl-b", "cxl-c")
 
 
 class Lab:
-    """Memoizing facade over machines, calibrations, and runs."""
+    """Memoizing facade over machines, calibrations, and runs.
+
+    With the defaults the memo lives purely in-process, as it always
+    has.  Handing the lab a :class:`~repro.runtime.store.ResultStore`
+    (or a pre-built :class:`~repro.runtime.executor.Executor`) makes
+    every run and calibration persistent across invocations, and
+    ``jobs > 1`` lets the batch entry points (:meth:`warm`,
+    :func:`calibrate`) fan out over worker processes.
+    """
 
     def __init__(self, seed: int = 2026,
                  tier_platforms: Optional[Dict[str, str]] = None,
-                 noise: Optional[float] = None):
+                 noise: Optional[float] = None,
+                 store: Optional[ResultStore] = None,
+                 jobs: int = 1,
+                 executor: Optional[Executor] = None):
         self.seed = seed
         self.tier_platforms = dict(tier_platforms or
                                    DEFAULT_TIER_PLATFORMS)
         self._noise = noise
+        self.executor = executor if executor is not None else \
+            Executor(jobs=jobs, store=store)
         self._machines: Dict[str, Machine] = {}
         self._calibrations: Dict[Tuple[str, str], Calibration] = {}
         self._runs: Dict[Tuple[str, int, WorkloadSpec, Placement],
@@ -83,7 +99,9 @@ class Lab:
         machine = self.machine_for_tier(tier)
         key = (machine.platform.name, tier.lower())
         if key not in self._calibrations:
-            self._calibrations[key] = calibrate(machine, tier)
+            self._calibrations[key] = calibrate(
+                machine, tier, store=self.executor.store,
+                executor=self.executor)
         return self._calibrations[key]
 
     def predictor(self, tier: str) -> SlowdownPredictor:
@@ -95,8 +113,32 @@ class Lab:
         """Execute (memoized on machine+workload+placement)."""
         key = (machine.platform.name, machine.seed, workload, placement)
         if key not in self._runs:
-            self._runs[key] = machine.run(workload, placement)
+            self._runs[key] = self.executor.run_one(
+                RunSpec.from_machine(machine, workload, placement))
         return self._runs[key]
+
+    def warm(self, machine: Machine,
+             work: Sequence[Tuple[WorkloadSpec, Placement]],
+             label: str = "warm") -> List[RunResult]:
+        """Batch-execute (workload, placement) pairs into the memo.
+
+        The batch entry point for drivers: one call fans the whole
+        work list out over the executor's worker pool (and through the
+        persistent store), after which the per-run accessors below are
+        pure memo hits.  Returns the results in input order.
+        """
+        keys = [(machine.platform.name, machine.seed, workload, placement)
+                for workload, placement in work]
+        missing = [(key, workload, placement)
+                   for key, (workload, placement) in zip(keys, work)
+                   if key not in self._runs]
+        if missing:
+            specs = [RunSpec.from_machine(machine, workload, placement)
+                     for _, workload, placement in missing]
+            for (key, _, _), result in zip(
+                    missing, self.executor.run(specs, label=label)):
+                self._runs[key] = result
+        return [self._runs[key] for key in keys]
 
     def dram_run(self, tier: str, workload: WorkloadSpec) -> RunResult:
         """The DRAM baseline on the tier's hosting platform."""

@@ -32,6 +32,7 @@ from ..core.drd import measured_drd_slowdown, measured_tolerance
 from ..core.metrics import BASELINE_METRICS
 from ..core.signature import Signature, signature
 from ..core.store import measured_store_slowdown
+from ..uarch.interleave import Placement
 from ..uarch.machine import component_slowdowns, slowdown
 from ..workloads.phases import tc_kron_phased
 from ..workloads.spec import WorkloadSpec
@@ -68,8 +69,16 @@ def collect_records(tier: str, lab: Optional[Lab] = None,
     """Run the suite on DRAM and ``tier``; predict from DRAM only."""
     lab = lab or default_lab()
     predictor = lab.predictor(tier)
+    chosen = list(workloads if workloads is not None else lab.suite())
+    # One batched fan-out through the lab's executor (parallel workers
+    # and the persistent store, when configured) before the per-run
+    # accessors below, which then hit the memo.
+    lab.warm(lab.machine_for_tier(tier),
+             [(w, Placement.dram_only()) for w in chosen] +
+             [(w, Placement.slow_only(tier)) for w in chosen],
+             label=f"suite:{tier}")
     records: List[WorkloadRecord] = []
-    for workload in (workloads if workloads is not None else lab.suite()):
+    for workload in chosen:
         dram = lab.dram_run(tier, workload)
         slow = lab.slow_run(tier, workload)
         dram_profile = dram.profiled()

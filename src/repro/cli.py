@@ -17,6 +17,13 @@ Drives the library end-to-end from a shell, the way an operator would:
 Profiling runs execute on the simulated machine; on real hardware the
 same commands would wrap ``perf stat`` - the models only ever see
 counters.
+
+Every simulating subcommand accepts the shared runtime flags
+(``docs/RUNTIME.md``): ``-j/--jobs N`` fans independent runs out over N
+worker processes, results are cached persistently under ``--cache-dir``
+(default ``.repro-cache``; disable with ``--no-cache``), and
+``--progress`` reports live progress plus cache/timing telemetry on
+stderr - stdout stays identical either way.
 """
 
 from __future__ import annotations
@@ -35,6 +42,9 @@ from .core.classify import classify
 from .core.contention import ContentionAwarePredictor
 from .core.interleaving import synthesize
 from .core.slowdown import SlowdownPredictor
+from .runtime.executor import Executor, default_jobs
+from .runtime.spec import RunSpec
+from .runtime.store import ResultStore, default_cache_dir
 from .uarch.config import get_platform
 from .uarch.interleave import Placement
 from .uarch.machine import Machine, slowdown
@@ -46,11 +56,34 @@ def _machine(args) -> Machine:
     return Machine(get_platform(args.platform))
 
 
-def _load_calibration(args, machine: Machine) -> Calibration:
-    """Load from ``--calibration`` or calibrate on the fly."""
+def _executor(args) -> Executor:
+    """Build the runtime (pool + persistent cache) from the CLI flags."""
+    store = None
+    if not getattr(args, "no_cache", False):
+        root = getattr(args, "cache_dir", None)
+        store = ResultStore(pathlib.Path(root) if root
+                            else default_cache_dir())
+    jobs = getattr(args, "jobs", None) or 1
+    return Executor(jobs=jobs, store=store,
+                    progress=getattr(args, "progress", False))
+
+
+def _finish(args, executor: Executor) -> None:
+    """Print the telemetry report (stderr) under ``--progress``."""
+    if getattr(args, "progress", False):
+        report = executor.telemetry.render()
+        if report:
+            print(report, file=sys.stderr)
+
+
+def _load_calibration(args, machine: Machine,
+                      executor: Optional[Executor] = None) -> Calibration:
+    """Load from ``--calibration`` or calibrate (cached) on the fly."""
     if getattr(args, "calibration", None):
         return Calibration.from_json(
             pathlib.Path(args.calibration).read_text())
+    if executor is not None:
+        return executor.calibration(machine, args.device)
     return calibrate(machine, args.device)
 
 
@@ -67,35 +100,45 @@ def _resolve_workload(name: str, threads: Optional[int]):
 
 def cmd_calibrate(args) -> int:
     machine = _machine(args)
-    calibration = calibrate(machine, args.device)
+    executor = _executor(args)
+    calibration = executor.calibration(machine, args.device)
     text = calibration.to_json()
     if args.out:
         pathlib.Path(args.out).write_text(text + "\n")
         print(f"wrote {args.out}")
     else:
         print(text)
+    _finish(args, executor)
     return 0
 
 
 def cmd_predict(args) -> int:
     machine = _machine(args)
-    calibration = _load_calibration(args, machine)
+    executor = _executor(args)
+    calibration = _load_calibration(args, machine, executor)
     predictor_cls = (ContentionAwarePredictor if args.contention_aware
                      else SlowdownPredictor)
     predictor = predictor_cls(calibration)
 
+    workloads = [_resolve_workload(name, args.threads)
+                 for name in args.workload]
+    specs = [RunSpec.from_machine(machine, w, Placement.dram_only())
+             for w in workloads]
+    if args.verify:
+        specs += [RunSpec.from_machine(
+            machine, w, Placement.slow_only(calibration.device))
+            for w in workloads]
+    results = executor.run(specs, label="predict")
+    dram_runs = results[:len(workloads)]
+    slow_runs = results[len(workloads):]
+
     rows = []
-    for name in args.workload:
-        workload = _resolve_workload(name, args.threads)
-        profile = machine.profile(workload, Placement.dram_only())
-        prediction = predictor.predict(profile)
+    for index, (name, dram) in enumerate(zip(args.workload, dram_runs)):
+        prediction = predictor.predict(dram.profiled())
         row = [name, prediction.drd, prediction.cache, prediction.store,
                prediction.total]
         if args.verify:
-            dram = machine.run(workload, Placement.dram_only())
-            slow = machine.run(workload,
-                               Placement.slow_only(calibration.device))
-            actual = slowdown(dram, slow)
+            actual = slowdown(dram, slow_runs[index])
             row += [actual, abs(prediction.total - actual)]
         rows.append(row)
 
@@ -103,16 +146,21 @@ def cmd_predict(args) -> int:
     if args.verify:
         headers += ["actual", "error"]
     print(ascii_table(headers, rows))
+    _finish(args, executor)
     return 0
 
 
 def cmd_classify(args) -> int:
     machine = _machine(args)
-    calibration = _load_calibration(args, machine)
+    executor = _executor(args)
+    calibration = _load_calibration(args, machine, executor)
+    workloads = [_resolve_workload(name, args.threads)
+                 for name in args.workload]
+    profiles = executor.profile(
+        [RunSpec.from_machine(machine, w, Placement.dram_only())
+         for w in workloads], label="classify")
     rows = []
-    for name in args.workload:
-        workload = _resolve_workload(name, args.threads)
-        profile = machine.profile(workload, Placement.dram_only())
+    for name, profile in zip(args.workload, profiles):
         decision = classify(profile, calibration.idle_latency_dram_ns,
                             tolerance=args.tolerance)
         rows.append([name, decision.workload_class.value,
@@ -121,31 +169,46 @@ def cmd_classify(args) -> int:
                      decision.required_profiling_runs])
     print(ascii_table(["workload", "class", "measured ns", "idle ns",
                        "runs needed"], rows))
+    _finish(args, executor)
     return 0
 
 
 def cmd_sweep(args) -> int:
     machine = _machine(args)
-    calibration = _load_calibration(args, machine)
+    executor = _executor(args)
+    calibration = _load_calibration(args, machine, executor)
     workload = _resolve_workload(args.workload, args.threads)
 
-    dram = machine.run(workload, Placement.dram_only())
+    dram = executor.run_one(
+        RunSpec.from_machine(machine, workload, Placement.dram_only()))
     profile = dram.profiled()
     decision = classify(profile, calibration.idle_latency_dram_ns)
     slow_profile = None
     if decision.is_bandwidth_bound:
-        slow_profile = machine.profile(
-            workload, Placement.slow_only(calibration.device))
+        slow_profile = executor.run_one(RunSpec.from_machine(
+            machine, workload,
+            Placement.slow_only(calibration.device))).profiled()
     model = synthesize(profile, calibration, slow_profile)
 
+    ratios = [float(x) for x in np.linspace(1.0, 0.0, args.points)]
+    measured = {}
+    if args.measure:
+        placements = {
+            x: (Placement.dram_only() if x >= 1.0 else
+                Placement.interleaved(x, calibration.device))
+            for x in ratios
+        }
+        runs = executor.run(
+            [RunSpec.from_machine(machine, workload, placements[x])
+             for x in ratios], label="sweep")
+        measured = {x: slowdown(dram, run)
+                    for x, run in zip(ratios, runs)}
+
     rows = []
-    for x in np.linspace(1.0, 0.0, args.points):
-        row = [f"{x:.2f}", model.predict(float(x)).total]
+    for x in ratios:
+        row = [f"{x:.2f}", model.predict(x).total]
         if args.measure:
-            placement = (Placement.dram_only() if x >= 1.0 else
-                         Placement.interleaved(float(x),
-                                               calibration.device))
-            row.append(slowdown(dram, machine.run(workload, placement)))
+            row.append(measured[x])
         rows.append(row)
     headers = ["x (dram)", "predicted S"]
     if args.measure:
@@ -158,24 +221,40 @@ def cmd_sweep(args) -> int:
     print(f"\nBest-shot ratio: {x_best:.2f} "
           f"(predicted slowdown {s_best:+.3f}; "
           f"{'beneficial' if model.beneficial else 'defensive'})")
+    _finish(args, executor)
     return 0
 
 
 def cmd_suite(args) -> int:
     machine = _machine(args)
-    calibration = _load_calibration(args, machine)
+    executor = _executor(args)
+    calibration = _load_calibration(args, machine, executor)
     predictor_cls = (ContentionAwarePredictor if args.contention_aware
                      else SlowdownPredictor)
     predictor = predictor_cls(calibration)
 
-    workloads = evaluation_suite()
-    if args.limit:
-        workloads = workloads[:args.limit]
-    predicted, actual = [], []
+    # The named workloads are the (deterministic) prefix of the
+    # evaluation suite, so a small --workloads N never has to pay for
+    # generating the full 265-workload population.
+    named = list(named_workloads().values())
+    if args.limit and args.limit <= len(named):
+        workloads = named[:args.limit]
+    else:
+        workloads = evaluation_suite()
+        if args.limit:
+            workloads = workloads[:args.limit]
+    specs = []
     for workload in workloads:
-        dram = machine.run(workload, Placement.dram_only())
-        slow = machine.run(workload,
-                           Placement.slow_only(calibration.device))
+        specs.append(RunSpec.from_machine(machine, workload,
+                                          Placement.dram_only()))
+        specs.append(RunSpec.from_machine(
+            machine, workload, Placement.slow_only(calibration.device)))
+    results = executor.run(specs, label="suite")
+
+    predicted, actual = [], []
+    for index in range(len(workloads)):
+        dram = results[2 * index]
+        slow = results[2 * index + 1]
         predicted.append(predictor.predict(dram.profiled()).total)
         actual.append(slowdown(dram, slow))
     summary = accuracy_summary(predicted, actual)
@@ -183,18 +262,39 @@ def cmd_suite(args) -> int:
         ["workloads", "pearson", "<=5% err", "<=10% err"],
         [[summary.count, summary.pearson, summary.within_5pct,
           summary.within_10pct]]))
+    _finish(args, executor)
     return 0
 
 
 def cmd_fleet(args) -> int:
     machine = _machine(args)
-    calibration = _load_calibration(args, machine)
+    executor = _executor(args)
+    calibration = _load_calibration(args, machine, executor)
     from .policies.fleet import FleetPlanner
     fleet = [_resolve_workload(name, None) for name in args.workload]
+
+    # Pre-warm the caches in two batched stages (the slow-tier runs
+    # are only needed for bandwidth-bound members), then hand the
+    # planner a profiler that serves from them.
+    profiles = executor.profile(
+        [RunSpec.from_machine(machine, w, Placement.dram_only())
+         for w in fleet], label="fleet:dram")
+    bandwidth_bound = [
+        w for w, profile in zip(fleet, profiles)
+        if classify(profile,
+                    calibration.idle_latency_dram_ns).is_bandwidth_bound]
+    if bandwidth_bound:
+        executor.run(
+            [RunSpec.from_machine(
+                machine, w, Placement.slow_only(calibration.device))
+             for w in bandwidth_bound], label="fleet:slow")
+
     total = sum(w.footprint_gib for w in fleet)
     capacity = (args.capacity_gib if args.capacity_gib
                 else args.share * total)
-    plan = FleetPlanner(machine, calibration).plan(fleet, capacity)
+    planner = FleetPlanner(machine, calibration,
+                           profiler=executor.profiler(machine))
+    plan = planner.plan(fleet, capacity)
     rows = [(a.workload, f"{a.footprint_gib:.1f}", a.dram_fraction,
              f"{a.dram_gib:.1f}", a.predicted_slowdown,
              "bw-bound" if a.bandwidth_bound else "lat-bound")
@@ -204,27 +304,40 @@ def cmd_fleet(args) -> int:
     print(f"\nDRAM used: {plan.dram_used_gib:.1f} / "
           f"{plan.fast_capacity_gib:.1f} GiB; predicted fleet "
           f"throughput {plan.predicted_fleet_throughput:.3f}")
+    _finish(args, executor)
     return 0
+
+
+def _dynamics_trace(task):
+    """Worker for ``dynamics``: simulate one policy's migration loop."""
+    from .policies.dynamics import simulate_tiering
+    machine, workload, device, capacity, policy, epochs, bias = task
+    return simulate_tiering(machine, workload, device, capacity, policy,
+                            epochs=epochs, hotness_bias=bias)
 
 
 def cmd_dynamics(args) -> int:
     machine = _machine(args)
-    calibration = _load_calibration(args, machine)
+    executor = _executor(args)
+    calibration = _load_calibration(args, machine, executor)
     from .analysis.reporting import sparkline
     from .policies.dynamics import (BestShotDynamics, ColloidDynamics,
-                                    FirstTouchDynamics, NBTDynamics,
-                                    simulate_tiering)
+                                    FirstTouchDynamics, NBTDynamics)
     workload = _resolve_workload(args.workload, args.threads)
     capacity = args.share * workload.footprint_gib
     lineup = [(BestShotDynamics(calibration), 0.0),
               (FirstTouchDynamics(), 0.10),
               (NBTDynamics(), 0.30),
               (ColloidDynamics(), 0.25)]
+    # Epoch-coupled simulations are not content-addressable runs, but
+    # the four policy loops are independent: fan them out.
+    traces = executor.map(
+        _dynamics_trace,
+        [(machine, workload, args.device, capacity, policy,
+          args.epochs, bias) for policy, bias in lineup],
+        label="dynamics")
     rows = []
-    for policy, bias in lineup:
-        trace = simulate_tiering(machine, workload, args.device,
-                                 capacity, policy, epochs=args.epochs,
-                                 hotness_bias=bias)
+    for (policy, _), trace in zip(lineup, traces):
         rows.append((policy.name, trace.normalized_performance,
                      trace.migration_cycles / trace.total_cycles,
                      trace.convergence_epoch(),
@@ -232,6 +345,7 @@ def cmd_dynamics(args) -> int:
                                width=args.epochs)))
     print(ascii_table(["policy", "norm perf", "migration",
                        "converged@", "x(t)"], rows))
+    _finish(args, executor)
     return 0
 
 
@@ -263,6 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--calibration",
                            help="path to a saved calibration JSON "
                                 "(default: calibrate on the fly)")
+        runtime = p.add_argument_group(
+            "runtime", "parallelism, result cache, telemetry "
+                       "(docs/RUNTIME.md)")
+        runtime.add_argument("-j", "--jobs", type=int, default=1,
+                             metavar="N",
+                             help="worker processes for simulated runs "
+                                  "(default 1 = serial; 0 = all cores)")
+        runtime.add_argument("--cache-dir", metavar="DIR",
+                             help="persistent result cache location "
+                                  "(default: $REPRO_CACHE_DIR or "
+                                  "./.repro-cache)")
+        runtime.add_argument("--no-cache", action="store_true",
+                             help="skip the persistent result cache "
+                                  "entirely")
+        runtime.add_argument("--progress", action="store_true",
+                             help="live progress + cache/timing "
+                                  "telemetry on stderr")
 
     p = sub.add_parser("calibrate",
                        help="fit platform constants from microbenchmarks")
@@ -303,7 +434,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suite",
                        help="prediction accuracy over the population")
     common(p)
-    p.add_argument("--limit", type=int,
+    p.add_argument("--limit", "--workloads", type=int, dest="limit",
+                   metavar="N",
                    help="only the first N workloads (quick check)")
     p.add_argument("--contention-aware", action="store_true")
     p.set_defaults(func=cmd_suite)
@@ -335,7 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 0:
+        parser.error(f"-j/--jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        args.jobs = default_jobs()
     return args.func(args)
 
 

@@ -32,7 +32,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.optimize import curve_fit
 
 from .cache import CacheModel, measured_cache_slowdown
 from .drd import DrdModel, hyperbolic_tolerance, measured_drd_slowdown, \
@@ -122,6 +121,10 @@ def fit_hyperbola(aol_values: Sequence[float],
     growth at all) are kept - they anchor the low end of the curve -
     but clipped away from zero to keep the reciprocal finite.
     """
+    # Imported lazily: scipy.optimize costs ~0.4 s to import, and the
+    # cache-hit paths (warm CLI runs, persisted calibrations) never fit.
+    from scipy.optimize import curve_fit
+
     aol = np.asarray(aol_values, dtype=float)
     tol = np.asarray(tolerance_values, dtype=float)
     if aol.shape != tol.shape or aol.size < 2:
@@ -236,34 +239,67 @@ def fit_from_samples(samples: Sequence[CalibrationSample],
 
 
 def calibrate(machine, device: str,
-              benchmarks: Optional[Sequence] = None) -> Calibration:
+              benchmarks: Optional[Sequence] = None,
+              store=None, executor=None) -> Calibration:
     """Run the microbenchmark suite on ``machine`` and fit the constants.
 
     ``machine`` is a :class:`~repro.uarch.machine.Machine`; ``device``
     names the slow tier to calibrate against ("numa", "cxl-a", ...).
     This is the reproduction of the paper's one-time calibration phase.
+
+    ``store`` (a :class:`~repro.runtime.store.ResultStore`) makes the
+    fit persistent: the finished calibration is content-addressed by
+    platform, device, microbenchmark suite, and code version, so a
+    second call is a cache lookup.  ``executor`` (a
+    :class:`~repro.runtime.executor.Executor`) fans the 2x-per-bench
+    profiling runs out in parallel; both default to the serial,
+    uncached behaviour.
     """
     # Imported here: repro.uarch depends on repro.core.counters, so the
-    # top-level import would be circular.
+    # top-level import would be circular (same for repro.runtime, which
+    # serializes this module's Calibration).
+    from ..runtime.executor import Executor
+    from ..runtime.spec import CalibrationSpec, RunSpec
     from ..uarch.interleave import Placement
     from ..workloads.microbench import calibration_suite
     from .signature import signature
 
     benches = list(benchmarks) if benchmarks is not None \
         else calibration_suite()
-    samples: List[CalibrationSample] = []
+
+    key = None
+    if store is not None:
+        key = CalibrationSpec.from_machine(machine, device,
+                                           benches).fingerprint()
+        payload = store.get(key)
+        if payload is not None:
+            return Calibration.from_dict(payload)
+
+    if executor is None:
+        executor = Executor(jobs=1, store=store)
+    specs = []
     for bench in benches:
-        dram_sig = signature(machine.profile(bench, Placement.dram_only()))
-        slow_sig = signature(machine.profile(bench,
-                                             Placement.slow_only(device)))
+        specs.append(RunSpec.from_machine(machine, bench,
+                                          Placement.dram_only()))
+        specs.append(RunSpec.from_machine(machine, bench,
+                                          Placement.slow_only(device)))
+    profiles = executor.profile(specs, label="calibrate")
+
+    samples: List[CalibrationSample] = []
+    for index, bench in enumerate(benches):
+        dram_sig = signature(profiles[2 * index])
+        slow_sig = signature(profiles[2 * index + 1])
         samples.append(CalibrationSample(
             dram=dram_sig, slow=slow_sig,
             roles=roles_for_tags(bench.tags)))
 
-    return fit_from_samples(
+    calibration = fit_from_samples(
         samples,
         platform_family=machine.platform.family,
         device=device,
         idle_latency_dram_ns=machine.idle_latency_ns("dram"),
         idle_latency_slow_ns=machine.idle_latency_ns(device),
     )
+    if store is not None and key is not None:
+        store.put(key, calibration.to_dict())
+    return calibration

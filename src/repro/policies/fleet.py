@@ -89,25 +89,31 @@ class FleetPlanner:
         Where profiling runs execute and the platform constants.
     quantum:
         Planning granularity as a footprint fraction per step.
+    profiler:
+        Optional ``(workload, placement) -> ProfiledRun`` override for
+        the profiling runs; defaults to ``machine.profile``.  The CLI
+        passes an :meth:`~repro.runtime.executor.Executor.profiler`
+        here so fleet planning shares the persistent result cache.
     """
 
     def __init__(self, machine: Machine, calibration: Calibration,
-                 quantum: float = DEFAULT_QUANTUM):
+                 quantum: float = DEFAULT_QUANTUM, profiler=None):
         if not 0.0 < quantum <= 0.5:
             raise ValueError("quantum must be in (0, 0.5]")
         self.machine = machine
         self.calibration = calibration
         self.quantum = quantum
+        self.profiler = profiler if profiler is not None \
+            else machine.profile
 
     def _model_for(self, workload: WorkloadSpec
                    ) -> Tuple[InterleavingModel, bool]:
-        dram_profile = self.machine.profile(workload,
-                                            Placement.dram_only())
+        dram_profile = self.profiler(workload, Placement.dram_only())
         decision = classify(dram_profile,
                             self.calibration.idle_latency_dram_ns)
         slow_profile = None
         if decision.is_bandwidth_bound:
-            slow_profile = self.machine.profile(
+            slow_profile = self.profiler(
                 workload, Placement.slow_only(self.calibration.device))
         return (synthesize(dram_profile, self.calibration,
                            slow_profile),

@@ -1,0 +1,287 @@
+"""Fan simulated runs out over processes, through the result cache.
+
+:class:`Executor` is the one entry point every driver (CLI subcommands,
+:class:`~repro.analysis.lab.Lab`, the calibration fitter, the fleet
+planner) uses to execute :class:`~repro.runtime.spec.RunSpec` batches.
+It layers three caches and one pool:
+
+1. an in-process memo (fingerprint -> payload), so a driver that asks
+   for the same run twice in one invocation pays nothing;
+2. the persistent :class:`~repro.runtime.store.ResultStore`, shared
+   across invocations and across ``-j`` settings;
+3. only the genuinely-missing specs are executed - in a
+   ``ProcessPoolExecutor`` when ``jobs > 1`` and the batch is
+   picklable, serially otherwise (``-j 1``, single-item batches, or
+   any pool failure fall back transparently).
+
+Results always return in input order, independent of completion order,
+and every result - hit or miss, serial or parallel - passes through the
+same JSON round-trip (:mod:`repro.runtime.serde`), which is what makes
+``-j 1`` and ``-j 4`` outputs byte-identical, cold and warm.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    TypeVar)
+
+from ..core.counters import ProfiledRun
+from ..uarch.machine import Machine, RunResult
+from . import serde
+from .spec import RunSpec
+from .store import ResultStore
+from .telemetry import ProgressReporter, Telemetry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
+    value = os.environ.get(JOBS_ENV)
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def execute_run_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Execute one spec and return its serialized payload.
+
+    Module-level so process-pool workers can import it by reference;
+    returning the serialized form keeps a single decode path for cached
+    and fresh results.
+    """
+    return serde.run_result_to_dict(spec.execute())
+
+
+def _indexed_execute(item: Tuple[int, RunSpec]) -> Tuple[int, Dict[str, Any]]:
+    index, spec = item
+    return index, execute_run_spec(spec)
+
+
+def _call(item: Tuple[Callable[[T], R], T]) -> R:
+    fn, arg = item
+    return fn(arg)
+
+
+class Executor:
+    """Cached, optionally-parallel runner for simulated executions.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum worker processes; ``1`` (the default) never forks.
+    store:
+        Persistent result cache, or ``None`` to keep results only in
+        the in-process memo.
+    telemetry:
+        Shared :class:`Telemetry`; a fresh one is created if omitted.
+    progress:
+        When true, batch entry points draw a live progress line on
+        stderr.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 store: Optional[ResultStore] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 progress: bool = False):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.store = store
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.progress = progress
+        self._memo: Dict[str, Dict[str, Any]] = {}
+
+    # -- cache layers --------------------------------------------------------
+    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = self._memo.get(key)
+        if payload is not None:
+            self.telemetry.count("memo_hits")
+            return payload
+        if self.store is not None:
+            payload = self.store.get(key)
+            if payload is not None:
+                self.telemetry.count("store_hits")
+                self._memo[key] = payload
+                return payload
+        return None
+
+    def _commit(self, key: str, payload: Dict[str, Any]) -> None:
+        self._memo[key] = payload
+        if self.store is not None:
+            with self.telemetry.stage("persist"):
+                try:
+                    self.store.put(key, payload)
+                except OSError:
+                    # Unwritable cache (read-only dir, disk full):
+                    # results are correct without it, so degrade to
+                    # memo-only rather than failing the run.
+                    self.telemetry.count("store_errors")
+
+    @property
+    def hit_count(self) -> int:
+        return (self.telemetry.counters.get("memo_hits", 0) +
+                self.telemetry.counters.get("store_hits", 0))
+
+    @property
+    def miss_count(self) -> int:
+        return self.telemetry.counters.get("misses", 0)
+
+    # -- batch execution -----------------------------------------------------
+    def run(self, specs: Sequence[RunSpec],
+            label: str = "run") -> List[RunResult]:
+        """Execute a batch; results come back in input order."""
+        specs = list(specs)
+        reporter = ProgressReporter(len(specs), label=label,
+                                    enabled=self.progress)
+        with self.telemetry.stage("hash"):
+            keys = [spec.fingerprint() for spec in specs]
+
+        payloads: List[Optional[Dict[str, Any]]] = []
+        pending: List[Tuple[int, RunSpec]] = []
+        # Duplicate specs inside one batch execute once; the extra
+        # indices are aliases filled in at commit time.
+        aliases: Dict[str, List[int]] = {}
+        with self.telemetry.stage("lookup"):
+            for index, (spec, key) in enumerate(zip(specs, keys)):
+                payload = self._lookup(key)
+                payloads.append(payload)
+                if payload is not None:
+                    reporter.update(hits=self.hit_count,
+                                    misses=self.miss_count)
+                elif key in aliases:
+                    self.telemetry.count("memo_hits")
+                    aliases[key].append(index)
+                    reporter.update(hits=self.hit_count,
+                                    misses=self.miss_count)
+                else:
+                    self.telemetry.count("misses")
+                    aliases[key] = []
+                    pending.append((index, spec))
+
+        if pending:
+            with self.telemetry.stage("simulate"):
+                for index, payload in self._execute_pending(pending,
+                                                            reporter):
+                    payloads[index] = payload
+                    for duplicate in aliases[keys[index]]:
+                        payloads[duplicate] = payload
+                    self._commit(keys[index], payload)
+        reporter.finish()
+
+        with self.telemetry.stage("decode"):
+            results = [serde.run_result_from_dict(payload)
+                       for payload in payloads]
+        return results
+
+    def _execute_pending(self, pending: List[Tuple[int, RunSpec]],
+                         reporter: ProgressReporter):
+        """Yield ``(index, payload)`` as work completes."""
+        workers = min(self.jobs, len(pending))
+        if workers > 1 and self._picklable(pending):
+            try:
+                yield from self._execute_pool(pending, workers, reporter)
+                return
+            except Exception:
+                # Pool startup/teardown failure (sandboxed /dev/shm,
+                # broken worker, ...): degrade to serial execution.
+                self.telemetry.count("pool_fallbacks")
+        for index, spec in pending:
+            payload = execute_run_spec(spec)
+            reporter.update(hits=self.hit_count,
+                            misses=self.miss_count)
+            yield index, payload
+
+    def _execute_pool(self, pending: List[Tuple[int, RunSpec]],
+                      workers: int, reporter: ProgressReporter):
+        self.telemetry.count("pool_workers", workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_indexed_execute, item)
+                       for item in pending}
+            while futures:
+                done, futures = wait(futures,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, payload = future.result()
+                    reporter.update(hits=self.hit_count,
+                                    misses=self.miss_count)
+                    yield index, payload
+
+    @staticmethod
+    def _picklable(pending: List[Tuple[int, RunSpec]]) -> bool:
+        try:
+            pickle.dumps(pending)
+            return True
+        except Exception:
+            return False
+
+    # -- conveniences --------------------------------------------------------
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run([spec])[0]
+
+    def profile(self, specs: Sequence[RunSpec],
+                label: str = "profile") -> List[ProfiledRun]:
+        return [result.profiled() for result in self.run(specs, label)]
+
+    def profiler(self, machine: Machine
+                 ) -> Callable[..., ProfiledRun]:
+        """A drop-in replacement for ``machine.profile`` that routes
+        single profiling calls through the cache layers."""
+        def profile(workload, placement=None) -> ProfiledRun:
+            spec = RunSpec.from_machine(machine, workload, placement)
+            return self.run_one(spec).profiled()
+        return profile
+
+    def calibration(self, machine: Machine, device: str,
+                    benchmarks: Optional[Sequence] = None):
+        """Store-backed CAMP calibration (see
+        :func:`repro.core.calibration.calibrate`)."""
+        from ..core.calibration import calibrate
+        return calibrate(machine, device, benchmarks,
+                         store=self.store, executor=self)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T],
+            label: str = "task") -> List[R]:
+        """Order-preserving parallel map with serial fallback.
+
+        For work that is not content-addressable (e.g. epoch-coupled
+        tiering simulations): no caching, just fan-out.  Falls back to
+        a plain loop when ``jobs == 1``, the batch is trivial, or
+        ``fn``/items cannot be pickled.
+        """
+        items = list(items)
+        reporter = ProgressReporter(len(items), label=label,
+                                    enabled=self.progress)
+        workers = min(self.jobs, len(items))
+        results: Optional[List[R]] = None
+        if workers > 1:
+            try:
+                pickle.dumps((fn, items))
+                with self.telemetry.stage("simulate"):
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        results = []
+                        for result in pool.map(
+                                _call, [(fn, item) for item in items]):
+                            results.append(result)
+                            reporter.update()
+            except Exception:
+                self.telemetry.count("pool_fallbacks")
+                results = None
+        if results is None:
+            with self.telemetry.stage("simulate"):
+                results = []
+                for item in items:
+                    results.append(fn(item))
+                    reporter.update()
+        reporter.finish()
+        return results

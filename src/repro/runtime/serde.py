@@ -1,0 +1,171 @@
+"""JSON round-trips for the objects the result cache persists.
+
+The :class:`~repro.runtime.store.ResultStore` keeps payloads as JSON so
+cache entries are inspectable, diffable, and independent of pickle
+versioning.  This module is the single place that knows how to flatten
+the simulator's dataclasses into plain dicts and rebuild them exactly.
+
+Round-trips are lossless: every field is a float, int, bool, string, or
+a nested dataclass of those, and Python's JSON encoder emits
+shortest-round-trip floats, so ``from_dict(to_dict(x))`` reconstructs
+``x`` bit-for-bit.  That exactness is load-bearing - it is what makes
+warm-cache and cold-cache runs (and serial and parallel runs, which
+share this code path) produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from ..core.calibration import Calibration
+from ..core.counters import Counter, CounterSample, ProfiledRun
+from ..uarch.caches import DemandProfile
+from ..uarch.config import MemoryDeviceConfig, PlatformConfig
+from ..uarch.core import CycleBreakdown
+from ..uarch.interleave import Placement
+from ..uarch.machine import RunResult
+from ..uarch.prefetcher import PrefetchProfile
+from ..workloads.spec import WorkloadSpec
+
+# ---------------------------------------------------------------------------
+# Configuration objects.
+# ---------------------------------------------------------------------------
+
+def device_to_dict(device: MemoryDeviceConfig) -> Dict[str, Any]:
+    return asdict(device)
+
+
+def device_from_dict(data: Dict[str, Any]) -> MemoryDeviceConfig:
+    return MemoryDeviceConfig(**data)
+
+
+def platform_to_dict(platform: PlatformConfig) -> Dict[str, Any]:
+    return asdict(platform)
+
+
+def platform_from_dict(data: Dict[str, Any]) -> PlatformConfig:
+    data = dict(data)
+    data["dram"] = device_from_dict(data["dram"])
+    return PlatformConfig(**data)
+
+
+def workload_to_dict(workload: WorkloadSpec) -> Dict[str, Any]:
+    data = asdict(workload)
+    data["tags"] = list(workload.tags)
+    return data
+
+
+def workload_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
+    data = dict(data)
+    data["tags"] = tuple(data.get("tags", ()))
+    return WorkloadSpec(**data)
+
+
+def placement_to_dict(placement: Placement) -> Dict[str, Any]:
+    return asdict(placement)
+
+
+def placement_from_dict(data: Dict[str, Any]) -> Placement:
+    return Placement(**data)
+
+
+# ---------------------------------------------------------------------------
+# Counter samples and profiled runs.
+# ---------------------------------------------------------------------------
+
+def sample_to_dict(sample: CounterSample) -> Dict[str, float]:
+    return {counter.value: value for counter, value in sample.items()}
+
+
+def sample_from_dict(data: Dict[str, float]) -> CounterSample:
+    return CounterSample({Counter(key): value
+                          for key, value in data.items()})
+
+
+def profiled_run_to_dict(run: ProfiledRun) -> Dict[str, Any]:
+    return {
+        "sample": sample_to_dict(run.sample),
+        "platform_family": run.platform_family,
+        "tier": run.tier,
+        "frequency_ghz": run.frequency_ghz,
+        "duration_s": run.duration_s,
+        "label": run.label,
+        "windows": [sample_to_dict(window) for window in run.windows],
+    }
+
+
+def profiled_run_from_dict(data: Dict[str, Any]) -> ProfiledRun:
+    return ProfiledRun(
+        sample=sample_from_dict(data["sample"]),
+        platform_family=data["platform_family"],
+        tier=data["tier"],
+        frequency_ghz=data["frequency_ghz"],
+        duration_s=data["duration_s"],
+        label=data.get("label", ""),
+        windows=tuple(sample_from_dict(window)
+                      for window in data.get("windows", [])),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full run results.
+# ---------------------------------------------------------------------------
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    return {
+        "workload": workload_to_dict(result.workload),
+        "placement": placement_to_dict(result.placement),
+        "platform": platform_to_dict(result.platform),
+        "breakdown": asdict(result.breakdown),
+        "demand": asdict(result.demand),
+        "prefetch": asdict(result.prefetch),
+        "counters": sample_to_dict(result.counters),
+        "observed_read_ns": result.observed_read_ns,
+        "tier_read_ns": result.tier_read_ns,
+        "rfo_ns": result.rfo_ns,
+        "dram_latency_ns": result.dram_latency_ns,
+        "slow_latency_ns": result.slow_latency_ns,
+        "dram_gbps": result.dram_gbps,
+        "slow_gbps": result.slow_gbps,
+        "dram_utilization": result.dram_utilization,
+        "slow_utilization": result.slow_utilization,
+        "runtime_s": result.runtime_s,
+        "converged": result.converged,
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    slow_latency: Optional[float] = data["slow_latency_ns"]
+    return RunResult(
+        workload=workload_from_dict(data["workload"]),
+        placement=placement_from_dict(data["placement"]),
+        platform=platform_from_dict(data["platform"]),
+        breakdown=CycleBreakdown(**data["breakdown"]),
+        demand=DemandProfile(**data["demand"]),
+        prefetch=PrefetchProfile(**data["prefetch"]),
+        counters=sample_from_dict(data["counters"]),
+        observed_read_ns=data["observed_read_ns"],
+        tier_read_ns=data["tier_read_ns"],
+        rfo_ns=data["rfo_ns"],
+        dram_latency_ns=data["dram_latency_ns"],
+        slow_latency_ns=slow_latency,
+        dram_gbps=data["dram_gbps"],
+        slow_gbps=data["slow_gbps"],
+        dram_utilization=data["dram_utilization"],
+        slow_utilization=data["slow_utilization"],
+        runtime_s=data["runtime_s"],
+        converged=data["converged"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Calibrations (already have a dict form; re-exported for symmetry).
+# ---------------------------------------------------------------------------
+
+def calibration_to_dict(calibration: Calibration) -> Dict[str, Any]:
+    return calibration.to_dict()
+
+
+def calibration_from_dict(data: Dict[str, Any]) -> Calibration:
+    return Calibration.from_dict(data)

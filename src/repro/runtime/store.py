@@ -1,0 +1,156 @@
+"""Persistent, content-addressed result cache.
+
+A :class:`ResultStore` maps a cache key (the SHA-256 fingerprint of a
+run specification, :mod:`repro.runtime.spec`) to a JSON payload on
+disk.  Layout: ``<root>/<key[:2]>/<key>.json`` - two-level fan-out so
+a 265-workload suite does not pile thousands of files into one
+directory.
+
+Design rules:
+
+- **Atomic writes.**  Payloads are written to a temp file in the same
+  directory and ``os.replace``d into place, so a killed process can
+  never leave a half-written entry under a valid name.
+- **Corruption is a miss, never an error.**  Unreadable, truncated,
+  or key-mismatched entries are treated as absent (and counted in
+  :attr:`StoreStats.corrupt`); the run simply re-executes and the
+  entry is rewritten.
+- **Self-describing entries.**  Every file carries its own ``key`` and
+  ``schema`` so an entry that was hashed under different code can be
+  recognized and ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory, like
+#: ``.pytest_cache``), used when the env var is unset.
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache root the CLI uses unless ``--cache-dir`` overrides it."""
+    return pathlib.Path(os.environ.get(CACHE_DIR_ENV,
+                                       DEFAULT_CACHE_DIRNAME))
+
+
+@dataclass
+class StoreStats:
+    """Counters one store accumulated over its lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "corrupt": self.corrupt}
+
+
+class ResultStore:
+    """On-disk JSON cache addressed by run-spec fingerprints."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+        self.stats = StoreStats()
+
+    # -- paths ---------------------------------------------------------------
+    def path_for(self, key: str) -> pathlib.Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access --------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or ``None``.
+
+        Any failure mode - missing file, invalid JSON, wrong embedded
+        key - reads as a miss; corrupted entries additionally bump
+        :attr:`StoreStats.corrupt`.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if not isinstance(entry, dict) or entry.get("key") != key:
+                raise ValueError("entry/key mismatch")
+            payload = entry["payload"]
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Persist ``payload`` under ``key`` (atomic replace)."""
+        from .spec import CACHE_SCHEMA_VERSION
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "schema": CACHE_SCHEMA_VERSION,
+                 "payload": payload}
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(entry, tmp)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether anything was removed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry under the root; returns the count."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # -- introspection -------------------------------------------------------
+    def _entries(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        for bucket in sorted(self.root.iterdir()):
+            if bucket.is_dir() and len(bucket.name) == 2:
+                yield from sorted(bucket.glob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __repr__(self) -> str:
+        return (f"ResultStore(root={str(self.root)!r}, "
+                f"entries={len(self)})")

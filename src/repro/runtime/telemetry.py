@@ -1,0 +1,102 @@
+"""Runtime observability: stage timings, cache counters, progress.
+
+The executor threads one :class:`Telemetry` object through a batch of
+work.  It accumulates wall-clock time per named stage (``hash``,
+``simulate``, ``persist``, ``decode``) and event counters (cache hits
+by layer, misses, worker pool size), and renders them as the compact
+report the CLI prints under ``--progress``.
+
+:class:`ProgressReporter` is the live side: a single-line carriage-
+return progress display on stderr, so stdout stays byte-identical with
+and without progress reporting - a property the parallel-vs-serial
+equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, TextIO
+
+
+class Telemetry:
+    """Per-stage wall-clock timings plus named event counters."""
+
+    def __init__(self) -> None:
+        self.stage_seconds: Dict[str, float] = {}
+        self.counters: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a named stage (accumulates across invocations)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = \
+                self.stage_seconds.get(name, 0.0) + elapsed
+
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    # -- reporting -----------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        return {"stages": dict(self.stage_seconds),
+                "counters": dict(self.counters)}
+
+    def render(self) -> str:
+        """A compact multi-line text report for the CLI."""
+        lines = []
+        if self.stage_seconds:
+            total = sum(self.stage_seconds.values())
+            lines.append("stage timings:")
+            for name, seconds in sorted(self.stage_seconds.items(),
+                                        key=lambda kv: -kv[1]):
+                lines.append(f"  {name:<12s} {seconds:8.3f}s")
+            lines.append(f"  {'total':<12s} {total:8.3f}s")
+        if self.counters:
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:<18s} {value:8d}")
+        return "\n".join(lines)
+
+
+class ProgressReporter:
+    """Single-line live progress on stderr (CLI ``--progress``).
+
+    ``update`` redraws the line in place; ``finish`` terminates it.
+    A disabled reporter (``enabled=False``) is a no-op, so call sites
+    never need to branch.
+    """
+
+    def __init__(self, total: int, label: str = "run",
+                 enabled: bool = True,
+                 stream: Optional[TextIO] = None) -> None:
+        self.total = total
+        self.label = label
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self._dirty = False
+
+    def update(self, done: Optional[int] = None, hits: int = 0,
+               misses: int = 0) -> None:
+        if done is not None:
+            self.done = done
+        else:
+            self.done += 1
+        if not self.enabled:
+            return
+        message = (f"\r[{self.label}] {self.done}/{self.total} "
+                   f"· {hits} cache hit(s) · {misses} miss(es)")
+        self.stream.write(message)
+        self.stream.flush()
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self.enabled and self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

@@ -1,0 +1,111 @@
+"""Documentation-vs-code consistency checks.
+
+Docs drift silently; argparse does not.  These tests treat the parser
+as the source of truth and require every subcommand to be documented in
+the ``repro.cli`` module docstring and in ``docs/API.md``, and the
+documentation files this PR promises to exist and be cross-linked.
+"""
+
+import argparse
+import pathlib
+import re
+
+import pytest
+
+import repro.cli as cli
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RUNTIME_FLAGS = ("--jobs", "--cache-dir", "--no-cache", "--progress")
+
+
+def subcommands():
+    parser = cli.build_parser()
+    action = next(a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction))
+    return sorted(action.choices)
+
+
+def read(relative):
+    path = ROOT / relative
+    assert path.is_file(), f"missing documentation file: {relative}"
+    return path.read_text()
+
+
+class TestCliDocstring:
+    def test_every_subcommand_in_docstring_table(self):
+        doc = cli.__doc__
+        for command in subcommands():
+            assert f"``{command}``" in doc, (
+                f"subcommand {command!r} missing from the repro.cli "
+                f"module docstring table")
+
+    def test_docstring_names_no_phantom_commands(self):
+        # Everything the docstring table lists must actually parse.
+        documented = re.findall(r"^``(\w+)``", cli.__doc__, re.M)
+        assert documented, "docstring command table not found"
+        assert set(documented) == set(subcommands())
+
+    def test_runtime_flags_really_exist(self):
+        parser = cli.build_parser()
+        for command in subcommands():
+            if command == "workloads":   # the one non-simulating command
+                continue
+            args = parser.parse_args([command, "x"]
+                                     if command in ("sweep", "dynamics",
+                                                    "predict", "classify",
+                                                    "fleet")
+                                     else [command])
+            for flag in ("jobs", "cache_dir", "no_cache", "progress"):
+                assert hasattr(args, flag), (command, flag)
+
+
+class TestApiDoc:
+    def test_every_subcommand_in_api_doc(self):
+        api = read("docs/API.md")
+        for command in subcommands():
+            assert f"`{command}`" in api, (
+                f"subcommand {command!r} missing from docs/API.md")
+
+    def test_runtime_flags_documented(self):
+        api = read("docs/API.md")
+        for flag in RUNTIME_FLAGS:
+            assert flag in api, f"{flag} missing from docs/API.md"
+
+    def test_documents_the_public_exports(self):
+        import repro
+        api = read("docs/API.md")
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert re.search(rf"\b{re.escape(name)}\b", api), (
+                f"public export {name!r} missing from docs/API.md")
+
+
+class TestRuntimeDoc:
+    def test_exists_and_covers_the_contract(self):
+        runtime = read("docs/RUNTIME.md")
+        for term in ("cache key", "sha256(canonical_json",
+                     "Atomic writes", "Invalidation rules",
+                     "REPRO_CACHE_DIR", ".repro-cache",
+                     "CACHE_SCHEMA_VERSION"):
+            assert term in runtime, f"{term!r} missing from RUNTIME.md"
+
+    def test_runtime_flags_documented(self):
+        runtime = read("docs/RUNTIME.md")
+        for flag in RUNTIME_FLAGS:
+            assert flag in runtime, f"{flag} missing from RUNTIME.md"
+
+
+class TestCrossLinks:
+    @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md"])
+    def test_readme_links_docs(self, doc):
+        assert doc in read("README.md")
+
+    def test_design_links_runtime_doc(self):
+        assert "docs/RUNTIME.md" in read("DESIGN.md")
+
+    def test_cli_docstring_points_at_runtime_doc(self):
+        assert "docs/RUNTIME.md" in cli.__doc__
+
+    def test_gitignore_excludes_cache_dir(self):
+        assert ".repro-cache/" in read(".gitignore")

@@ -1,0 +1,189 @@
+"""Cache-key properties of :mod:`repro.runtime.spec`.
+
+The contract docs/RUNTIME.md promises: equal specs produce equal keys
+(across independently-built objects), and *any* field change produces a
+different key — there is no input to a simulated run that the key
+ignores.
+"""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.runtime import serde
+from repro.runtime.spec import (CalibrationSpec, RunSpec, canonical_json,
+                                code_version, fingerprint)
+from repro.uarch import CXL_A, Machine, Placement, SKX2S, SPR2S
+from repro.workloads import get_workload
+
+
+def spec_for(machine=None, name="605.mcf", placement=None) -> RunSpec:
+    machine = machine or Machine(SKX2S)
+    placement = placement or Placement.slow_only("cxl-a")
+    return RunSpec.from_machine(machine, get_workload(name), placement)
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"a": 1, "b": 2}) == \
+            canonical_json({"b": 2, "a": 1})
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": [1.5], "a": "x"}) == \
+            '{"a":"x","b":[1.5]}'
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": math.nan})
+
+    def test_fingerprint_is_sha256_hex(self):
+        key = fingerprint({"x": 1})
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+
+class TestSameSpecSameKey:
+    def test_independent_constructions_agree(self):
+        # Two machines built from scratch, same parameters.
+        assert spec_for(Machine(SKX2S)).fingerprint() == \
+            spec_for(Machine(SKX2S)).fingerprint()
+
+    def test_default_placement_is_dram_only(self):
+        machine = Machine(SKX2S)
+        workload = get_workload("605.mcf")
+        explicit = RunSpec.from_machine(machine, workload,
+                                        Placement.dram_only())
+        implicit = RunSpec.from_machine(machine, workload)
+        assert explicit.fingerprint() == implicit.fingerprint()
+
+    def test_calibration_spec_agrees(self):
+        key_a = CalibrationSpec.from_machine(Machine(SKX2S),
+                                             "cxl-a").fingerprint()
+        key_b = CalibrationSpec.from_machine(Machine(SKX2S),
+                                             "cxl-a").fingerprint()
+        assert key_a == key_b
+
+
+class TestAnyChangeChangesKey:
+    def test_workload_name(self):
+        assert spec_for(name="605.mcf").fingerprint() != \
+            spec_for(name="557.xz").fingerprint()
+
+    def test_workload_threads(self):
+        machine = Machine(SKX2S)
+        base = get_workload("603.bwaves")
+        a = RunSpec.from_machine(machine, base)
+        b = RunSpec.from_machine(machine, base.with_threads(10))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_every_workload_field_is_hashed(self):
+        # Nudge each numeric field of the WorkloadSpec in turn; every
+        # nudge must move the key.
+        machine = Machine(SKX2S)
+        base = get_workload("605.mcf")
+        base_key = RunSpec.from_machine(machine, base).fingerprint()
+        changed = 0
+        for field in dataclasses.fields(base):
+            value = getattr(base, field.name)
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float)):
+                continue
+            # Some fields are unit-bounded or integral; try candidate
+            # nudges until one yields a valid, different spec.
+            for candidate in (value + 1, value * 0.5,
+                              value * 0.5 + 0.01, value + 0.001):
+                if candidate == value:
+                    continue
+                try:
+                    mutated = dataclasses.replace(
+                        base, **{field.name: type(value)(candidate)})
+                except (ValueError, TypeError):
+                    continue
+                if getattr(mutated, field.name) == value:
+                    continue
+                key = RunSpec.from_machine(machine,
+                                           mutated).fingerprint()
+                assert key != base_key, field.name
+                changed += 1
+                break
+        assert changed > 10   # the characterization really is covered
+
+    def test_placement(self):
+        assert spec_for(placement=Placement.dram_only()).fingerprint() \
+            != spec_for(placement=Placement.slow_only("cxl-a")
+                        ).fingerprint()
+        assert spec_for(
+            placement=Placement.interleaved(0.5, "cxl-a")).fingerprint() \
+            != spec_for(
+                placement=Placement.interleaved(0.6, "cxl-a")
+            ).fingerprint()
+
+    def test_device(self):
+        assert spec_for(placement=Placement.slow_only("cxl-a")
+                        ).fingerprint() != \
+            spec_for(placement=Placement.slow_only("cxl-b")).fingerprint()
+
+    def test_platform(self):
+        assert spec_for(Machine(SKX2S)).fingerprint() != \
+            spec_for(Machine(SPR2S)).fingerprint()
+
+    def test_noise_and_seed(self):
+        base = spec_for(Machine(SKX2S)).fingerprint()
+        assert spec_for(Machine(SKX2S, noise=0.0)).fingerprint() != base
+        assert spec_for(Machine(SKX2S, seed=7)).fingerprint() != base
+
+    def test_custom_device_registry_same_name(self):
+        # Same device *name*, different underlying config: the key must
+        # follow the config the machine would actually use.
+        tweaked = dataclasses.replace(
+            CXL_A, idle_latency_ns=CXL_A.idle_latency_ns + 25.0)
+        stock = spec_for(Machine(SKX2S))
+        custom = spec_for(Machine(SKX2S, devices={"cxl-a": tweaked}))
+        assert stock.fingerprint() != custom.fingerprint()
+
+    def test_code_version_is_hashed(self, monkeypatch):
+        spec = spec_for()
+        before = spec.fingerprint()
+        monkeypatch.setattr("repro.runtime.spec.CACHE_SCHEMA_VERSION",
+                            999)
+        assert code_version().endswith("schema999")
+        assert spec.fingerprint() != before
+
+    def test_calibration_benchmarks_are_hashed(self):
+        machine = Machine(SKX2S)
+        full = CalibrationSpec.from_machine(machine, "cxl-a")
+        trimmed = CalibrationSpec.from_machine(
+            machine, "cxl-a", benchmarks=full.benchmarks[:-1])
+        assert full.fingerprint() != trimmed.fingerprint()
+
+    def test_run_and_calibration_kinds_never_collide(self):
+        # Same machine/device material under the two kinds.
+        run_keys = {spec_for().fingerprint()}
+        cal_keys = {CalibrationSpec.from_machine(
+            Machine(SKX2S), "cxl-a").fingerprint()}
+        assert run_keys.isdisjoint(cal_keys)
+
+
+class TestSpecExecution:
+    def test_rebuilt_machine_reproduces_run(self):
+        machine = Machine(SKX2S)
+        workload = get_workload("605.mcf")
+        placement = Placement.slow_only("cxl-a")
+        direct = machine.run(workload, placement)
+        via_spec = RunSpec.from_machine(machine, workload,
+                                        placement).execute()
+        assert via_spec.cycles == direct.cycles
+        assert via_spec.counters.as_dict() == direct.counters.as_dict()
+
+    def test_serde_round_trip_is_bit_exact(self):
+        result = spec_for().execute()
+        payload = serde.run_result_to_dict(result)
+        # Through an actual JSON text round trip, as the store does.
+        decoded = serde.run_result_from_dict(
+            json.loads(json.dumps(payload)))
+        assert decoded.cycles == result.cycles
+        assert decoded.counters.as_dict() == result.counters.as_dict()
+        assert decoded.profiled().sample.as_dict() == \
+            result.profiled().sample.as_dict()

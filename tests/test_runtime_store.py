@@ -1,0 +1,135 @@
+"""The :class:`repro.runtime.store.ResultStore` durability contract.
+
+docs/RUNTIME.md promises: atomic writes, corruption-as-miss (a damaged
+cache can cost time, never correctness), and explicit invalidation.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.store import (DEFAULT_CACHE_DIRNAME, ResultStore,
+                                 default_cache_dir)
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        payload = {"cycles": 123, "values": {"P1": 4.5}}
+        store.put(KEY, payload)
+        assert store.get(KEY) == payload
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+
+    def test_missing_is_a_miss(self, store):
+        assert store.get(KEY) is None
+        assert store.stats.misses == 1
+        assert store.stats.corrupt == 0
+
+    def test_two_char_fanout_layout(self, store):
+        store.put(KEY, {})
+        assert store.path_for(KEY).exists()
+        assert store.path_for(KEY).parent.name == KEY[:2]
+
+    def test_len_and_contains(self, store):
+        assert len(store) == 0
+        store.put(KEY, {"a": 1})
+        store.put(OTHER, {"b": 2})
+        assert len(store) == 2
+        assert KEY in store
+        assert "ef" + "2" * 62 not in store
+
+    def test_malformed_key_rejected(self, store):
+        for bad in ("", "XYZ", "../../../etc/passwd", KEY.upper()):
+            with pytest.raises(ValueError):
+                store.path_for(bad)
+
+
+class TestCorruptionIsAMiss:
+    def corrupt_with(self, store, text):
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+    def test_garbage_bytes(self, store):
+        self.corrupt_with(store, "\x00\xffnot json")
+        assert store.get(KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_truncated_entry(self, store):
+        store.put(KEY, {"cycles": 9000})
+        path = store.path_for(KEY)
+        path.write_text(path.read_text()[:20])
+        assert store.get(KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_valid_json_wrong_shape(self, store):
+        self.corrupt_with(store, json.dumps([1, 2, 3]))
+        assert store.get(KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_embedded_key_mismatch(self, store):
+        # An entry copied under the wrong name must not be trusted.
+        self.corrupt_with(store, json.dumps(
+            {"key": OTHER, "schema": 1, "payload": {"cycles": 1}}))
+        assert store.get(KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_missing_payload_field(self, store):
+        self.corrupt_with(store, json.dumps({"key": KEY, "schema": 1}))
+        assert store.get(KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_rewrite_heals_corruption(self, store):
+        self.corrupt_with(store, "garbage")
+        assert store.get(KEY) is None
+        store.put(KEY, {"cycles": 7})
+        assert store.get(KEY) == {"cycles": 7}
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, store):
+        for index in range(5):
+            store.put(KEY, {"round": index})
+        leftovers = [p for p in store.path_for(KEY).parent.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_overwrite_replaces_whole_entry(self, store):
+        store.put(KEY, {"cycles": 1, "extra": "old"})
+        store.put(KEY, {"cycles": 2})
+        assert store.get(KEY) == {"cycles": 2}
+
+
+class TestInvalidation:
+    def test_invalidate_one(self, store):
+        store.put(KEY, {"a": 1})
+        assert store.invalidate(KEY) is True
+        assert store.get(KEY) is None
+        assert store.invalidate(KEY) is False
+
+    def test_clear_all(self, store):
+        store.put(KEY, {"a": 1})
+        store.put(OTHER, {"b": 2})
+        assert store.clear() == 2
+        assert len(store) == 0
+        # A cleared store still works.
+        store.put(KEY, {"a": 1})
+        assert store.get(KEY) == {"a": 1}
+
+
+class TestDefaultLocation:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+
+    def test_falls_back_to_dot_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == DEFAULT_CACHE_DIRNAME
