@@ -25,7 +25,8 @@ Package map:
 - :mod:`repro.workloads` - workload population and microbenchmarks;
 - :mod:`repro.policies` - Best-shot and the section 6 baselines;
 - :mod:`repro.analysis` - per-figure experiment drivers;
-- :mod:`repro.runtime` - parallel executor + persistent result cache.
+- :mod:`repro.runtime` - parallel executor + persistent result cache;
+- :mod:`repro.faults` - fault injection + the chaos suite.
 """
 
 from .core import (Calibration, Counter, CounterSample, ProfiledRun,
@@ -40,6 +41,7 @@ __version__ = "1.0.0"
 
 from .runtime import (Executor, ResultStore, RunSpec,  # noqa: E402
                       Telemetry)
+from .faults import FaultPlan, named_plan, run_chaos  # noqa: E402
 
 __all__ = [
     "Calibration", "Counter", "CounterSample", "ProfiledRun",
@@ -48,5 +50,6 @@ __all__ = [
     "Machine", "Placement", "RunResult", "component_slowdowns",
     "slowdown", "WorkloadSpec", "bandwidth_bound_eight",
     "evaluation_suite", "get_workload", "Executor", "ResultStore",
-    "RunSpec", "Telemetry", "__version__",
+    "RunSpec", "Telemetry", "FaultPlan", "named_plan", "run_chaos",
+    "__version__",
 ]

@@ -11,6 +11,8 @@ Drives the library end-to-end from a shell, the way an operator would:
 ``suite``             prediction-accuracy table over the 265 workloads
 ``fleet``             CAMP-guided capacity plan for a job mix
 ``dynamics``          simulate a reactive migration loop vs Best-shot
+``chaos``             run the suite under fault injection and check the
+                      graceful-degradation invariants
 ``workloads``         list the named paper workloads
 ====================  ====================================================
 
@@ -20,10 +22,11 @@ counters.
 
 Every simulating subcommand accepts the shared runtime flags
 (``docs/RUNTIME.md``): ``-j/--jobs N`` fans independent runs out over N
-worker processes, results are cached persistently under ``--cache-dir``
-(default ``.repro-cache``; disable with ``--no-cache``), and
-``--progress`` reports live progress plus cache/timing telemetry on
-stderr - stdout stays identical either way.
+worker processes (``-j auto`` uses every core), results are cached
+persistently under ``--cache-dir`` (default ``.repro-cache``; disable
+with ``--no-cache``), and ``--progress`` reports live progress plus
+cache/timing telemetry on stderr - stdout stays identical either way.
+Fault schedules and the chaos invariants are in ``docs/FAULTS.md``.
 """
 
 from __future__ import annotations
@@ -48,12 +51,61 @@ from .runtime.store import ResultStore, default_cache_dir
 from .uarch.config import get_platform
 from .uarch.interleave import Placement
 from .uarch.machine import Machine, slowdown
-from .workloads.suites import (evaluation_suite, get_workload,
-                               named_workloads)
+from .workloads.suites import (EVALUATION_SUITE_SIZE, evaluation_suite,
+                               get_workload, named_workloads)
 
 
 def _machine(args) -> Machine:
     return Machine(get_platform(args.platform))
+
+
+# ---------------------------------------------------------------------------
+# Argument validation (argparse ``type=`` callables).  Rejecting bad
+# values at parse time yields a usage error + exit code 2 instead of a
+# confusing traceback (or silent nonsense) deep inside a run.
+# ---------------------------------------------------------------------------
+
+def _jobs_arg(value: str) -> int:
+    """Worker count: a positive integer, or ``auto`` for all cores."""
+    if value.strip().lower() == "auto":
+        return default_jobs()
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (or 'auto' for all cores), got {jobs}")
+    return jobs
+
+
+def _cache_dir_arg(value: str) -> pathlib.Path:
+    """Cache location whose parent directory must already exist.
+
+    The store creates its own root on first write, but a nonexistent
+    *parent* is almost always a typo - fail fast instead of scattering
+    a cache tree across a wrong path.
+    """
+    path = pathlib.Path(value)
+    parent = path if path.is_dir() else path.parent
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"parent directory does not exist: {parent}")
+    return path
+
+
+def _workload_count_arg(value: str) -> int:
+    """A workload count within the evaluation population size."""
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}")
+    if not 1 <= count <= EVALUATION_SUITE_SIZE:
+        raise argparse.ArgumentTypeError(
+            f"must be in 1..{EVALUATION_SUITE_SIZE}, got {count}")
+    return count
 
 
 def _executor(args) -> Executor:
@@ -349,6 +401,22 @@ def cmd_dynamics(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .faults.chaos import run_chaos
+    cache_dir = getattr(args, "cache_dir", None)
+    report = run_chaos(
+        schedule=args.schedule, seed=args.seed, limit=args.limit,
+        platform=args.platform, device=args.device, jobs=args.jobs,
+        cache_dir=pathlib.Path(cache_dir) if cache_dir else None,
+        use_cache=not args.no_cache, progress=args.progress)
+    print(report.render())
+    if args.progress and report.telemetry is not None:
+        rendered = report.telemetry.render()
+        if rendered:
+            print(rendered, file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_workloads(args) -> int:
     rows = [(w.name, w.suite, w.threads, f"{w.footprint_gib:.1f}",
              f"{w.mlp:.1f}", ",".join(w.tags))
@@ -380,11 +448,13 @@ def build_parser() -> argparse.ArgumentParser:
         runtime = p.add_argument_group(
             "runtime", "parallelism, result cache, telemetry "
                        "(docs/RUNTIME.md)")
-        runtime.add_argument("-j", "--jobs", type=int, default=1,
+        runtime.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
                              metavar="N",
                              help="worker processes for simulated runs "
-                                  "(default 1 = serial; 0 = all cores)")
-        runtime.add_argument("--cache-dir", metavar="DIR",
+                                  "(default 1 = serial; 'auto' = all "
+                                  "cores)")
+        runtime.add_argument("--cache-dir", type=_cache_dir_arg,
+                             metavar="DIR",
                              help="persistent result cache location "
                                   "(default: $REPRO_CACHE_DIR or "
                                   "./.repro-cache)")
@@ -434,8 +504,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suite",
                        help="prediction accuracy over the population")
     common(p)
-    p.add_argument("--limit", "--workloads", type=int, dest="limit",
-                   metavar="N",
+    p.add_argument("--limit", "--workloads", type=_workload_count_arg,
+                   dest="limit", metavar="N",
                    help="only the first N workloads (quick check)")
     p.add_argument("--contention-aware", action="store_true")
     p.set_defaults(func=cmd_suite)
@@ -460,6 +530,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=20)
     p.set_defaults(func=cmd_dynamics)
 
+    p = sub.add_parser("chaos",
+                       help="fault-inject the stack and verify graceful "
+                            "degradation (docs/FAULTS.md)")
+    common(p)
+    from .faults.plan import SCHEDULES
+    p.add_argument("--schedule", default="default",
+                   choices=sorted(SCHEDULES),
+                   help="named fault schedule (default: 'default')")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed; same seed => same injections")
+    p.add_argument("--workloads", type=_workload_count_arg,
+                   dest="limit", metavar="N",
+                   help="workloads to exercise (default: per schedule)")
+    p.set_defaults(func=cmd_chaos)
+
     p = sub.add_parser("workloads", help="list named paper workloads")
     p.set_defaults(func=cmd_workloads)
 
@@ -469,11 +554,6 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    jobs = getattr(args, "jobs", None)
-    if jobs is not None and jobs < 0:
-        parser.error(f"-j/--jobs must be >= 0, got {jobs}")
-    if jobs == 0:
-        args.jobs = default_jobs()
     return args.func(args)
 
 

@@ -159,4 +159,6 @@ class ContentionAwarePredictor(SlowdownPredictor):
             drd=base.drd * factor,
             cache=base.cache * factor,
             store=base.store * factor,
+            degraded=base.degraded,
+            confidence=base.confidence,
         )

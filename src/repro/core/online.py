@@ -12,6 +12,13 @@ Phase detection is deliberately simple and counter-native: a window
 whose predicted slowdown departs from the running estimate by more than
 ``phase_threshold`` (absolute) starts a new phase.  The EWMA restarts
 on a phase boundary so the estimate re-converges quickly.
+
+Degraded windows (samples that lost counters to perf multiplexing or a
+fault injector, see ``docs/FAULTS.md``) still produce a prediction for
+every window - flagged via :attr:`WindowUpdate.degraded` - but they
+never open a new phase and their EWMA weight is scaled by the sample's
+confidence, so transient counter loss cannot masquerade as a workload
+phase change.
 """
 
 from __future__ import annotations
@@ -38,6 +45,15 @@ class WindowUpdate:
     phase_change: bool
     #: Index of the current phase (0-based).
     phase: int
+
+    @property
+    def degraded(self) -> bool:
+        """True when this window's sample was missing counters."""
+        return self.instant.degraded
+
+    @property
+    def confidence(self) -> float:
+        return self.instant.confidence
 
 
 class OnlinePredictor:
@@ -82,6 +98,15 @@ class OnlinePredictor:
         phase_change = False
         if self._smoothed is None:
             self._smoothed = instant.total
+        elif instant.degraded:
+            # A window with missing counters still produces a (flagged)
+            # prediction, but its apparent slowdown jump may be an
+            # artifact of the fallback quantities: never open a new
+            # phase from it, and let its EWMA weight shrink with the
+            # sample's confidence so one multiplexing gap cannot yank
+            # the estimate.
+            self._smoothed += self.alpha * instant.confidence * (
+                instant.total - self._smoothed)
         elif abs(instant.total - self._smoothed) > self.phase_threshold:
             phase_change = True
             self._phase += 1
@@ -115,6 +140,14 @@ class OnlinePredictor:
     def phase_count(self) -> int:
         """Number of phases seen so far (>= 1 once windows arrive)."""
         return self._phase + (1 if self.history else 0)
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of observed windows whose sample missed counters."""
+        if not self.history:
+            return 0.0
+        degraded = sum(1 for update in self.history if update.degraded)
+        return degraded / len(self.history)
 
     def phase_boundaries(self) -> Tuple[int, ...]:
         """Window indices that started a new phase."""

@@ -14,13 +14,50 @@ section 4.4.3 applied:
 
 Signatures are pure functions of a :class:`~repro.core.counters.
 ProfiledRun`; they never look at simulator ground truth.
+
+Missing counters (``docs/FAULTS.md``): real ``perf`` sessions drop
+events under counter multiplexing, so a sample is *not* guaranteed to
+carry every Table 5 counter.  Extraction never raises for an absent
+counter; instead each quantity falls back along a documented chain
+(e.g. SKX cache-level stalls: ``P1 - P2`` -> ``P2 - P3`` -> ``0``; SKX
+``R_Mem``: offcore events -> uncore proxy -> ``0``), the missing
+counter ids are recorded on the signature, and :attr:`Signature.
+degraded` / :attr:`Signature.confidence` let downstream consumers flag
+predictions built on partial data instead of silently trusting them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
 from .counters import Counter, CounterSample, ProfiledRun
+
+#: Counters whose absence degrades a signature: the full Table 5 event
+#: set plus the architectural instruction counter.  CYCLES is excluded
+#: only because a :class:`CounterSample` cannot exist without it.
+EXPECTED_COUNTERS: Tuple[Counter, ...] = (
+    Counter.INSTRUCTIONS,
+    Counter.STALLS_L1D_MISS, Counter.STALLS_L2_MISS,
+    Counter.STALLS_L3_MISS, Counter.L1_MISS, Counter.LFB_HIT,
+    Counter.BOUND_ON_STORES, Counter.PF_L1D_ANY_RESPONSE,
+    Counter.PF_L1D_L3_HIT, Counter.PF_L2_ANY_RESPONSE,
+    Counter.PF_L2_L3_HIT, Counter.ORO_DEMAND_RD, Counter.OR_DEMAND_RD,
+    Counter.ORO_CYC_W_DEMAND_RD, Counter.LLC_LOOKUP_PF_RD,
+    Counter.LLC_LOOKUP_ALL, Counter.TOR_INS_IA_PREF,
+    Counter.TOR_INS_IA_HIT_PREF,
+)
+
+
+def missing_counters(sample: CounterSample) -> Tuple[str, ...]:
+    """Expected counters absent from ``sample`` (paper ids, sorted).
+
+    The simulator always emits the complete set, so a non-empty result
+    means the sample passed through perf-style multiplexing loss or a
+    fault injector.
+    """
+    return tuple(counter.value for counter in EXPECTED_COUNTERS
+                 if counter not in sample)
 
 
 def _safe_ratio(numerator: float, denominator: float,
@@ -59,6 +96,21 @@ class Signature:
     lfb_hit_ratio: float
     mem_prefetch_reliance: float
 
+    #: Paper ids of expected counters the sample did not carry; empty
+    #: for a complete sample.  See the module docstring for the
+    #: fallback chains applied when this is non-empty.
+    missing: Tuple[str, ...] = field(default=())
+
+    @property
+    def degraded(self) -> bool:
+        """True when the signature was built on an incomplete sample."""
+        return bool(self.missing)
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of expected counters present, in [0, 1]."""
+        return 1.0 - len(self.missing) / len(EXPECTED_COUNTERS)
+
     @property
     def latency_ns(self) -> float:
         return self.latency_cycles / self.frequency_ghz
@@ -91,14 +143,47 @@ class Signature:
         return _safe_ratio(self.memory_active_cycles, self.cycles)
 
 
+def demand_stalls(sample: CounterSample) -> float:
+    """s_LLC: L3-miss demand stall cycles, with missing-counter fallback.
+
+    ``P3`` when present; a sample that lost P3 to multiplexing falls
+    back to the tighter ``P2`` band (an over-estimate that keeps the
+    DRd component alive), then to ``P1``, then to 0.
+    """
+    for counter in (Counter.STALLS_L3_MISS, Counter.STALLS_L2_MISS,
+                    Counter.STALLS_L1D_MISS):
+        if counter in sample:
+            return sample[counter]
+    return 0.0
+
+
 def cache_level_stalls(sample: CounterSample, platform_family: str) -> float:
-    """Cache-level stall cycles with the per-family counter mapping."""
+    """Cache-level stall cycles with the per-family counter mapping.
+
+    Fallback chain when the primary band counter is missing: the other
+    family's band (both are valid cache-level proxies, just at
+    different levels), then 0 - never an exception.
+    """
     family = platform_family.lower()
+    skx_band = (Counter.STALLS_L1D_MISS in sample and
+                Counter.STALLS_L2_MISS in sample)
+    spr_band = (Counter.STALLS_L2_MISS in sample and
+                Counter.STALLS_L3_MISS in sample)
     if family == "skx":
+        if skx_band:
+            return max(0.0, sample[Counter.STALLS_L1D_MISS] -
+                       sample[Counter.STALLS_L2_MISS])
+        if spr_band:
+            return max(0.0, sample[Counter.STALLS_L2_MISS] -
+                       sample[Counter.STALLS_L3_MISS])
+        return 0.0
+    if spr_band:
+        return max(0.0, sample[Counter.STALLS_L2_MISS] -
+                   sample[Counter.STALLS_L3_MISS])
+    if skx_band:
         return max(0.0, sample[Counter.STALLS_L1D_MISS] -
                    sample[Counter.STALLS_L2_MISS])
-    return max(0.0, sample[Counter.STALLS_L2_MISS] -
-               sample[Counter.STALLS_L3_MISS])
+    return 0.0
 
 
 def mem_prefetch_reliance(sample: CounterSample,
@@ -107,24 +192,38 @@ def mem_prefetch_reliance(sample: CounterSample,
 
     SKX has direct L1-prefetch offcore response events; SPR/EMR use the
     uncore lookup/TOR proxy (section 4.4.3).  Clamped to [0, 1].
+
+    Either formula serves as the fallback for the other when its
+    counters are missing; with neither available the reliance degrades
+    to 0 (the neutral "prefetches are cache-resident" assumption).
     """
     family = platform_family.lower()
-    if family == "skx":
+    has_offcore = Counter.PF_L1D_ANY_RESPONSE in sample
+    has_uncore = Counter.LLC_LOOKUP_ALL in sample
+    use_offcore = (has_offcore if family == "skx"
+                   else has_offcore and not has_uncore)
+    if use_offcore:
         any_response = sample[Counter.PF_L1D_ANY_RESPONSE]
         l3_hits = sample[Counter.PF_L1D_L3_HIT]
         value = _safe_ratio(any_response - l3_hits, any_response)
-    else:
+    elif has_uncore:
         pf_share = _safe_ratio(sample[Counter.LLC_LOOKUP_PF_RD],
                                sample[Counter.LLC_LOOKUP_ALL])
         pref_miss = sample[Counter.TOR_INS_IA_PREF]
         pref_hit = sample[Counter.TOR_INS_IA_HIT_PREF]
         miss_ratio = _safe_ratio(pref_miss, pref_miss + pref_hit)
         value = pf_share * miss_ratio
+    else:
+        value = 0.0
     return min(1.0, max(0.0, value))
 
 
 def lfb_hit_ratio(sample: CounterSample) -> float:
-    """R_LFB-hit = P5 / (P4 + P5), clamped to [0, 1]."""
+    """R_LFB-hit = P5 / (P4 + P5), clamped to [0, 1].
+
+    A sample missing either load-source counter degrades to 0 (no
+    observed fill-buffer absorption).
+    """
     hits = sample[Counter.LFB_HIT]
     misses = sample[Counter.L1_MISS]
     return min(1.0, max(0.0, _safe_ratio(hits, hits + misses)))
@@ -133,7 +232,12 @@ def lfb_hit_ratio(sample: CounterSample) -> float:
 def signature_from_sample(sample: CounterSample, platform_family: str,
                           frequency_ghz: float, tier: str = "dram",
                           label: str = "") -> Signature:
-    """Build a :class:`Signature` from a raw counter sample."""
+    """Build a :class:`Signature` from a raw counter sample.
+
+    Never raises for missing counters: every derived quantity has a
+    documented fallback, and the absences are recorded in
+    :attr:`Signature.missing` so predictions can be flagged degraded.
+    """
     return Signature(
         label=label,
         platform_family=platform_family.lower(),
@@ -145,12 +249,13 @@ def signature_from_sample(sample: CounterSample, platform_family: str,
         mlp=sample.mlp,
         memory_active_cycles=sample.memory_active_cycles,
         demand_reads=sample.demand_reads,
-        s_llc=sample[Counter.STALLS_L3_MISS],
+        s_llc=demand_stalls(sample),
         s_cache=cache_level_stalls(sample, platform_family),
         s_sb=sample[Counter.BOUND_ON_STORES],
         lfb_hit_ratio=lfb_hit_ratio(sample),
         mem_prefetch_reliance=mem_prefetch_reliance(sample,
                                                     platform_family),
+        missing=missing_counters(sample),
     )
 
 

@@ -19,13 +19,25 @@ from .signature import Signature, signature, signature_from_sample
 
 @dataclass(frozen=True)
 class SlowdownPrediction:
-    """A per-component slowdown forecast for one workload on one tier."""
+    """A per-component slowdown forecast for one workload on one tier.
+
+    ``degraded``/``confidence`` carry the input-quality verdict from
+    the underlying :class:`~repro.core.signature.Signature`: a
+    prediction built from a sample with missing counters is still
+    emitted (with the documented fallbacks applied) but flagged, so a
+    consumer can widen error bars or trigger re-profiling instead of
+    crashing (``docs/FAULTS.md``).
+    """
 
     label: str
     device: str
     drd: float
     cache: float
     store: float
+    #: True when the source signature was missing expected counters.
+    degraded: bool = False
+    #: Fraction of expected counters that were present, in [0, 1].
+    confidence: float = 1.0
 
     @property
     def total(self) -> float:
@@ -54,7 +66,13 @@ class SlowdownPredictor:
         return self.calibration.device
 
     def predict_signature(self, dram: Signature) -> SlowdownPrediction:
-        """Predict from an already-extracted DRAM signature."""
+        """Predict from an already-extracted DRAM signature.
+
+        A degraded signature (missing counters) still yields a
+        prediction - the component models see the fallback quantities -
+        but the result is flagged ``degraded`` with the signature's
+        ``confidence``.
+        """
         cal = self.calibration
         return SlowdownPrediction(
             label=dram.label,
@@ -62,6 +80,8 @@ class SlowdownPredictor:
             drd=cal.drd.predict(dram),
             cache=cal.cache.predict(dram),
             store=cal.store.predict(dram),
+            degraded=dram.degraded,
+            confidence=dram.confidence,
         )
 
     def predict(self, profile: ProfiledRun) -> SlowdownPrediction:

@@ -1,0 +1,25 @@
+"""Fault injection and chaos verification (``docs/FAULTS.md``).
+
+Three layers:
+
+- :mod:`~repro.faults.plan` - declarative, seed-deterministic
+  :class:`FaultPlan` schedules (which faults, where, how often);
+- :mod:`~repro.faults.injectors` - adapters that apply a plan at each
+  seam: counter samples, the persistent store, tier latencies (worker
+  faults are applied by the executor itself when a plan is attached);
+- :mod:`~repro.faults.chaos` - the harness behind ``python -m repro
+  chaos``, which runs the stack under a named schedule and asserts the
+  graceful-degradation invariants.
+"""
+
+from .chaos import DEGRADED_MAPE_BOUND, ChaosReport, run_chaos
+from .injectors import ChaosStore, CounterInjector, LatencyInjector
+from .plan import (SCHEDULES, CounterFault, FaultPlan, StoreFault,
+                   TierFault, WorkerFault, named_plan)
+
+__all__ = [
+    "FaultPlan", "CounterFault", "TierFault", "WorkerFault",
+    "StoreFault", "SCHEDULES", "named_plan",
+    "CounterInjector", "ChaosStore", "LatencyInjector",
+    "ChaosReport", "run_chaos", "DEGRADED_MAPE_BOUND",
+]

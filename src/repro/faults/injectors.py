@@ -1,0 +1,159 @@
+"""Fault injectors: apply a :class:`~repro.faults.plan.FaultPlan`.
+
+Each injector adapts one fault family to the seam where it strikes a
+real deployment:
+
+- :class:`CounterInjector` mutates :class:`~repro.core.counters.
+  CounterSample` objects the way perf counter multiplexing does -
+  events vanish or report garbage, ``CYCLES`` always survives;
+- :class:`ChaosStore` damages freshly-written persistent cache entries
+  the way a crashed writer or bad disk does - after the atomic replace,
+  so the store's own write path stays honest;
+- :class:`LatencyInjector` installs the :func:`~repro.uarch.memory.
+  set_latency_fault_hook` so slow-tier latency computations see tail
+  spikes and transient stalls.
+
+All injection sites are deterministic under the plan's seed (see
+:mod:`repro.faults.plan`), so every injector doubles as a replay tool.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Union
+
+from ..core.counters import Counter, CounterSample
+from ..runtime.store import ResultStore
+from ..uarch import memory
+from ..uarch.config import MemoryDeviceConfig
+from .plan import FaultPlan
+
+
+class CounterInjector:
+    """Applies a plan's counter faults to raw samples.
+
+    ``apply`` is pure in the plan's seed: the same ``(sample, context)``
+    always receives the same faults.  Injection counts accumulate in
+    :attr:`injected` for reporting.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.injected: Dict[str, int] = {}
+
+    def _count(self, mode: str) -> None:
+        name = f"counter_{mode}"
+        self.injected[name] = self.injected.get(name, 0) + 1
+
+    def apply(self, sample: CounterSample, context) -> CounterSample:
+        """A copy of ``sample`` with this plan's counter faults applied.
+
+        ``context`` identifies the sample site (workload name, window
+        index, ...) so distinct samples draw independent faults.
+        ``CYCLES`` is never dropped or zeroed - a sample cannot exist
+        without it, exactly as on real hardware where the fixed cycle
+        counter is not multiplexed.
+        """
+        values = {}
+        for counter, value in sample.items():
+            fault = self.plan.counter_action(context, counter.value)
+            if fault is None or counter is Counter.CYCLES:
+                values[counter] = value
+                continue
+            if fault.mode == "drop":
+                self._count("drop")
+                continue
+            if fault.mode == "zero":
+                self._count("zero")
+                values[counter] = 0.0
+                continue
+            self._count("perturb")
+            factor = self.plan.perturb_factor(context, counter.value,
+                                              fault.magnitude)
+            values[counter] = value * factor
+        return CounterSample(values)
+
+
+class ChaosStore(ResultStore):
+    """A :class:`ResultStore` whose writes may be damaged afterwards.
+
+    ``put`` completes normally (atomic replace and all), then the plan
+    decides whether the entry on disk is corrupted, truncated, or
+    deleted - modeling a writer that died after the rename, a torn
+    sector, or an external cleaner.  Reads are untouched: the base
+    class's corruption-is-a-miss contract is exactly what the chaos
+    suite verifies.
+    """
+
+    def __init__(self, root: Union[pathlib.Path, str], plan: FaultPlan):
+        super().__init__(pathlib.Path(root))
+        self.plan = plan
+        self.injected: Dict[str, int] = {}
+
+    def put(self, key: str, payload) -> None:
+        super().put(key, payload)
+        mode = self.plan.store_action(key)
+        if mode is None:
+            return
+        path = self.path_for(key)
+        try:
+            if mode == "corrupt":
+                path.write_text("{ this is not json !!")
+            elif mode == "truncate":
+                text = path.read_text()
+                path.write_text(text[:max(1, len(text) // 2)])
+            elif mode == "vanish":
+                path.unlink()
+        except OSError:
+            return
+        name = f"store_{mode}"
+        self.injected[name] = self.injected.get(name, 0) + 1
+
+
+class LatencyInjector:
+    """Context manager injecting tier latency faults into the substrate.
+
+    While entered, every :func:`~repro.uarch.memory.loaded_latency_ns`
+    computation passes through the plan's tier faults: ``spike``
+    multiplies the latency, ``stall`` adds flat nanoseconds.  A
+    per-device call counter keys the draws, so a fixed call sequence
+    (serial execution) sees a fixed fault sequence.
+
+    The hook is process-local: pool workers never inherit it, which is
+    why the chaos harness runs the tier phase serially.  On exit the
+    previously-installed hook (usually ``None``) is restored even if
+    the body raised.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.injected: Dict[str, int] = {}
+        self._calls: Dict[str, int] = {}
+        self._previous: Optional[object] = None
+        self._active = False
+
+    def _hook(self, device: MemoryDeviceConfig,
+              latency_ns: float) -> float:
+        tier = device.name
+        call_index = self._calls.get(tier, 0)
+        self._calls[tier] = call_index + 1
+        fault = self.plan.tier_action(tier, call_index)
+        if fault is None:
+            return latency_ns
+        name = f"tier_{fault.mode}"
+        self.injected[name] = self.injected.get(name, 0) + 1
+        if fault.mode == "spike":
+            return latency_ns * (1.0 + fault.magnitude)
+        return latency_ns + fault.magnitude
+
+    def __enter__(self) -> "LatencyInjector":
+        if self._active:
+            raise RuntimeError("LatencyInjector is not reentrant")
+        self._previous = memory.set_latency_fault_hook(self._hook)
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        memory.set_latency_fault_hook(self._previous)
+        self._previous = None
+        self._active = False

@@ -16,12 +16,16 @@ exploits that purity twice:
 
 :mod:`repro.runtime.telemetry` adds the observability layer: per-stage
 wall-clock timings, cache hit/miss counters, and the ``--progress``
-reporting the CLI surfaces.
+reporting the CLI surfaces.  :mod:`repro.runtime.errors` defines the
+failure taxonomy the executor's fault tolerance is built on
+(``docs/FAULTS.md``).
 
 See ``docs/RUNTIME.md`` for the architecture, the cache-key recipe, and
 the invalidation rules.
 """
 
+from .errors import (RetryPolicy, TaskTimeoutError, TransientTaskError,
+                     WorkerCrashError)
 from .executor import Executor, default_jobs, execute_run_spec
 from .spec import (CACHE_SCHEMA_VERSION, CalibrationSpec, RunSpec,
                    canonical_json, code_version, fingerprint)
@@ -34,9 +38,13 @@ __all__ = [
     "Executor",
     "ProgressReporter",
     "ResultStore",
+    "RetryPolicy",
     "RunSpec",
     "StoreStats",
+    "TaskTimeoutError",
     "Telemetry",
+    "TransientTaskError",
+    "WorkerCrashError",
     "canonical_json",
     "code_version",
     "default_cache_dir",

@@ -1,0 +1,82 @@
+"""Error taxonomy and retry policy for the resilient executor.
+
+The executor distinguishes two failure families, because they demand
+opposite reactions (``docs/FAULTS.md``):
+
+- **Infrastructure failures** (:class:`WorkerCrashError` and its
+  :class:`TaskTimeoutError` specialization): a worker process died, the
+  pool broke, or no task made progress within the deadline.  The work
+  itself is presumed fine - the executor re-runs the *remainder* of the
+  batch serially and never surfaces these to the caller.
+- **Deterministic task errors** (any other exception from a task): the
+  spec itself is bad, so re-running it can only fail again.  These
+  propagate immediately with the original traceback - retrying would
+  hide the bug and triple the time to the same crash.
+
+:class:`TransientTaskError` is the explicit middle ground: a task that
+*knows* its failure is retryable (an injected fault, a flaky external
+resource) raises it to opt in to bounded in-process retries governed by
+:class:`RetryPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker (or the pool itself) died mid-batch.
+
+    Raised internally when :class:`concurrent.futures` reports a broken
+    pool; the executor reacts by falling back to serial execution for
+    the tasks that have not produced results yet.
+    """
+
+
+class TaskTimeoutError(WorkerCrashError):
+    """No task completed within the executor's ``task_timeout``.
+
+    A hung worker is indistinguishable from a dead one from the
+    parent's perspective, so this subclasses :class:`WorkerCrashError`
+    and triggers the same serial-remainder fallback.
+    """
+
+
+class TransientTaskError(RuntimeError):
+    """A task failure the raiser asserts is safe to retry.
+
+    The serial execution path retries these with exponential backoff up
+    to :attr:`RetryPolicy.max_attempts`; any other exception type is
+    treated as deterministic and propagates on the first occurrence.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient task failures.
+
+    ``max_attempts`` counts executions, not retries: the default of 3
+    means one initial attempt plus up to two retries.  ``backoff_s`` is
+    the sleep before the first retry; each subsequent retry multiplies
+    it by ``multiplier``.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delays(self) -> Iterator[float]:
+        """Sleep durations before each retry, in order."""
+        delay = self.backoff_s
+        for _ in range(self.max_attempts - 1):
+            yield delay
+            delay *= self.multiplier

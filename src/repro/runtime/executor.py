@@ -18,22 +18,46 @@ Results always return in input order, independent of completion order,
 and every result - hit or miss, serial or parallel - passes through the
 same JSON round-trip (:mod:`repro.runtime.serde`), which is what makes
 ``-j 1`` and ``-j 4`` outputs byte-identical, cold and warm.
+
+Failure handling follows the taxonomy of :mod:`repro.runtime.errors`
+(full story: ``docs/FAULTS.md``):
+
+- a worker crash, a hung worker past ``task_timeout``, or a pool that
+  cannot start degrades to serial execution of the tasks that have not
+  completed yet (already-yielded results are never re-executed);
+- a deterministic task exception (a bad spec) propagates immediately
+  with its original traceback - it is never swallowed into a serial
+  re-run, and never retried;
+- :class:`~repro.runtime.errors.TransientTaskError` opts a task into
+  bounded exponential-backoff retries (:class:`RetryPolicy`).
+
+When a :class:`~repro.faults.plan.FaultPlan` is attached the executor
+becomes a chaos harness: worker crash/hang faults are injected into the
+pool, and the persistent store is bypassed entirely so fault-perturbed
+results can never poison the cache.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
-                    TypeVar)
+import time
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Set, Tuple, TypeVar)
 
 from ..core.counters import ProfiledRun
 from ..uarch.machine import Machine, RunResult
 from . import serde
+from .errors import (RetryPolicy, TaskTimeoutError, TransientTaskError,
+                     WorkerCrashError)
 from .spec import RunSpec
 from .store import ResultStore
 from .telemetry import ProgressReporter, Telemetry
+
+if TYPE_CHECKING:   # pragma: no cover - typing only, avoids a cycle
+    from ..faults.plan import FaultPlan
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -43,11 +67,17 @@ JOBS_ENV = "REPRO_JOBS"
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
+    """Worker count: ``$REPRO_JOBS`` if set, else the CPU count.
+
+    ``REPRO_JOBS=auto`` (or ``0``) also means "all cores"; malformed
+    values fall through to the CPU count rather than erroring.
+    """
     value = os.environ.get(JOBS_ENV)
-    if value:
+    if value and value.strip().lower() != "auto":
         try:
-            return max(1, int(value))
+            parsed = int(value)
+            if parsed >= 1:
+                return parsed
         except ValueError:
             pass
     return max(1, os.cpu_count() or 1)
@@ -65,6 +95,24 @@ def execute_run_spec(spec: RunSpec) -> Dict[str, Any]:
 
 def _indexed_execute(item: Tuple[int, RunSpec]) -> Tuple[int, Dict[str, Any]]:
     index, spec = item
+    return index, execute_run_spec(spec)
+
+
+def _indexed_execute_faulted(item: Tuple[int, RunSpec, "FaultPlan"]
+                             ) -> Tuple[int, Dict[str, Any]]:
+    """Pool worker entry point with fault injection applied.
+
+    The plan's draw is deterministic, so the parent can pre-compute
+    which tasks will fault (for telemetry) without any channel back
+    from a worker that is about to die.
+    """
+    index, spec, plan = item
+    action = plan.worker_action(index, attempt=0)
+    if action is not None:
+        if action.mode == "hang":
+            time.sleep(action.hang_s)
+        elif action.mode == "crash":
+            os._exit(3)
     return index, execute_run_spec(spec)
 
 
@@ -88,18 +136,38 @@ class Executor:
     progress:
         When true, batch entry points draw a live progress line on
         stderr.
+    task_timeout:
+        Seconds without *any* task completing before the pool is
+        declared hung and the batch remainder re-runs serially.
+        ``None`` (the default) waits forever.
+    retry:
+        Backoff policy for :class:`TransientTaskError` failures in the
+        serial path.
+    fault_plan:
+        A :class:`~repro.faults.plan.FaultPlan` to inject worker
+        crash/hang faults from.  Attaching a plan also disconnects the
+        persistent store (reads and writes) so a faulted run can never
+        poison the cache; skipped writes count as ``tainted_skips``.
     """
 
     def __init__(self, jobs: int = 1,
                  store: Optional[ResultStore] = None,
                  telemetry: Optional[Telemetry] = None,
-                 progress: bool = False):
+                 progress: bool = False,
+                 task_timeout: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 fault_plan: Optional["FaultPlan"] = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
         self.jobs = jobs
         self.store = store
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.progress = progress
+        self.task_timeout = task_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
         self._memo: Dict[str, Dict[str, Any]] = {}
 
     # -- cache layers --------------------------------------------------------
@@ -108,7 +176,7 @@ class Executor:
         if payload is not None:
             self.telemetry.count("memo_hits")
             return payload
-        if self.store is not None:
+        if self.store is not None and self.fault_plan is None:
             payload = self.store.get(key)
             if payload is not None:
                 self.telemetry.count("store_hits")
@@ -118,15 +186,22 @@ class Executor:
 
     def _commit(self, key: str, payload: Dict[str, Any]) -> None:
         self._memo[key] = payload
-        if self.store is not None:
-            with self.telemetry.stage("persist"):
-                try:
-                    self.store.put(key, payload)
-                except OSError:
-                    # Unwritable cache (read-only dir, disk full):
-                    # results are correct without it, so degrade to
-                    # memo-only rather than failing the run.
-                    self.telemetry.count("store_errors")
+        if self.store is None:
+            return
+        if self.fault_plan is not None:
+            # Results produced under fault injection are suspect by
+            # definition; refusing to persist them is what keeps the
+            # shared cache unpoisoned (docs/FAULTS.md invariant 2).
+            self.telemetry.count("tainted_skips")
+            return
+        with self.telemetry.stage("persist"):
+            try:
+                self.store.put(key, payload)
+            except OSError:
+                # Unwritable cache (read-only dir, disk full):
+                # results are correct without it, so degrade to
+                # memo-only rather than failing the run.
+                self.telemetry.count("store_errors")
 
     @property
     def hit_count(self) -> int:
@@ -186,41 +261,122 @@ class Executor:
 
     def _execute_pending(self, pending: List[Tuple[int, RunSpec]],
                          reporter: ProgressReporter):
-        """Yield ``(index, payload)`` as work completes."""
+        """Yield ``(index, payload)`` as work completes.
+
+        The pool path may die mid-stream (worker crash, hang past
+        ``task_timeout``); completed indices are tracked so the serial
+        fallback executes only the remainder - never a task that
+        already yielded its payload.
+        """
         workers = min(self.jobs, len(pending))
+        completed: Set[int] = set()
+        fell_back = False
         if workers > 1 and self._picklable(pending):
             try:
-                yield from self._execute_pool(pending, workers, reporter)
+                for index, payload in self._execute_pool(pending, workers,
+                                                         reporter):
+                    completed.add(index)
+                    yield index, payload
                 return
-            except Exception:
-                # Pool startup/teardown failure (sandboxed /dev/shm,
-                # broken worker, ...): degrade to serial execution.
+            except WorkerCrashError:
+                # Infrastructure failure only (dead worker, hung pool,
+                # fork limits): the work itself is presumed fine, so
+                # run what's left serially.  Deterministic task errors
+                # are NOT caught here - they propagate with the
+                # original traceback.
                 self.telemetry.count("pool_fallbacks")
+                fell_back = True
         for index, spec in pending:
-            payload = execute_run_spec(spec)
+            if index in completed:
+                continue
+            payload = self._execute_serial_task(
+                spec, index, attempt=1 if fell_back else 0)
             reporter.update(hits=self.hit_count,
                             misses=self.miss_count)
             yield index, payload
 
+    def _execute_serial_task(self, spec: RunSpec, index: int,
+                             attempt: int = 0) -> Dict[str, Any]:
+        """Execute one spec in-process, retrying transient failures.
+
+        ``attempt`` starts at 1 when the task already failed once in
+        the pool, so injected first-attempt faults are not re-drawn.
+        """
+        plan = self.fault_plan
+        delays = self.retry.delays()
+        while True:
+            try:
+                if plan is not None:
+                    action = plan.worker_action(index, attempt)
+                    if action is not None:
+                        self.telemetry.count(f"injected_{action.mode}")
+                        raise TransientTaskError(
+                            f"injected worker {action.mode} "
+                            f"(task {index}, attempt {attempt})")
+                return execute_run_spec(spec)
+            except TransientTaskError:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                self.telemetry.count("retries")
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+
     def _execute_pool(self, pending: List[Tuple[int, RunSpec]],
                       workers: int, reporter: ProgressReporter):
         self.telemetry.count("pool_workers", workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_indexed_execute, item)
-                       for item in pending}
+        plan = self.fault_plan
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except OSError as exc:
+            # Sandboxed /dev/shm, fork limits: the pool never existed.
+            raise WorkerCrashError(
+                f"could not start worker pool: {exc}") from exc
+        completed = False
+        try:
+            try:
+                if plan is None:
+                    futures = {pool.submit(_indexed_execute, item)
+                               for item in pending}
+                else:
+                    futures = set()
+                    for index, spec in pending:
+                        action = plan.worker_action(index, attempt=0)
+                        if action is not None:
+                            self.telemetry.count(
+                                f"injected_{action.mode}")
+                        futures.add(pool.submit(
+                            _indexed_execute_faulted, (index, spec, plan)))
+            except BrokenExecutor as exc:
+                raise WorkerCrashError(str(exc) or
+                                       "worker pool broke") from exc
             while futures:
-                done, futures = wait(futures,
+                done, futures = wait(futures, timeout=self.task_timeout,
                                      return_when=FIRST_COMPLETED)
+                if not done:
+                    raise TaskTimeoutError(
+                        f"no task completed within "
+                        f"{self.task_timeout:g}s; assuming hung worker")
                 for future in done:
-                    index, payload = future.result()
+                    try:
+                        index, payload = future.result()
+                    except BrokenExecutor as exc:
+                        raise WorkerCrashError(
+                            str(exc) or "worker process died") from exc
                     reporter.update(hits=self.hit_count,
                                     misses=self.miss_count)
                     yield index, payload
+            completed = True
+        finally:
+            # Error paths (including a hung worker) must not block on
+            # pool teardown; a clean finish waits for orderly exit.
+            pool.shutdown(wait=completed, cancel_futures=not completed)
 
     @staticmethod
-    def _picklable(pending: List[Tuple[int, RunSpec]]) -> bool:
+    def _picklable(payload: Any) -> bool:
         try:
-            pickle.dumps(pending)
+            pickle.dumps(payload)
             return True
         except Exception:
             return False
@@ -257,7 +413,9 @@ class Executor:
         For work that is not content-addressable (e.g. epoch-coupled
         tiering simulations): no caching, just fan-out.  Falls back to
         a plain loop when ``jobs == 1``, the batch is trivial, or
-        ``fn``/items cannot be pickled.
+        ``fn``/items cannot be pickled.  A broken pool also degrades to
+        serial; an exception raised by ``fn`` itself is deterministic
+        and propagates.
         """
         items = list(items)
         reporter = ProgressReporter(len(items), label=label,
@@ -265,18 +423,22 @@ class Executor:
         workers = min(self.jobs, len(items))
         results: Optional[List[R]] = None
         if workers > 1:
-            try:
-                pickle.dumps((fn, items))
-                with self.telemetry.stage("simulate"):
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
-                        results = []
-                        for result in pool.map(
-                                _call, [(fn, item) for item in items]):
-                            results.append(result)
-                            reporter.update()
-            except Exception:
+            if self._picklable((fn, items)):
+                try:
+                    with self.telemetry.stage("simulate"):
+                        with ProcessPoolExecutor(
+                                max_workers=workers) as pool:
+                            results = []
+                            for result in pool.map(
+                                    _call,
+                                    [(fn, item) for item in items]):
+                                results.append(result)
+                                reporter.update()
+                except (BrokenExecutor, OSError):
+                    self.telemetry.count("pool_fallbacks")
+                    results = None
+            else:
                 self.telemetry.count("pool_fallbacks")
-                results = None
         if results is None:
             with self.telemetry.stage("simulate"):
                 results = []

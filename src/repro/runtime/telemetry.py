@@ -41,6 +41,18 @@ class Telemetry:
     def count(self, name: str, increment: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + increment
 
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another telemetry's stages and counters into this one.
+
+        Used by drivers that run several executors (the chaos harness
+        runs one per fault phase) but report once.
+        """
+        for name, seconds in other.stage_seconds.items():
+            self.stage_seconds[name] = \
+                self.stage_seconds.get(name, 0.0) + seconds
+        for name, value in other.counters.items():
+            self.count(name, value)
+
     # -- reporting -----------------------------------------------------------
     def summary(self) -> Dict[str, object]:
         return {"stages": dict(self.stage_seconds),

@@ -32,9 +32,32 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from .config import CACHELINE_BYTES, MemoryDeviceConfig
+
+#: Optional latency fault hook (``docs/FAULTS.md``): when set, every
+#: computed loaded latency passes through it, letting a fault injector
+#: model tail-latency spikes and transient device stalls without the
+#: substrate knowing about fault plans.  ``None`` (the default) is the
+#: fault-free fast path.  Install via :func:`set_latency_fault_hook`;
+#: the hook lives in this process only - pool workers never see it.
+_LATENCY_FAULT_HOOK: Optional[
+    Callable[[MemoryDeviceConfig, float], float]] = None
+
+
+def set_latency_fault_hook(
+        hook: Optional[Callable[[MemoryDeviceConfig, float], float]]
+) -> Optional[Callable[[MemoryDeviceConfig, float], float]]:
+    """Install (or clear, with ``None``) the latency fault hook.
+
+    Returns the previously-installed hook so injectors can restore it,
+    making nested or exception-interrupted injection contexts safe.
+    """
+    global _LATENCY_FAULT_HOOK
+    previous = _LATENCY_FAULT_HOOK
+    _LATENCY_FAULT_HOOK = hook
+    return previous
 
 #: Utilization ceiling: offered load beyond this is throttled by the
 #: closed-loop latency inflation, mirroring how finite MLP prevents a
@@ -68,7 +91,10 @@ def loaded_latency_ns(device: MemoryDeviceConfig, utilization: float,
         1.0 + _QUEUE_EPSILON - u)
         + device.queue_gain * 0.12 * over_knee ** 2)
     tail = device.tail_alpha * min(max(tail_sensitivity, 0.0), 1.0)
-    return base * (1.0 + linear + queue) * (1.0 + tail)
+    latency = base * (1.0 + linear + queue) * (1.0 + tail)
+    if _LATENCY_FAULT_HOOK is not None:
+        latency = _LATENCY_FAULT_HOOK(device, latency)
+    return latency
 
 
 #: Upper bound on the saturation multiplier (guards pathological specs).

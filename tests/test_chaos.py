@@ -1,0 +1,65 @@
+"""The chaos suite end to end: ``run_chaos`` and ``repro chaos``.
+
+The heavyweight per-schedule runs happen via the CLI in CI; here the
+``quick`` schedule pins the contract: every invariant holds, faults are
+actually injected, and the report is deterministic in (schedule, seed).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import DEGRADED_MAPE_BOUND, run_chaos
+
+EXPECTED_INVARIANTS = {
+    "clean_predictions_not_degraded",
+    "degraded_flagging_consistent",
+    "degraded_mape_bounded",
+    "no_cache_poisoning",
+    "prediction_for_every_window",
+    "store_corruption_is_miss",
+    "store_entries_rewritten",
+    "store_recovers_clean_results",
+    "tier_faulted_runs_complete",
+    "worker_faults_recover_exact_results",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_chaos("quick", seed=0, use_cache=False)
+
+
+class TestRunChaos:
+    def test_every_invariant_holds(self, quick_report):
+        assert quick_report.ok, quick_report.render()
+        assert set(quick_report.invariants) == EXPECTED_INVARIANTS
+
+    def test_faults_were_actually_injected(self, quick_report):
+        assert quick_report.total_injected > 0
+        families = {name.split("_", 1)[0]
+                    for name in quick_report.injected}
+        assert {"counter", "tier", "worker", "store"} <= families
+
+    def test_degradation_is_observed_and_bounded(self, quick_report):
+        assert 0.0 < quick_report.degraded_fraction <= 1.0
+        assert 0.0 <= quick_report.degraded_mape <= DEGRADED_MAPE_BOUND
+        assert quick_report.windows > 0
+
+    def test_report_is_deterministic(self, quick_report):
+        again = run_chaos("quick", seed=0, use_cache=False)
+        assert again.render() == quick_report.render()
+        assert again.injected == quick_report.injected
+
+
+class TestChaosCli:
+    def test_quick_smoke_exits_zero(self, capsys):
+        code = main(["chaos", "--schedule", "quick", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "invariants" in out
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--schedule", "bogus"])
+        assert exc.value.code == 2

@@ -23,6 +23,51 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
 
+class TestArgumentValidation:
+    """Bad runtime flags die at parse time (usage error, exit 2)."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "1.5", "junk"])
+    def test_rejects_bad_job_counts(self, value):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["suite", "-j", value])
+        assert exc.value.code == 2
+
+    def test_jobs_auto_resolves_to_a_positive_count(self):
+        args = build_parser().parse_args(["suite", "-j", "auto"])
+        assert args.jobs >= 1
+
+    def test_rejects_cache_dir_with_missing_parent(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "cache"
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["suite", "--cache-dir", str(missing)])
+        assert exc.value.code == 2
+
+    def test_accepts_cache_dir_with_existing_parent(self, tmp_path):
+        target = tmp_path / "cache"
+        args = build_parser().parse_args(
+            ["suite", "--cache-dir", str(target)])
+        assert args.cache_dir == target
+
+    @pytest.mark.parametrize("value", ["0", "-3", "300", "junk"])
+    def test_rejects_out_of_range_workload_counts(self, value):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["suite", "--workloads", value])
+        assert exc.value.code == 2
+
+
+class TestChaosParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.schedule == "default"
+        assert args.seed == 0
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["chaos", "--schedule", "bogus"])
+        assert exc.value.code == 2
+
+
 class TestWorkloadsCommand:
     def test_lists_named_workloads(self, capsys):
         code, out = run_cli(capsys, "workloads")

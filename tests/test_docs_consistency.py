@@ -96,8 +96,41 @@ class TestRuntimeDoc:
             assert flag in runtime, f"{flag} missing from RUNTIME.md"
 
 
+class TestFaultsDoc:
+    def test_exists_and_covers_the_contract(self):
+        faults = read("docs/FAULTS.md")
+        for term in ("FaultPlan", "CounterInjector", "LatencyInjector",
+                     "ChaosStore", "WorkerCrashError", "TaskTimeoutError",
+                     "TransientTaskError", "RetryPolicy", "task_timeout",
+                     "python -m repro chaos", "DEGRADED_MAPE_BOUND"):
+            assert term in faults, f"{term!r} missing from FAULTS.md"
+
+    def test_every_schedule_documented(self):
+        from repro.faults import SCHEDULES
+        faults = read("docs/FAULTS.md")
+        for name in SCHEDULES:
+            assert f"`{name}`" in faults, (
+                f"fault schedule {name!r} missing from FAULTS.md")
+
+    def test_every_chaos_invariant_documented(self):
+        faults = read("docs/FAULTS.md")
+        for invariant in ("clean_predictions_not_degraded",
+                          "degraded_flagging_consistent",
+                          "degraded_mape_bounded",
+                          "no_cache_poisoning",
+                          "prediction_for_every_window",
+                          "store_corruption_is_miss",
+                          "store_entries_rewritten",
+                          "store_recovers_clean_results",
+                          "tier_faulted_runs_complete",
+                          "worker_faults_recover_exact_results"):
+            assert f"`{invariant}`" in faults, (
+                f"chaos invariant {invariant!r} missing from FAULTS.md")
+
+
 class TestCrossLinks:
-    @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md"])
+    @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md",
+                                     "docs/FAULTS.md"])
     def test_readme_links_docs(self, doc):
         assert doc in read("README.md")
 
@@ -106,6 +139,13 @@ class TestCrossLinks:
 
     def test_cli_docstring_points_at_runtime_doc(self):
         assert "docs/RUNTIME.md" in cli.__doc__
+
+    def test_cli_docstring_points_at_faults_doc(self):
+        assert "docs/FAULTS.md" in cli.__doc__
+
+    def test_runtime_and_api_docs_link_faults_doc(self):
+        assert "FAULTS.md" in read("docs/RUNTIME.md")
+        assert "FAULTS.md" in read("docs/API.md")
 
     def test_gitignore_excludes_cache_dir(self):
         assert ".repro-cache/" in read(".gitignore")

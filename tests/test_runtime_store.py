@@ -5,9 +5,11 @@ cache can cost time, never correctness), and explicit invalidation.
 """
 
 import json
+import multiprocessing
 
 import pytest
 
+from repro.faults import ChaosStore, FaultPlan, StoreFault
 from repro.runtime.store import (DEFAULT_CACHE_DIRNAME, ResultStore,
                                  default_cache_dir)
 
@@ -123,6 +125,73 @@ class TestInvalidation:
         # A cleared store still works.
         store.put(KEY, {"a": 1})
         assert store.get(KEY) == {"a": 1}
+
+
+def _writer(root, key, rounds):
+    store = ResultStore(root)
+    for index in range(rounds):
+        store.put(key, {"round": index, "padding": "x" * 256})
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_expose_partial_entries(self, tmp_path):
+        # Two processes hammer the same key while the parent reads:
+        # atomic replace means every read is a full entry or a miss,
+        # never a torn file.
+        root = tmp_path / "cache"
+        rounds = 40
+        writers = [multiprocessing.Process(target=_writer,
+                                           args=(root, KEY, rounds))
+                   for _ in range(2)]
+        for proc in writers:
+            proc.start()
+        reader = ResultStore(root)
+        while any(proc.is_alive() for proc in writers):
+            payload = reader.get(KEY)
+            if payload is not None:
+                assert set(payload) == {"round", "padding"}
+                assert payload["padding"] == "x" * 256
+        for proc in writers:
+            proc.join()
+            assert proc.exitcode == 0
+        assert reader.stats.corrupt == 0
+        assert reader.get(KEY)["round"] == rounds - 1
+
+
+class TestChaosStoreDamage:
+    """`repro.faults.ChaosStore` damage exercises corruption-as-miss."""
+
+    def test_corrupted_write_reads_as_miss(self, tmp_path):
+        plan = FaultPlan(store_faults=(StoreFault("corrupt", 1.0),))
+        chaos = ChaosStore(tmp_path / "cache", plan)
+        chaos.put(KEY, {"cycles": 1})
+        assert chaos.get(KEY) is None
+        assert chaos.stats.corrupt == 1
+        assert chaos.injected["store_corrupt"] == 1
+
+    def test_truncated_write_reads_as_miss(self, tmp_path):
+        plan = FaultPlan(store_faults=(StoreFault("truncate", 1.0),))
+        chaos = ChaosStore(tmp_path / "cache", plan)
+        chaos.put(KEY, {"cycles": 1, "values": {"P1": 4.5}})
+        assert chaos.get(KEY) is None
+        assert chaos.stats.corrupt == 1
+
+    def test_vanished_write_is_a_plain_miss(self, tmp_path):
+        plan = FaultPlan(store_faults=(StoreFault("vanish", 1.0),))
+        chaos = ChaosStore(tmp_path / "cache", plan)
+        chaos.put(KEY, {"cycles": 1})
+        assert not chaos.path_for(KEY).exists()
+        assert chaos.get(KEY) is None
+        assert chaos.stats.corrupt == 0    # absent, not corrupt
+
+    def test_plain_rewrite_heals_the_damage(self, tmp_path):
+        plan = FaultPlan(store_faults=(StoreFault("corrupt", 1.0),))
+        chaos = ChaosStore(tmp_path / "cache", plan)
+        chaos.put(KEY, {"cycles": 1})
+        healer = ResultStore(tmp_path / "cache")
+        assert healer.get(KEY) is None
+        healer.put(KEY, {"cycles": 7})
+        assert healer.get(KEY) == {"cycles": 7}
 
 
 class TestDefaultLocation:
