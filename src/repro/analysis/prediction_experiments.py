@@ -431,7 +431,6 @@ def fig8_timeseries(tier: str = "cxl-a", cycles: int = 3,
                     lab: Optional[Lab] = None) -> List[TimeseriesPoint]:
     """Per-window predicted vs actual slowdown for phased tc-kron."""
     lab = lab or default_lab()
-    machine = lab.machine_for_tier(tier)
     predictor = lab.predictor(tier)
     phased = tc_kron_phased(cycles=cycles)
 

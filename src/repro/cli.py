@@ -14,6 +14,8 @@ Drives the library end-to-end from a shell, the way an operator would:
 ``chaos``             run the suite under fault injection and check the
                       graceful-degradation invariants
 ``workloads``         list the named paper workloads
+``lint``              camp-lint: statically check the determinism /
+                      cache-key / PMU invariants (docs/LINT.md)
 ====================  ====================================================
 
 Profiling runs execute on the simulated machine; on real hardware the
@@ -417,6 +419,44 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint(args) -> int:
+    """camp-lint: static invariant checks (docs/LINT.md).
+
+    Exit codes: 0 clean (fixed or baselined), 1 active findings,
+    2 usage / malformed baseline.
+    """
+    from .lint import (BASELINE_NAME, Baseline, BaselineError,
+                       render_json, render_text, run_lint)
+    root = pathlib.Path(args.root) if args.root else None
+    run = run_lint(root=root,
+                   paths=[pathlib.Path(p) for p in args.paths] or None)
+
+    from .lint import default_root
+    baseline_path = (pathlib.Path(args.baseline) if args.baseline
+                     else (root or default_root()) / BASELINE_NAME)
+    if args.write_baseline:
+        previous = Baseline.load(baseline_path)
+        Baseline.from_findings(run.findings, previous).save(baseline_path)
+        print(f"wrote {len(run.findings)} entry(ies) to {baseline_path}")
+        return 0
+    baseline = Baseline()
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"camp-lint: {exc}", file=sys.stderr)
+            return 2
+    active, baselined, stale = baseline.partition(run.findings)
+    if args.paths:
+        stale = []   # a narrowed run never visits most baselined files
+    if args.format == "json":
+        print(render_json(active, baselined, stale, run.files_checked))
+    else:
+        print(render_text(active, baselined, stale, run.files_checked,
+                          baseline))
+    return 1 if active else 0
+
+
 def cmd_workloads(args) -> int:
     rows = [(w.name, w.suite, w.threads, f"{w.footprint_gib:.1f}",
              f"{w.mlp:.1f}", ",".join(w.tags))
@@ -547,6 +587,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("workloads", help="list named paper workloads")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser(
+        "lint",
+        help="camp-lint: static determinism/cache-key/PMU invariant "
+             "checks (docs/LINT.md)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: "
+                        "src/repro plus the docs)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="baseline file of grandfathered findings "
+                        "(default: <root>/lint-baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline: report every finding")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="grandfather the current findings into the "
+                        "baseline file (keeps existing justifications)")
+    p.add_argument("--root", metavar="DIR",
+                   help="repo root for scoping and default paths "
+                        "(default: auto-detected)")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

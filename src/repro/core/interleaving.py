@@ -85,8 +85,8 @@ def load_scaling_factor(load_share: float, latency_idle_ns: float,
     full = max(latency_full_ns, latency_idle_ns)
     if full <= 0:
         return load_share
-    latency = latency_idle_ns + (full - latency_idle_ns) * load_share ** 2
-    return load_share * latency / full
+    latency_ns = latency_idle_ns + (full - latency_idle_ns) * load_share ** 2
+    return load_share * latency_ns / full
 
 
 @dataclass(frozen=True)

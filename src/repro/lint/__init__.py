@@ -1,0 +1,31 @@
+"""camp-lint - static invariant checking for the CAMP reproduction.
+
+The test suite samples behaviours; camp-lint proves structural
+invariants on every commit: determinism of sim paths (DET01), purity
+of the content-addressed cache key (CACHE01), the closed Table 5
+counter vocabulary (PMU01), the runtime error taxonomy (ERR01),
+process-pool worker purity (PURE01) and unit-suffixed quantity names
+(UNITS01).  Rule catalogue, suppression syntax and baseline workflow:
+``docs/LINT.md``.  CLI: ``python -m repro lint [--format json]``.
+
+Programmatic use::
+
+    from repro.lint import run_lint
+    run = run_lint()              # whole repo, all rules
+    assert run.ok, run.findings
+"""
+
+from .baseline import (BASELINE_NAME, Baseline, BaselineEntry,
+                       BaselineError, TODO_JUSTIFICATION)
+from .engine import (Finding, FileContext, LintRun, Rule, default_root,
+                     discover_files, lint_file, lint_source, run_lint)
+from .report import JSON_SCHEMA_VERSION, render_json, render_text
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES", "BASELINE_NAME", "Baseline", "BaselineEntry",
+    "BaselineError", "FileContext", "Finding", "JSON_SCHEMA_VERSION",
+    "LintRun", "Rule", "RULES_BY_ID", "TODO_JUSTIFICATION",
+    "default_root", "discover_files", "lint_file", "lint_source",
+    "render_json", "render_text", "run_lint",
+]

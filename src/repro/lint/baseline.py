@@ -1,0 +1,147 @@
+"""The checked-in baseline: grandfathered findings with justifications.
+
+A baseline entry acknowledges one existing violation without fixing it.
+Matching is by ``(rule, path, snippet)`` - the stripped source line -
+so findings survive unrelated line-number churn but die the moment the
+flagged line is edited, forcing a re-justification.  Every entry must
+carry a human-written ``justification``; ``--write-baseline`` stamps
+new entries with a TODO placeholder that the text reporter nags about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .engine import Finding
+
+#: Default baseline location, relative to the repo root.
+BASELINE_NAME = "lint-baseline.json"
+#: Placeholder ``--write-baseline`` stamps; reporters flag it.
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    snippet: str
+    justification: str
+
+    def key(self) -> str:
+        return "|".join((self.rule, self.path, self.snippet))
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "path": self.path,
+                "snippet": self.snippet,
+                "justification": self.justification}
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing fields)."""
+
+
+class Baseline:
+    """An ordered set of :class:`BaselineEntry`, keyed for matching."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries: List[BaselineEntry] = list(entries)
+        self._by_key: Dict[str, BaselineEntry] = {
+            entry.key(): entry for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.key() in self._by_key
+
+    def partition(self, findings: Sequence[Finding]
+                  ) -> Tuple[List[Finding], List[Finding],
+                             List[BaselineEntry]]:
+        """Split ``findings`` into (active, baselined, stale entries).
+
+        Stale entries matched no finding this run - the violation was
+        fixed (or the line edited) and the entry should be deleted.
+        """
+        active: List[Finding] = []
+        baselined: List[Finding] = []
+        used: set = set()
+        for finding in findings:
+            if self.matches(finding):
+                baselined.append(finding)
+                used.add(finding.key())
+            else:
+                active.append(finding)
+        stale = [entry for entry in self.entries
+                 if entry.key() not in used]
+        return active, baselined, stale
+
+    def placeholder_entries(self) -> List[BaselineEntry]:
+        """Entries still carrying the TODO justification."""
+        return [entry for entry in self.entries
+                if entry.justification.strip() == TODO_JUSTIFICATION]
+
+    # -- persistence -------------------------------------------------------
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(f"{path}: expected an object with "
+                                f"an 'entries' list")
+        entries = []
+        for index, raw in enumerate(data["entries"]):
+            try:
+                justification = str(raw["justification"]).strip()
+                if not justification:
+                    raise KeyError("justification")
+                entries.append(BaselineEntry(
+                    rule=str(raw["rule"]), path=str(raw["path"]),
+                    snippet=str(raw["snippet"]),
+                    justification=justification))
+            except (KeyError, TypeError) as exc:
+                raise BaselineError(
+                    f"{path}: entry {index} needs non-empty rule/path/"
+                    f"snippet/justification fields") from exc
+        return cls(entries)
+
+    def save(self, path: pathlib.Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "camp-lint",
+            "entries": [entry.to_dict() for entry in sorted(
+                self.entries, key=BaselineEntry.key)],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                        + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      previous: "Baseline" = None) -> "Baseline":
+        """Baseline the given findings, keeping prior justifications."""
+        prior = previous._by_key if previous is not None else {}
+        entries = []
+        seen: set = set()
+        for finding in findings:
+            key = finding.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            kept = prior.get(key)
+            entries.append(BaselineEntry(
+                rule=finding.rule, path=finding.path,
+                snippet=finding.snippet,
+                justification=(kept.justification if kept is not None
+                               else TODO_JUSTIFICATION)))
+        return cls(entries)

@@ -1,0 +1,83 @@
+"""Reporters: render a lint run as human text or machine JSON.
+
+The JSON schema (``--format json``) is stable and versioned so CI
+tooling can parse it::
+
+    {
+      "version": 1,
+      "tool": "camp-lint",
+      "ok": true,
+      "files_checked": 123,
+      "counts": {"DET01": 0, ...},          # active findings per rule
+      "findings": [
+        {"rule": ..., "path": ..., "line": ..., "col": ...,
+         "severity": ..., "message": ..., "snippet": ...}, ...
+      ],
+      "baselined": [...],                   # same shape as findings
+      "stale_baseline": [
+        {"rule": ..., "path": ..., "snippet": ...,
+         "justification": ...}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .baseline import Baseline, BaselineEntry, TODO_JUSTIFICATION
+from .engine import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def render_json(active: Sequence[Finding], baselined: Sequence[Finding],
+                stale: Sequence[BaselineEntry], files_checked: int) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "camp-lint",
+        "ok": not active,
+        "files_checked": files_checked,
+        "counts": _counts(active),
+        "findings": [finding.to_dict() for finding in active],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "stale_baseline": [entry.to_dict() for entry in stale],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_text(active: Sequence[Finding], baselined: Sequence[Finding],
+                stale: Sequence[BaselineEntry], files_checked: int,
+                baseline: Baseline = None) -> str:
+    lines: List[str] = []
+    for finding in active:
+        lines.append(finding.render())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if active:
+        lines.append("")
+    for entry in stale:
+        lines.append(f"stale baseline entry (fix was merged - delete "
+                     f"it): {entry.rule} {entry.path}: {entry.snippet}")
+    if baseline is not None:
+        for entry in baseline.placeholder_entries():
+            lines.append(f"baseline entry without a real justification "
+                         f"({TODO_JUSTIFICATION!r}): {entry.rule} "
+                         f"{entry.path}")
+    counts = _counts(active)
+    summary = ", ".join(f"{rule}: {count}"
+                        for rule, count in sorted(counts.items()))
+    verdict = ("clean" if not active else
+               f"{len(active)} finding(s) ({summary})")
+    lines.append(f"camp-lint: {files_checked} file(s) checked, "
+                 f"{verdict}"
+                 + (f"; {len(baselined)} baselined" if baselined else ""))
+    return "\n".join(lines)

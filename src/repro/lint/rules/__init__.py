@@ -1,0 +1,40 @@
+"""The camp-lint rule catalogue (``docs/LINT.md``).
+
+========  ==========================================================
+DET01     no unseeded RNG / wall-clock reads in sim paths
+CACHE01   spec dataclasses frozen + every field in the cache key
+PMU01     every ``P<n>`` counter reference exists in the registry
+ERR01     runtime/faults error handling uses the errors.py taxonomy
+PURE01    pool workers don't close over / mutate module state
+UNITS01   latency/bandwidth identifiers carry unit suffixes
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..engine import Rule
+from .cache_key import CacheKeyRule
+from .determinism import DeterminismRule
+from .errors import ErrorTaxonomyRule
+from .pmu import PmuRegistryRule
+from .purity import WorkerPurityRule
+from .units import UnitSuffixRule
+
+#: Every rule, in catalogue order.
+ALL_RULES: Tuple[Rule, ...] = (
+    DeterminismRule(),
+    CacheKeyRule(),
+    PmuRegistryRule(),
+    ErrorTaxonomyRule(),
+    WorkerPurityRule(),
+    UnitSuffixRule(),
+)
+
+#: id -> rule instance.
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "CacheKeyRule", "DeterminismRule",
+           "ErrorTaxonomyRule", "PmuRegistryRule", "WorkerPurityRule",
+           "UnitSuffixRule"]

@@ -1,0 +1,130 @@
+"""CACHE01 - every spec field must reach the canonical cache key.
+
+``runtime/spec.py``'s frozen dataclasses ARE the cache key: a field
+that exists on the spec but escapes :meth:`key_material` means two
+semantically different runs hash identically and the
+:class:`ResultStore` silently serves one's result for the other.  The
+rule also pins the structural prerequisites - ``frozen=True`` (a
+mutated spec would diverge from the key it was hashed under) and no
+mutable defaults (shared state across spec instances).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..engine import FileContext, Finding, Rule
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", None)
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.AST) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return (isinstance(keyword.value, ast.Constant) and
+                    keyword.value.value is True)
+    return False
+
+
+def _is_mutable_default(value: Optional[ast.AST]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        name = getattr(value.func, "id", None)
+        if name in _MUTABLE_CALLS:
+            return True
+        if name == "field":
+            for keyword in value.keywords:
+                if keyword.arg == "default" and \
+                        _is_mutable_default(keyword.value):
+                    return True
+    return False
+
+
+def _annotation_is_classvar(annotation: ast.AST) -> bool:
+    text = ast.dump(annotation)
+    return "ClassVar" in text
+
+
+def _self_reads(fn: ast.FunctionDef) -> Set[str]:
+    reads: Set[str] = set()
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Attribute) and
+                isinstance(node.value, ast.Name) and
+                node.value.id == "self"):
+            reads.add(node.attr)
+    return reads
+
+
+class CacheKeyRule(Rule):
+    id = "CACHE01"
+    description = ("spec dataclasses stay frozen, mutable-default-free, "
+                   "and hash every field into key_material()")
+    rationale = ("a spec field outside the cache key makes two "
+                 "different runs collide in the ResultStore")
+    kind = "python"
+    scopes = ("src/repro/runtime/spec.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not _is_frozen(decorator):
+                yield self.finding(
+                    ctx, node,
+                    f"spec dataclass `{node.name}` must be declared "
+                    f"@dataclass(frozen=True): a mutable spec can "
+                    f"diverge from the key it was hashed under")
+            fields: List[ast.AnnAssign] = [
+                stmt for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign) and
+                isinstance(stmt.target, ast.Name) and
+                not _annotation_is_classvar(stmt.annotation)]
+            for stmt in fields:
+                if _is_mutable_default(stmt.value):
+                    yield self.finding(
+                        ctx, stmt,
+                        f"field `{stmt.target.id}` of `{node.name}` has "
+                        f"a mutable default")
+            key_material = next(
+                (stmt for stmt in node.body
+                 if isinstance(stmt, ast.FunctionDef) and
+                 stmt.name == "key_material"), None)
+            if key_material is None:
+                yield self.finding(
+                    ctx, node,
+                    f"spec dataclass `{node.name}` must define "
+                    f"key_material() so every field reaches the "
+                    f"canonical cache key")
+                continue
+            reads = _self_reads(key_material)
+            for stmt in fields:
+                name = stmt.target.id
+                if name not in reads:
+                    yield self.finding(
+                        ctx, stmt,
+                        f"field `{name}` of `{node.name}` never reaches "
+                        f"key_material(): two specs differing only in "
+                        f"`{name}` would collide in the result cache")

@@ -1,0 +1,131 @@
+"""DET01 - no unseeded randomness or wall-clock reads in sim paths.
+
+A simulated run must be a pure function of its :class:`RunSpec`: the
+content-addressed result cache (``docs/RUNTIME.md``) silently serves
+stale results the moment any sim-path code reads state that is not in
+the spec.  The two classic leaks are module-level RNGs (``random.*``,
+legacy ``numpy.random.*``, ``default_rng()`` with no seed) and
+wall-clock reads (``time.time``, ``datetime.now``).  Seeded generators
+threaded through explicitly (``np.random.default_rng(seed)``,
+``random.Random(seed)``) are fine - that is the pattern
+:mod:`repro.workloads.generator` uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule
+
+#: Wall-clock (and monotonic-clock) reads: nondeterministic across
+#: runs, so any influence on a result breaks cache-key purity.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: numpy.random attributes that are seeding machinery, not draws.
+_NP_ALLOWED = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+               "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+               "RandomState"}
+
+#: stdlib random attributes that construct an explicit (seedable) RNG.
+_STDLIB_ALLOWED = {"Random"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ImportMap(ast.NodeVisitor):
+    """Local name -> canonical dotted origin, from the file's imports."""
+
+    def __init__(self):
+        self.origins: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.origins[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or not node.module:
+            return   # relative imports cannot be stdlib/numpy clocks
+        for alias in node.names:
+            self.origins[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}")
+
+    def canonical(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        origin = self.origins.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+class DeterminismRule(Rule):
+    id = "DET01"
+    description = ("no unseeded RNG or wall-clock reads inside "
+                   "simulation paths")
+    rationale = ("simulated runs must be pure functions of their spec "
+                 "or the content-addressed result cache serves stale "
+                 "results")
+    kind = "python"
+    scopes = ("src/repro/uarch", "src/repro/core", "src/repro/workloads",
+              "src/repro/policies")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        imports = _ImportMap()
+        imports.visit(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            name = imports.canonical(dotted)
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read `{name}` in a sim path; results "
+                    f"must be pure functions of the RunSpec")
+            elif name.startswith("numpy.random."):
+                attr = name.rsplit(".", 1)[1]
+                if attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx, node,
+                            "`default_rng()` without a seed is "
+                            "nondeterministic; thread a seeded "
+                            "Generator through instead")
+                elif attr == "seed":
+                    yield self.finding(
+                        ctx, node,
+                        "`numpy.random.seed` mutates the global legacy "
+                        "RNG; thread a seeded Generator through instead")
+                elif attr not in _NP_ALLOWED:
+                    yield self.finding(
+                        ctx, node,
+                        f"module-level `numpy.random.{attr}` draws from "
+                        f"the shared legacy RNG; thread a seeded "
+                        f"Generator through instead")
+            elif (name.startswith("random.") and
+                    name.rsplit(".", 1)[1] not in _STDLIB_ALLOWED):
+                yield self.finding(
+                    ctx, node,
+                    f"module-level `{name}` is unseeded shared state; "
+                    f"use an explicit `random.Random(seed)` (or a numpy "
+                    f"Generator) threaded through the call chain")

@@ -1,0 +1,71 @@
+"""ERR01 - runtime/faults error handling uses the errors.py taxonomy.
+
+The resilient executor's whole failure story rests on *telling failure
+families apart* (``docs/FAULTS.md``): infrastructure failures re-run
+serially, deterministic task errors propagate, transient errors retry.
+A bare ``except:`` or a raw ``raise Exception`` collapses those
+families - a worker crash becomes indistinguishable from a bad spec -
+so inside ``runtime/`` and ``faults/`` every raise must use a concrete
+class (the :mod:`repro.runtime.errors` taxonomy or a specific builtin
+like ``ValueError``) and no handler may catch ``Exception`` wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule
+
+_BANNED = {"Exception", "BaseException"}
+
+
+def _exception_names(node: ast.AST) -> Iterator[str]:
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _exception_names(element)
+
+
+class ErrorTaxonomyRule(Rule):
+    id = "ERR01"
+    description = ("no bare `except:` or raw `Exception` in runtime/ "
+                   "and faults/; use the errors.py taxonomy")
+    rationale = ("catching Exception wholesale collapses the "
+                 "infrastructure/deterministic/transient failure "
+                 "families the resilient executor depends on")
+    kind = "python"
+    scopes = ("src/repro/runtime", "src/repro/faults")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        ctx, node,
+                        "bare `except:` catches everything including "
+                        "KeyboardInterrupt; name the failure family "
+                        "(see runtime/errors.py)")
+                    continue
+                for name in _exception_names(node.type):
+                    if name in _BANNED:
+                        yield self.finding(
+                            ctx, node,
+                            f"`except {name}` collapses the error "
+                            f"taxonomy; catch the concrete class from "
+                            f"runtime/errors.py (or the specific "
+                            f"builtin) instead")
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                name = getattr(target, "id", None)
+                if name in _BANNED:
+                    yield self.finding(
+                        ctx, node,
+                        f"`raise {name}` is untyped; raise a class "
+                        f"from the runtime/errors.py taxonomy so "
+                        f"callers can react per failure family")

@@ -1,0 +1,48 @@
+"""PMU01 - every ``P<n>`` counter reference must exist in the registry.
+
+The paper's Table 5 defines the closed counter vocabulary (``P1`` to
+``P17``) that the predictor consumes; :data:`repro.uarch.pmu
+.KNOWN_COUNTER_IDS` is its registry in code.  A phantom counter - an
+index past the end of the table, or an id retired by a table revision
+- defeats the missing-counter fallback chains: the predictor would
+wait forever for an event the simulated PMU can never emit, and the
+docs would promise readers a signal that does not exist.  The rule
+scans *all* text - string literals, comments, docstrings, markdown -
+because the vocabulary must be consistent everywhere humans and code
+read it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule
+
+#: A paper-style counter token: ``P`` + digits as a standalone word.
+_P_TOKEN = re.compile(r"\bP(\d{1,4})\b")
+
+
+class PmuRegistryRule(Rule):
+    id = "PMU01"
+    description = ("every P<n> counter reference resolves to the "
+                   "uarch.pmu registry (Table 5)")
+    rationale = ("phantom counters defeat the missing-counter fallback "
+                 "chains and document signals the PMU cannot emit")
+    kind = "any"
+    scopes = ()   # everywhere the engine scans: src/repro plus docs
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from ...uarch.pmu import KNOWN_COUNTER_IDS
+        for lineno, text in enumerate(ctx.lines, 1):
+            for match in _P_TOKEN.finditer(text):
+                token = match.group(0)
+                if token in KNOWN_COUNTER_IDS:
+                    continue
+                yield Finding(
+                    rule=self.id, path=ctx.relpath, line=lineno,
+                    col=match.start() + 1,
+                    message=(f"unknown PMU counter `{token}`: not in "
+                             f"the uarch.pmu registry (Table 5 defines "
+                             f"P1..P17)"),
+                    snippet=ctx.line(lineno), severity=self.severity)

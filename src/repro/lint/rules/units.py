@@ -1,0 +1,126 @@
+"""UNITS01 - latency/bandwidth identifiers carry unit suffixes.
+
+The models convert between nanoseconds, core cycles, and GB/s
+constantly (``platform.ns_to_cycles``, Little's-law occupancies,
+CAS-rate bandwidths).  An identifier that says ``latency`` without
+saying *which unit* is how a cycles value ends up divided by a GHz
+twice.  Every data identifier containing ``latency`` or ``bandwidth``
+must therefore name its unit (``_ns``, ``_cycles``, ``_gbps``, ...) or
+be explicitly dimensionless (``_ratio``, ``_factor``, ``_fraction``) or
+a predicate (``is_``, ``_bound``).  Function *actions* and class names
+are exempt; parameters, assignment targets, dataclass fields and
+properties are checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from ..engine import FileContext, Finding, Rule
+
+_WORDS = ("latency", "bandwidth")
+
+#: Unit tokens: the identifier names a physical unit.
+_UNIT_TOKENS = {
+    "ns", "us", "ms", "s", "sec", "cycles", "cyc", "gbps", "mbps",
+    "gib", "mib", "gb", "mb", "bytes", "ghz", "mhz", "hz", "pct",
+}
+#: Dimensionless tokens: the quantity is explicitly a pure number.
+_DIMENSIONLESS_TOKENS = {
+    "ratio", "fraction", "frac", "share", "factor", "scale", "x",
+    "norm", "normalized", "util", "utilization", "pearson", "slope",
+    "count", "index",
+}
+#: Predicate / non-quantity tokens: the identifier is not a magnitude.
+_EXEMPT_TOKENS = {
+    "is", "has", "bound", "sensitive", "aware", "limited", "flag",
+    "flags", "hook", "lab", "model", "curve", "fit", "name", "label",
+    "kind", "class", "ctx", "context",
+}
+
+_OK_TOKENS = _UNIT_TOKENS | _DIMENSIONLESS_TOKENS | _EXEMPT_TOKENS
+
+_SPLIT = re.compile(r"[^a-z0-9]+")
+
+
+def _needs_unit(name: str) -> bool:
+    lower = name.lower()
+    if not any(word in lower for word in _WORDS):
+        return False
+    if name != lower and "_" not in name:
+        return False   # CamelCase type name, not a quantity
+    tokens = {token for token in _SPLIT.split(lower) if token}
+    return not (tokens & _OK_TOKENS)
+
+
+class UnitSuffixRule(Rule):
+    id = "UNITS01"
+    description = ("latency/bandwidth identifiers carry a unit suffix "
+                   "(_ns, _cycles, _gbps) or a dimensionless marker")
+    rationale = ("the models convert ns/cycles/GB-s constantly; an "
+                 "unlabelled latency is how a value gets converted "
+                 "twice or not at all")
+    kind = "python"
+    scopes = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        seen: Set[Tuple[str, int]] = set()
+
+        def emit(name: str, node: ast.AST, what: str):
+            line = getattr(node, "lineno", 0)
+            if (name, line) in seen or not _needs_unit(name):
+                return
+            seen.add((name, line))
+            yield self.finding(
+                ctx, node,
+                f"{what} `{name}` names a latency/bandwidth quantity "
+                f"without a unit: suffix it (_ns, _cycles, _gbps, ...) "
+                f"or mark it dimensionless (_ratio, _factor)")
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for group in (args.posonlyargs, args.args,
+                              args.kwonlyargs):
+                    for arg in group:
+                        yield from emit(arg.arg, arg, "parameter")
+                is_property = any(
+                    getattr(decorator, "id", None) == "property" or
+                    getattr(decorator, "attr", None) in ("setter",
+                                                         "getter")
+                    for decorator in node.decorator_list)
+                if is_property:
+                    yield from emit(node.name, node, "property")
+            elif isinstance(node, ast.Assign):
+                for target in self._named_targets(node.targets):
+                    yield from emit(target[0], target[1], "variable")
+            elif isinstance(node, ast.AnnAssign):
+                for target in self._named_targets([node.target]):
+                    yield from emit(target[0], target[1], "field")
+            elif isinstance(node, ast.For):
+                for target in self._named_targets([node.target]):
+                    yield from emit(target[0], target[1],
+                                    "loop variable")
+
+    @staticmethod
+    def _named_targets(targets) -> List[Tuple[str, ast.AST]]:
+        named: List[Tuple[str, ast.AST]] = []
+        stack = list(targets)
+        while stack:
+            target = stack.pop()
+            if isinstance(target, ast.Name):
+                named.append((target.id, target))
+            elif (isinstance(target, ast.Attribute) and
+                    isinstance(target.value, ast.Name) and
+                    target.value.id == "self"):
+                named.append((target.attr, target))
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                stack.extend(target.elts)
+            elif isinstance(target, ast.Starred):
+                stack.append(target.value)
+        return named

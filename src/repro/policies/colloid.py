@@ -42,10 +42,10 @@ def _latency_gap(context: TieringContext, x: float) -> Tuple[float, float]:
                  Placement(dram_fraction=x, device=context.device,
                            hotness_bias=MIGRATION_BIAS))
     result = context.machine.run(context.workload, placement)
-    slow_latency = result.slow_latency_ns
-    if slow_latency is None:
-        slow_latency = context.machine.idle_latency_ns(context.device)
-    return result.dram_latency_ns - slow_latency, x
+    slow_latency_ns = result.slow_latency_ns
+    if slow_latency_ns is None:
+        slow_latency_ns = context.machine.idle_latency_ns(context.device)
+    return result.dram_latency_ns - slow_latency_ns, x
 
 
 class Colloid(TieringPolicy):

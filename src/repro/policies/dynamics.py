@@ -261,14 +261,14 @@ def simulate_tiering(machine: Machine, workload: WorkloadSpec,
     records: List[EpochRecord] = []
     for epoch in range(epochs):
         result = machine.run(slice_spec, placement(x))
-        slow_latency = (result.slow_latency_ns
-                        if result.slow_latency_ns is not None else
-                        machine.idle_latency_ns(device))
+        slow_latency_ns = (result.slow_latency_ns
+                           if result.slow_latency_ns is not None else
+                           machine.idle_latency_ns(device))
         observation = EpochObservation(
             epoch=epoch,
             placement_x=x,
             dram_latency_ns=result.dram_latency_ns,
-            slow_latency_ns=slow_latency,
+            slow_latency_ns=slow_latency_ns,
             dram_utilization=result.dram_utilization,
             slow_utilization=result.slow_utilization,
         )

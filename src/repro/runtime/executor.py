@@ -378,7 +378,7 @@ class Executor:
         try:
             pickle.dumps(payload)
             return True
-        except Exception:
+        except Exception:   # camp-lint: disable=ERR01 -- pickling probe: pickle raises arbitrary user exception types
             return False
 
     # -- conveniences --------------------------------------------------------

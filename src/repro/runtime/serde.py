@@ -136,7 +136,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
 
 
 def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
-    slow_latency: Optional[float] = data["slow_latency_ns"]
+    slow_latency_ns: Optional[float] = data["slow_latency_ns"]
     return RunResult(
         workload=workload_from_dict(data["workload"]),
         placement=placement_from_dict(data["placement"]),
@@ -149,7 +149,7 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
         tier_read_ns=data["tier_read_ns"],
         rfo_ns=data["rfo_ns"],
         dram_latency_ns=data["dram_latency_ns"],
-        slow_latency_ns=slow_latency,
+        slow_latency_ns=slow_latency_ns,
         dram_gbps=data["dram_gbps"],
         slow_gbps=data["slow_gbps"],
         dram_utilization=data["dram_utilization"],

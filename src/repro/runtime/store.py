@@ -110,7 +110,7 @@ class ResultStore:
             with os.fdopen(handle, "w") as tmp:
                 json.dump(entry, tmp)
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException:   # camp-lint: disable=ERR01 -- cleanup-and-reraise: the temp file must go even on KeyboardInterrupt
             try:
                 os.unlink(tmp_name)
             except OSError:

@@ -169,7 +169,7 @@ def prefetch_overlap(mlp_eff: float, platform: PlatformConfig) -> float:
 
 def account_cycles(spec: WorkloadSpec, platform: PlatformConfig,
                    demand: DemandProfile, prefetch: PrefetchProfile,
-                   latency: LatencyContext) -> CycleBreakdown:
+                   latency_ctx: LatencyContext) -> CycleBreakdown:
     """Solve the per-core cycle breakdown at fixed memory latencies."""
     threads = spec.threads
     instructions_per_core = spec.instructions / threads
@@ -180,9 +180,9 @@ def account_cycles(spec: WorkloadSpec, platform: PlatformConfig,
     pf_l1_mem_pc = prefetch.pf_l1_mem / threads
     store_rfos_pc = demand.store_mem_rfos / threads
 
-    obs_cyc = platform.ns_to_cycles(latency.observed_read_ns)
-    tier_cyc = platform.ns_to_cycles(latency.tier_read_ns)
-    rfo_cyc = platform.ns_to_cycles(latency.rfo_ns)
+    obs_cyc = platform.ns_to_cycles(latency_ctx.observed_read_ns)
+    tier_cyc = platform.ns_to_cycles(latency_ctx.tier_read_ns)
+    rfo_cyc = platform.ns_to_cycles(latency_ctx.rfo_ns)
     wait_cyc = platform.ns_to_cycles(prefetch.late_wait_ns)
 
     # Latency-insensitive short stalls: demand loads that hit in L2 or
@@ -209,12 +209,12 @@ def account_cycles(spec: WorkloadSpec, platform: PlatformConfig,
 
     for _ in range(_MAX_ITERATIONS):
         pf_inflight = pf_l1_mem_pc * tier_cyc / max(cycles, 1.0)
-        mlp_eff = effective_mlp(spec, platform, latency.observed_read_ns,
-                                latency.reference_idle_ns, pf_inflight)
+        mlp_eff = effective_mlp(spec, platform, latency_ctx.observed_read_ns,
+                                latency_ctx.reference_idle_ns, pf_inflight)
         memory_active = demand_reads_pc * obs_cyc / mlp_eff
         exposure_eff = spec.stall_exposure * exposure_corrections(
-            spec, mlp_eff, latency.observed_read_ns,
-            latency.reference_idle_ns)
+            spec, mlp_eff, latency_ctx.observed_read_ns,
+            latency_ctx.reference_idle_ns)
         s_llc = memory_active * exposure_eff
 
         pf_overlap = prefetch_overlap(mlp_eff, platform)

@@ -243,14 +243,14 @@ class Machine:
                    (1.0 - x_req) * state.slow_rfo_ns)
 
             prefetch = prefetch_profile(workload, demand, tier_read)
-            latency = LatencyContext(
+            latency_ctx = LatencyContext(
                 observed_read_ns=observed,
                 tier_read_ns=tier_read,
                 rfo_ns=rfo,
                 reference_idle_ns=idle_dram,
             )
             breakdown = account_cycles(workload, self.platform, demand,
-                                       prefetch, latency)
+                                       prefetch, latency_ctx)
 
             runtime_s = breakdown.cycles / (
                 self.platform.frequency_ghz * 1e9)
@@ -320,11 +320,11 @@ class Machine:
         dram_util = utilization_for_bandwidth(
             dram_dev, dram_gbps + external.get("dram", 0.0))
         slow_util = 0.0
-        slow_latency: Optional[float] = None
+        slow_latency_ns: Optional[float] = None
         if slow_dev is not None:
             slow_util = utilization_for_bandwidth(
                 slow_dev, slow_gbps + external.get(slow_dev.name, 0.0))
-            slow_latency = state.slow_latency_ns
+            slow_latency_ns = state.slow_latency_ns
 
         return RunResult(
             workload=workload,
@@ -338,7 +338,7 @@ class Machine:
             tier_read_ns=tier_read,
             rfo_ns=rfo,
             dram_latency_ns=state.dram_latency_ns,
-            slow_latency_ns=slow_latency,
+            slow_latency_ns=slow_latency_ns,
             dram_gbps=dram_gbps,
             slow_gbps=slow_gbps,
             dram_utilization=dram_util,

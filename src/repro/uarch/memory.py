@@ -91,10 +91,10 @@ def loaded_latency_ns(device: MemoryDeviceConfig, utilization: float,
         1.0 + _QUEUE_EPSILON - u)
         + device.queue_gain * 0.12 * over_knee ** 2)
     tail = device.tail_alpha * min(max(tail_sensitivity, 0.0), 1.0)
-    latency = base * (1.0 + linear + queue) * (1.0 + tail)
+    latency_ns = base * (1.0 + linear + queue) * (1.0 + tail)
     if _LATENCY_FAULT_HOOK is not None:
-        latency = _LATENCY_FAULT_HOOK(device, latency)
-    return latency
+        latency_ns = _LATENCY_FAULT_HOOK(device, latency_ns)
+    return latency_ns
 
 
 #: Upper bound on the saturation multiplier (guards pathological specs).

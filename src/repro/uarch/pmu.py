@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Dict
+from typing import Dict, FrozenSet
 
 from ..core.counters import Counter, CounterSample
 from ..workloads.spec import WorkloadSpec
@@ -34,6 +34,19 @@ from .prefetcher import PrefetchProfile
 
 #: Default relative noise (sigma) applied to each counter.
 DEFAULT_NOISE = 0.004
+
+#: The counter registry: every id this PMU can emit - the paper's
+#: ``P1``..``P17`` plus the architectural/bandwidth ids.  camp-lint's
+#: PMU01 rule resolves every ``P<n>`` reference in source and docs
+#: against this set, so a phantom or retired counter can never be
+#: mentioned anywhere the predictor or a reader would trust it.
+KNOWN_COUNTER_IDS: FrozenSet[str] = frozenset(
+    counter.value for counter in Counter)
+
+
+def known_counter_ids() -> FrozenSet[str]:
+    """The ids the simulated PMU can emit (PMU01's source of truth)."""
+    return KNOWN_COUNTER_IDS
 
 #: Fraction of cache stalls that leak into the next-lower stall counter
 #: (counter taxonomies on real PMUs are never perfectly clean).

@@ -16,6 +16,8 @@ import repro.cli as cli
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RUNTIME_FLAGS = ("--jobs", "--cache-dir", "--no-cache", "--progress")
+#: Subcommands that never simulate, so carry no runtime flags.
+NON_SIMULATING = ("workloads", "lint")
 
 
 def subcommands():
@@ -48,7 +50,7 @@ class TestCliDocstring:
     def test_runtime_flags_really_exist(self):
         parser = cli.build_parser()
         for command in subcommands():
-            if command == "workloads":   # the one non-simulating command
+            if command in NON_SIMULATING:
                 continue
             args = parser.parse_args([command, "x"]
                                      if command in ("sweep", "dynamics",
@@ -126,6 +128,42 @@ class TestFaultsDoc:
                           "worker_faults_recover_exact_results"):
             assert f"`{invariant}`" in faults, (
                 f"chaos invariant {invariant!r} missing from FAULTS.md")
+
+
+class TestPmuCounterReferences:
+    """Docs can never mention a counter the simulator doesn't emit.
+
+    Runs camp-lint's PMU01 rule (backed by the ``uarch.pmu`` registry)
+    over every documentation file, so a phantom ``P<n>`` reference -
+    a counter beyond Table 5, or one retired from the registry - fails
+    the suite with the exact file:line.
+    """
+
+    DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/API.md", "docs/FAULTS.md", "docs/LINT.md",
+                 "docs/MODEL.md", "docs/RUNTIME.md",
+                 "docs/SUBSTRATE.md", "docs/WORKLOADS.md")
+
+    def test_registry_matches_counter_enum(self):
+        from repro.core.counters import Counter
+        from repro.uarch.pmu import KNOWN_COUNTER_IDS, known_counter_ids
+        assert known_counter_ids() == KNOWN_COUNTER_IDS
+        assert KNOWN_COUNTER_IDS == {c.value for c in Counter}
+        assert {f"P{n}" for n in range(1, 18)} <= KNOWN_COUNTER_IDS
+
+    @pytest.mark.parametrize("doc", DOC_FILES)
+    def test_docs_reference_only_registered_counters(self, doc):
+        from repro.lint import lint_source
+        from repro.lint.rules import PmuRegistryRule
+        findings = lint_source(read(doc), doc, [PmuRegistryRule()])
+        assert not findings, "\n".join(f.render() for f in findings)
+
+    def test_phantom_counter_would_be_caught(self):
+        from repro.lint import lint_source
+        from repro.lint.rules import PmuRegistryRule
+        findings = lint_source("the P19 counter\n", "docs/FAKE.md",
+                               [PmuRegistryRule()])
+        assert [f.rule for f in findings] == ["PMU01"]
 
 
 class TestCrossLinks:
