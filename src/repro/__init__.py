@@ -26,6 +26,7 @@ Package map:
 - :mod:`repro.policies` - Best-shot and the section 6 baselines;
 - :mod:`repro.analysis` - per-figure experiment drivers;
 - :mod:`repro.runtime` - parallel executor + persistent result cache;
+- :mod:`repro.obs` - span tracing, trace exporters, bench harness;
 - :mod:`repro.faults` - fault injection + the chaos suite.
 """
 
@@ -41,6 +42,7 @@ __version__ = "1.0.0"
 
 from .runtime import (Executor, ResultStore, RunSpec,  # noqa: E402
                       Telemetry)
+from .obs import Tracer, trace_session  # noqa: E402
 from .faults import FaultPlan, named_plan, run_chaos  # noqa: E402
 
 __all__ = [
@@ -50,6 +52,6 @@ __all__ = [
     "Machine", "Placement", "RunResult", "component_slowdowns",
     "slowdown", "WorkloadSpec", "bandwidth_bound_eight",
     "evaluation_suite", "get_workload", "Executor", "ResultStore",
-    "RunSpec", "Telemetry", "FaultPlan", "named_plan", "run_chaos",
-    "__version__",
+    "RunSpec", "Telemetry", "Tracer", "trace_session", "FaultPlan",
+    "named_plan", "run_chaos", "__version__",
 ]

@@ -99,9 +99,12 @@ class Lab:
         machine = self.machine_for_tier(tier)
         key = (machine.platform.name, tier.lower())
         if key not in self._calibrations:
-            self._calibrations[key] = calibrate(
-                machine, tier, store=self.executor.store,
-                executor=self.executor)
+            with self.executor.telemetry.stage(
+                    "lab.calibration", tier=tier.lower(),
+                    platform=machine.platform.name):
+                self._calibrations[key] = calibrate(
+                    machine, tier, store=self.executor.store,
+                    executor=self.executor)
         return self._calibrations[key]
 
     def predictor(self, tier: str) -> SlowdownPredictor:
@@ -135,9 +138,12 @@ class Lab:
         if missing:
             specs = [RunSpec.from_machine(machine, workload, placement)
                      for _, workload, placement in missing]
-            for (key, _, _), result in zip(
-                    missing, self.executor.run(specs, label=label)):
-                self._runs[key] = result
+            with self.executor.telemetry.stage(
+                    "lab.warm", label=label, batch=len(work),
+                    missing=len(missing)):
+                for (key, _, _), result in zip(
+                        missing, self.executor.run(specs, label=label)):
+                    self._runs[key] = result
         return [self._runs[key] for key in keys]
 
     def dram_run(self, tier: str, workload: WorkloadSpec) -> RunResult:

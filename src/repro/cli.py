@@ -16,6 +16,11 @@ Drives the library end-to-end from a shell, the way an operator would:
 ``workloads``         list the named paper workloads
 ``lint``              camp-lint: statically check the determinism /
                       cache-key / PMU invariants (docs/LINT.md)
+``trace``             re-run any other command under a span-trace
+                      session; export Chrome trace-event JSON / JSONL
+                      (docs/OBSERVABILITY.md)
+``bench``             time the pinned runtime micro-suite; emit a
+                      schema-versioned bench payload
 ====================  ====================================================
 
 Profiling runs execute on the simulated machine; on real hardware the
@@ -95,6 +100,18 @@ def _cache_dir_arg(value: str) -> pathlib.Path:
         raise argparse.ArgumentTypeError(
             f"parent directory does not exist: {parent}")
     return path
+
+
+def _repeats_arg(value: str) -> int:
+    """Bench repeat count: a positive integer."""
+    try:
+        repeats = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}")
+    if repeats < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {repeats}")
+    return repeats
 
 
 def _workload_count_arg(value: str) -> int:
@@ -457,6 +474,94 @@ def cmd_lint(args) -> int:
     return 1 if active else 0
 
 
+def _extract_out_flag(rest: List[str], name: str):
+    """Pull ``name FILE`` / ``name=FILE`` out of a raw argv tail.
+
+    The trace wrapper's output flags may appear anywhere around the
+    inner command's own arguments (``trace suite --workloads 4
+    --trace-out t.json``), so they are extracted by hand rather than
+    declared on the subparser.  Returns ``(value, remaining_tokens)``.
+    """
+    value = None
+    cleaned: List[str] = []
+    index = 0
+    while index < len(rest):
+        token = rest[index]
+        if token == name:
+            if index + 1 >= len(rest):
+                raise ValueError(f"{name} requires a file argument")
+            value = rest[index + 1]
+            index += 2
+            continue
+        if token.startswith(name + "="):
+            value = token[len(name) + 1:]
+            if not value:
+                raise ValueError(f"{name} requires a file argument")
+            index += 1
+            continue
+        cleaned.append(token)
+        index += 1
+    return value, cleaned
+
+
+def cmd_trace(args) -> int:
+    """Re-dispatch an inner command under an active trace session.
+
+    The inner command runs exactly as it would untraced - stdout is
+    byte-identical - while every instrumented layer (executor, store,
+    lab, calibration, ``Machine.run``) records spans into one tracer,
+    exported afterwards as Chrome trace-event JSON (``--trace-out``)
+    and/or a JSONL event log (``--jsonl-out``).
+    """
+    rest = list(args.rest)
+    if rest[:1] == ["--"]:
+        rest = rest[1:]
+    try:
+        trace_out, rest = _extract_out_flag(rest, "--trace-out")
+        jsonl_out, rest = _extract_out_flag(rest, "--jsonl-out")
+    except ValueError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    if not rest:
+        print("repro trace: usage: repro trace <command> [args ...] "
+              "--trace-out FILE [--jsonl-out FILE]", file=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        print("repro trace: trace sessions do not nest",
+              file=sys.stderr)
+        return 2
+    if trace_out is None and jsonl_out is None:
+        print("repro trace: need --trace-out FILE and/or "
+              "--jsonl-out FILE", file=sys.stderr)
+        return 2
+
+    from .obs import (Tracer, trace_session, write_chrome_trace,
+                      write_jsonl)
+    tracer = Tracer()
+    with trace_session(tracer):
+        with tracer.span(f"cli.{rest[0]}"):
+            code = main(rest)
+    written = []
+    if trace_out is not None:
+        written.append(str(write_chrome_trace(tracer, trace_out)))
+    if jsonl_out is not None:
+        written.append(str(write_jsonl(tracer, jsonl_out)))
+    print(f"trace: {len(tracer.events)} span(s) -> "
+          f"{', '.join(written)}", file=sys.stderr)
+    return code
+
+
+def cmd_bench(args) -> int:
+    """Time the pinned runtime micro-suite (docs/OBSERVABILITY.md)."""
+    from .obs.bench import render_bench, run_bench
+    out = pathlib.Path(args.out) if args.out else None
+    result = run_bench(repeats=args.repeats, out=out)
+    print(render_bench(result))
+    if out is not None:
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def cmd_workloads(args) -> int:
     rows = [(w.name, w.suite, w.threads, f"{w.footprint_gib:.1f}",
              f"{w.mlp:.1f}", ",".join(w.tags))
@@ -610,10 +715,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: auto-detected)")
     p.set_defaults(func=cmd_lint)
 
+    p = sub.add_parser(
+        "trace",
+        help="run another command under a span-trace session "
+             "(docs/OBSERVABILITY.md)")
+    p.add_argument("rest", nargs=argparse.REMAINDER, metavar="command",
+                   help="inner command plus its arguments; add "
+                        "--trace-out FILE (Chrome trace-event JSON) "
+                        "and/or --jsonl-out FILE anywhere")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the pinned runtime micro-benchmarks "
+             "(docs/OBSERVABILITY.md)")
+    p.add_argument("--repeats", type=_repeats_arg, default=5,
+                   metavar="N",
+                   help="timed repeats per case; medians are reported "
+                        "(default 5)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the schema-versioned JSON payload here")
+    p.set_defaults(func=cmd_bench)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # ``trace`` forwards a full inner command line, options and all;
+    # argparse's REMAINDER rejects option-leading tails ("trace
+    # --trace-out f suite"), so the wrapper is dispatched by hand.
+    # ``trace -h`` still reaches argparse for the help text.
+    if argv[:1] == ["trace"] and argv[1:2] not in (["-h"], ["--help"]):
+        return cmd_trace(argparse.Namespace(rest=argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -266,40 +266,45 @@ def calibrate(machine, device: str,
 
     benches = list(benchmarks) if benchmarks is not None \
         else calibration_suite()
-
-    key = None
-    if store is not None:
-        key = CalibrationSpec.from_machine(machine, device,
-                                           benches).fingerprint()
-        payload = store.get(key)
-        if payload is not None:
-            return Calibration.from_dict(payload)
-
     if executor is None:
         executor = Executor(jobs=1, store=store)
-    specs = []
-    for bench in benches:
-        specs.append(RunSpec.from_machine(machine, bench,
-                                          Placement.dram_only()))
-        specs.append(RunSpec.from_machine(machine, bench,
-                                          Placement.slow_only(device)))
-    profiles = executor.profile(specs, label="calibrate")
+    telemetry = executor.telemetry
 
-    samples: List[CalibrationSample] = []
-    for index, bench in enumerate(benches):
-        dram_sig = signature(profiles[2 * index])
-        slow_sig = signature(profiles[2 * index + 1])
-        samples.append(CalibrationSample(
-            dram=dram_sig, slow=slow_sig,
-            roles=roles_for_tags(bench.tags)))
+    with telemetry.stage("calibrate", device=device,
+                         platform=machine.platform.name,
+                         benchmarks=len(benches)):
+        key = None
+        if store is not None:
+            key = CalibrationSpec.from_machine(machine, device,
+                                               benches).fingerprint()
+            payload = store.get(key)
+            if payload is not None:
+                return Calibration.from_dict(payload)
 
-    calibration = fit_from_samples(
-        samples,
-        platform_family=machine.platform.family,
-        device=device,
-        idle_latency_dram_ns=machine.idle_latency_ns("dram"),
-        idle_latency_slow_ns=machine.idle_latency_ns(device),
-    )
-    if store is not None and key is not None:
-        store.put(key, calibration.to_dict())
-    return calibration
+        specs = []
+        for bench in benches:
+            specs.append(RunSpec.from_machine(machine, bench,
+                                              Placement.dram_only()))
+            specs.append(RunSpec.from_machine(
+                machine, bench, Placement.slow_only(device)))
+        profiles = executor.profile(specs, label="calibrate")
+
+        samples: List[CalibrationSample] = []
+        for index, bench in enumerate(benches):
+            dram_sig = signature(profiles[2 * index])
+            slow_sig = signature(profiles[2 * index + 1])
+            samples.append(CalibrationSample(
+                dram=dram_sig, slow=slow_sig,
+                roles=roles_for_tags(bench.tags)))
+
+        with telemetry.stage("calibrate.fit", samples=len(samples)):
+            calibration = fit_from_samples(
+                samples,
+                platform_family=machine.platform.family,
+                device=device,
+                idle_latency_dram_ns=machine.idle_latency_ns("dram"),
+                idle_latency_slow_ns=machine.idle_latency_ns(device),
+            )
+        if store is not None and key is not None:
+            store.put(key, calibration.to_dict())
+        return calibration

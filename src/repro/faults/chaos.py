@@ -157,21 +157,23 @@ def run_chaos(schedule: str = "default", seed: int = 0,
             else default_cache_dir()
         store = ResultStore(root)
     executor = Executor(jobs=jobs, store=store, progress=progress)
-    calibration = executor.calibration(machine, device)
-    predictor = SlowdownPredictor(calibration)
+    with telemetry.stage("chaos.clean", schedule=schedule):
+        calibration = executor.calibration(machine, device)
+        predictor = SlowdownPredictor(calibration)
 
-    dram_specs = [RunSpec.from_machine(machine, w, Placement.dram_only())
-                  for w in workloads]
-    slow_specs = [RunSpec.from_machine(machine, w,
-                                       Placement.slow_only(device))
-                  for w in workloads]
-    all_specs = dram_specs + slow_specs
-    clean_results = executor.run(all_specs, label="chaos:clean")
-    clean_payloads = _payloads(clean_results)
-    clean_profiles = [result.profiled()
-                      for result in clean_results[:len(workloads)]]
-    clean_predictions = [predictor.predict(profile)
-                         for profile in clean_profiles]
+        dram_specs = [RunSpec.from_machine(machine, w,
+                                           Placement.dram_only())
+                      for w in workloads]
+        slow_specs = [RunSpec.from_machine(machine, w,
+                                           Placement.slow_only(device))
+                      for w in workloads]
+        all_specs = dram_specs + slow_specs
+        clean_results = executor.run(all_specs, label="chaos:clean")
+        clean_payloads = _payloads(clean_results)
+        clean_profiles = [result.profiled()
+                          for result in clean_results[:len(workloads)]]
+        clean_predictions = [predictor.predict(profile)
+                             for profile in clean_profiles]
     telemetry.merge(executor.telemetry)
     invariants["clean_predictions_not_degraded"] = not any(
         prediction.degraded for prediction in clean_predictions)
@@ -180,35 +182,41 @@ def run_chaos(schedule: str = "default", seed: int = 0,
     counter_injector = CounterInjector(plan)
     flagging_consistent = True
     gaps: List[float] = []
-    for workload, profile, clean in zip(workloads, clean_profiles,
-                                        clean_predictions):
-        faulted = counter_injector.apply(profile.sample, workload.name)
-        sig = signature_from_sample(faulted, profile.platform_family,
-                                    profile.frequency_ghz,
-                                    label=workload.name)
-        prediction = predictor.predict_signature(sig)
-        if not math.isfinite(prediction.total):
-            flagging_consistent = False
-            continue
-        if sig.missing:
-            if not prediction.degraded or prediction.confidence >= 1.0:
+    with telemetry.stage("chaos.counters", schedule=schedule):
+        for workload, profile, clean in zip(workloads, clean_profiles,
+                                            clean_predictions):
+            faulted = counter_injector.apply(profile.sample,
+                                             workload.name)
+            sig = signature_from_sample(faulted,
+                                        profile.platform_family,
+                                        profile.frequency_ghz,
+                                        label=workload.name)
+            prediction = predictor.predict_signature(sig)
+            if not math.isfinite(prediction.total):
                 flagging_consistent = False
-            gaps.append(abs(prediction.total - clean.total) /
-                        max(abs(clean.total), _MAPE_FLOOR))
-        elif prediction.degraded:
-            flagging_consistent = False
-    degraded_mape = sum(gaps) / len(gaps) if gaps else 0.0
+                continue
+            if sig.missing:
+                if not prediction.degraded or \
+                        prediction.confidence >= 1.0:
+                    flagging_consistent = False
+                gaps.append(abs(prediction.total - clean.total) /
+                            max(abs(clean.total), _MAPE_FLOOR))
+            elif prediction.degraded:
+                flagging_consistent = False
+        degraded_mape = sum(gaps) / len(gaps) if gaps else 0.0
 
-    # Streamed per-window predictions: every window must produce a
-    # (possibly degraded) update - this is the missing-counter
-    # tolerance invariant at perf-sampling granularity.
-    phased_profile = machine.profile_phased(tc_kron_phased(cycles=2))
-    online = OnlinePredictor(calibration, phased_profile.platform_family,
-                             phased_profile.frequency_ghz)
-    for index, window in enumerate(phased_profile.windows):
-        online.observe(counter_injector.apply(window,
-                                              ("tc-kron", index)))
-    windows = len(phased_profile.windows)
+        # Streamed per-window predictions: every window must produce a
+        # (possibly degraded) update - this is the missing-counter
+        # tolerance invariant at perf-sampling granularity.
+        phased_profile = machine.profile_phased(
+            tc_kron_phased(cycles=2))
+        online = OnlinePredictor(calibration,
+                                 phased_profile.platform_family,
+                                 phased_profile.frequency_ghz)
+        for index, window in enumerate(phased_profile.windows):
+            online.observe(counter_injector.apply(window,
+                                                  ("tc-kron", index)))
+        windows = len(phased_profile.windows)
     invariants["prediction_for_every_window"] = (
         len(online.history) == windows and
         all(math.isfinite(update.instant.total)
@@ -219,7 +227,8 @@ def run_chaos(schedule: str = "default", seed: int = 0,
     _merge_counts(injected, counter_injector.injected)
 
     # -- phase 3: store damage ----------------------------------------------
-    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+    with telemetry.stage("chaos.store", schedule=schedule), \
+            tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         chaos_root = pathlib.Path(tmp) / "store"
         chaos_store = ChaosStore(chaos_root, plan)
         seeder = Executor(jobs=1, store=chaos_store)
@@ -244,7 +253,8 @@ def run_chaos(schedule: str = "default", seed: int = 0,
     # -- phase 4: tier latency faults ---------------------------------------
     baseline_entries = len(store) if store is not None else 0
     tier_executor = Executor(jobs=1, store=store, fault_plan=plan)
-    with LatencyInjector(plan) as latency:
+    with telemetry.stage("chaos.tiers", schedule=schedule), \
+            LatencyInjector(plan) as latency:
         tier_results = tier_executor.run(slow_specs,
                                          label="chaos:tiers")
     telemetry.merge(tier_executor.telemetry)
@@ -260,8 +270,9 @@ def run_chaos(schedule: str = "default", seed: int = 0,
     timeout = min(hangs) / 3.0 if hangs else None
     worker_executor = Executor(jobs=max(2, jobs), store=store,
                                fault_plan=plan, task_timeout=timeout)
-    worker_results = worker_executor.run(all_specs,
-                                         label="chaos:workers")
+    with telemetry.stage("chaos.workers", schedule=schedule):
+        worker_results = worker_executor.run(all_specs,
+                                             label="chaos:workers")
     telemetry.merge(worker_executor.telemetry)
     invariants["worker_faults_recover_exact_results"] = (
         _payloads(worker_results) == clean_payloads)

@@ -1,0 +1,39 @@
+"""Structured observability: span tracing, exporters, bench harness.
+
+``repro.obs`` is the layer that answers "where did the time go?" -
+inside one run (hierarchical spans, Chrome-trace/JSONL exporters,
+``python -m repro trace``) and across the repository's history (the
+pinned bench micro-suite, ``python -m repro bench``, whose
+``BENCH_runtime.json`` artifact CI accumulates PR over PR).
+
+The package is import-light on purpose: :mod:`repro.obs.tracer` is
+pure stdlib, because clock-forbidden simulation modules
+(:mod:`repro.uarch.machine`) import :func:`maybe_span` from it, and
+importing the tracer must not drag the runtime stack along.  The bench
+harness (:mod:`repro.obs.bench`) does depend on the runtime and is
+imported lazily by the CLI.
+
+See ``docs/OBSERVABILITY.md`` for the trace and bench file formats.
+"""
+
+from .export import (TRACE_SCHEMA, chrome_trace_dict, jsonl_lines,
+                     write_chrome_trace, write_jsonl)
+from .report import render_report
+from .tracer import (Span, SpanRecord, SpanStats, Tracer, active_tracer,
+                     maybe_span, trace_session)
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "SpanStats",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "active_tracer",
+    "chrome_trace_dict",
+    "jsonl_lines",
+    "maybe_span",
+    "render_report",
+    "trace_session",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,230 @@
+"""The bench-regression harness behind ``python -m repro bench``.
+
+A pinned micro-suite of runtime hot paths, each timed over N repeats
+and reported as the **median** (medians shrug off one-off scheduler
+hiccups that would whipsaw a mean).  The output is a schema-versioned
+JSON payload (``BENCH_SCHEMA``) whose *identity* fields - bench names,
+spec counts, seeds - are fully deterministic, and which contains **no
+wall-clock timestamps** (the DET01 discipline): two runs of the same
+code differ only in the measured seconds.  CI runs this non-blocking
+and uploads ``BENCH_runtime.json`` as an artifact, so the repository
+finally accumulates a performance trajectory PR over PR.
+
+The pinned cases cover the four layers a regression could hide in:
+
+====================  ===================================================
+``machine_simulate``  one ``Machine.run`` solve (the inner loop)
+``store_roundtrip``   ``ResultStore.put`` + ``get`` for 64 entries
+``executor_cold``     a 6-spec batch, empty store (simulate + persist)
+``executor_warm``     the same batch against a warm store (lookup only)
+``suite_slice``       end-to-end: runs + predictions + accuracy summary
+====================  ===================================================
+
+Schema and how to read the trajectory: ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Version of the bench payload layout; bump on any field change.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Machine seed for every benched simulation (pinned => comparable).
+BENCH_SEED = 0
+
+#: Workloads the executor/suite cases run (named-suite members, so the
+#: population generator never runs).
+BENCH_WORKLOADS = ("605.mcf", "557.xz", "603.bwaves")
+SUITE_SLICE_WORKLOADS = 4
+STORE_ROUNDTRIP_ENTRIES = 64
+
+
+@dataclass
+class BenchCase:
+    """One pinned micro-benchmark: a setup-once, time-many callable."""
+
+    name: str
+    repeats: int
+    median_s: float
+    min_s: float
+    max_s: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "meta": dict(self.meta),
+        }
+
+
+def _timed(fn: Callable[[], None], repeats: int) -> List[float]:
+    samples = []
+    for _ in range(repeats):
+        start_s = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start_s)
+    return samples
+
+
+def _case(name: str, fn: Callable[[], None], repeats: int,
+          **meta: Any) -> BenchCase:
+    samples = _timed(fn, repeats)
+    return BenchCase(
+        name=name, repeats=repeats,
+        median_s=statistics.median(samples),
+        min_s=min(samples), max_s=max(samples), meta=meta)
+
+
+def _bench_specs(machine):
+    from ..runtime.spec import RunSpec
+    from ..uarch.interleave import Placement
+    from ..workloads.suites import get_workload
+    specs = []
+    for name in BENCH_WORKLOADS:
+        workload = get_workload(name)
+        specs.append(RunSpec.from_machine(machine, workload,
+                                          Placement.dram_only()))
+        specs.append(RunSpec.from_machine(
+            machine, workload, Placement.slow_only("cxl-a")))
+    return specs
+
+
+def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None
+              ) -> Dict[str, Any]:
+    """Run the pinned micro-suite; optionally write the JSON payload.
+
+    Returns the payload dict.  ``repeats`` must be >= 1; 3-5 is enough
+    for stable medians on a quiet machine.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    # Imported lazily so `repro.obs` stays import-light (the tracer is
+    # imported from DET01-scoped modules, which must not drag the whole
+    # runtime stack in at import time).
+    from ..analysis.stats import accuracy_summary
+    from ..core.slowdown import SlowdownPredictor
+    from ..runtime.executor import Executor
+    from ..runtime.store import ResultStore
+    from ..uarch.config import get_platform
+    from ..uarch.interleave import Placement
+    from ..uarch.machine import Machine, slowdown
+
+    machine = Machine(get_platform("skx2s"), seed=BENCH_SEED)
+    specs = _bench_specs(machine)
+    cases: List[BenchCase] = []
+
+    # -- machine_simulate: the solver's inner loop, one placement ----------
+    sim_workload = specs[1].workload
+    sim_placement = specs[1].placement
+
+    def machine_simulate() -> None:
+        machine.run(sim_workload, sim_placement)
+
+    cases.append(_case("machine_simulate", machine_simulate, repeats,
+                       workload=sim_workload.name,
+                       placement=sim_placement.describe()))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        root = pathlib.Path(tmp)
+
+        # -- store_roundtrip: put + get, atomic-write path ------------------
+        payload = {"cycles": 123456.0,
+                   "values": {f"v{i}": float(i) for i in range(32)}}
+        keys = [f"{i:02x}" + "0" * 62
+                for i in range(STORE_ROUNDTRIP_ENTRIES)]
+        rounds = [0]
+
+        def store_roundtrip() -> None:
+            store = ResultStore(root / f"store-{rounds[0]}")
+            rounds[0] += 1
+            for key in keys:
+                store.put(key, payload)
+            for key in keys:
+                assert store.get(key) is not None
+        cases.append(_case("store_roundtrip", store_roundtrip, repeats,
+                           entries=STORE_ROUNDTRIP_ENTRIES))
+
+        # -- executor_cold: simulate + persist ------------------------------
+        cold_rounds = [0]
+
+        def executor_cold() -> None:
+            store = ResultStore(root / f"cold-{cold_rounds[0]}")
+            cold_rounds[0] += 1
+            Executor(jobs=1, store=store).run(specs, label="bench")
+        cases.append(_case("executor_cold", executor_cold, repeats,
+                           specs=len(specs)))
+
+        # -- executor_warm: pure lookup + decode ----------------------------
+        warm_store = ResultStore(root / "warm")
+        Executor(jobs=1, store=warm_store).run(specs, label="bench")
+
+        def executor_warm() -> None:
+            Executor(jobs=1, store=warm_store).run(specs, label="bench")
+        cases.append(_case("executor_warm", executor_warm, repeats,
+                           specs=len(specs)))
+
+        # -- suite_slice: end-to-end prediction-accuracy slice --------------
+        cal_store = ResultStore(root / "cal")
+        calibration = Executor(jobs=1, store=cal_store).calibration(
+            machine, "cxl-a")
+        predictor = SlowdownPredictor(calibration)
+        from ..runtime.spec import RunSpec
+        from ..workloads.suites import named_workloads
+        slice_workloads = list(named_workloads().values())[
+            :SUITE_SLICE_WORKLOADS]
+        slice_specs = []
+        for workload in slice_workloads:
+            slice_specs.append(RunSpec.from_machine(
+                machine, workload, Placement.dram_only()))
+            slice_specs.append(RunSpec.from_machine(
+                machine, workload, Placement.slow_only("cxl-a")))
+
+        def suite_slice() -> None:
+            results = Executor(jobs=1).run(slice_specs, label="bench")
+            predicted, actual = [], []
+            for index in range(len(slice_workloads)):
+                dram = results[2 * index]
+                slow = results[2 * index + 1]
+                predicted.append(predictor.predict(
+                    dram.profiled()).total)
+                actual.append(slowdown(dram, slow))
+            accuracy_summary(predicted, actual)
+        cases.append(_case("suite_slice", suite_slice, repeats,
+                           workloads=len(slice_workloads)))
+
+    result = {
+        "schema": BENCH_SCHEMA,
+        "seed": BENCH_SEED,
+        "repeats": repeats,
+        "environment": {
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "benches": [case.as_dict() for case in cases],
+    }
+    if out is not None:
+        pathlib.Path(out).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return result
+
+
+def render_bench(result: Dict[str, Any]) -> str:
+    """The stdout table for ``python -m repro bench``."""
+    lines = [f"bench schema {result['schema']} "
+             f"(median of {result['repeats']} repeat(s))"]
+    for case in result["benches"]:
+        lines.append(f"  {case['name']:<18s} {case['median_s']*1e3:9.3f} ms"
+                     f"   [{case['min_s']*1e3:.3f} .. "
+                     f"{case['max_s']*1e3:.3f}]")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL event logs.
+
+Two formats, one source of truth (:class:`~repro.obs.tracer.Tracer`
+events):
+
+- **Chrome trace-event JSON** (``write_chrome_trace``): the object
+  form of the trace-event format - ``{"traceEvents": [...]}`` with one
+  complete (``"ph": "X"``) event per span - loadable directly in
+  ``about://tracing`` or https://ui.perfetto.dev.  Timestamps and
+  durations are microseconds, as the format requires.
+- **JSONL** (``write_jsonl``): one JSON object per line, a schema
+  header first, then one line per span in close order.  Greppable,
+  streamable, and stable for tooling.
+
+Schema details and how to read the result in Perfetto:
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Union
+
+from .tracer import SpanRecord, Tracer
+
+#: Version tag embedded in both export formats.
+TRACE_SCHEMA = "repro-trace/1"
+
+_PathLike = Union[str, pathlib.Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Clamp attribute values to JSON scalars (repr anything exotic)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _event_attrs(record: SpanRecord) -> Dict[str, Any]:
+    return {key: _jsonable(value) for key, value in record.attrs.items()}
+
+
+def chrome_trace_dict(tracer: Tracer, process_name: str = "repro"
+                      ) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+    for record in tracer.events:
+        events.append({
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": record.start_us,
+            "dur": record.duration_us,
+            "pid": 1,
+            "tid": 1,
+            "args": dict(_event_attrs(record),
+                         span_id=record.span_id,
+                         parent_id=record.parent_id,
+                         depth=record.depth),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA,
+                      "dropped_spans": tracer.dropped},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: _PathLike) -> pathlib.Path:
+    """Write the Chrome trace-event JSON file; returns the path."""
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(chrome_trace_dict(tracer)) + "\n")
+    return target
+
+
+def jsonl_lines(tracer: Tracer) -> List[str]:
+    """The JSONL export as a list of serialized lines."""
+    lines = [json.dumps({"schema": TRACE_SCHEMA,
+                         "spans": len(tracer.events),
+                         "dropped_spans": tracer.dropped},
+                        sort_keys=True)]
+    for record in tracer.events:
+        lines.append(json.dumps({
+            "name": record.name,
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "depth": record.depth,
+            "start_us": record.start_us,
+            "duration_us": record.duration_us,
+            "attrs": _event_attrs(record),
+        }, sort_keys=True))
+    return lines
+
+
+def write_jsonl(tracer: Tracer, path: _PathLike) -> pathlib.Path:
+    """Write the JSONL event log; returns the path."""
+    target = pathlib.Path(path)
+    target.write_text("\n".join(jsonl_lines(tracer)) + "\n")
+    return target

@@ -1,0 +1,39 @@
+"""The compact text report the CLI prints under ``--progress``.
+
+Rebuilt on span data: each line shows a span name's **self** time
+(excluding children), **cumulative** time (once per name, reentrancy
+collapsed), and invocation count.  The printed total is the sum of
+self-times, which partitions the traced wall-clock - it can never
+exceed what a stopwatch around the run would measure, unlike the old
+flat stage counters that double-billed nested stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .tracer import Tracer
+
+
+def render_report(tracer: Tracer,
+                  counters: Optional[Dict[str, int]] = None) -> str:
+    """Multi-line span + counter report (empty string when idle)."""
+    lines = []
+    if tracer.stats:
+        lines.append("span timings (self / cumulative):")
+        ordered = sorted(tracer.stats.items(),
+                         key=lambda kv: -kv[1].self_s)
+        for name, stats in ordered:
+            lines.append(
+                f"  {name:<16s} {stats.self_s:8.3f}s "
+                f"{stats.cumulative_s:8.3f}s  x{stats.count}")
+        lines.append(
+            f"  {'total (self)':<16s} {tracer.total_self_s():8.3f}s")
+        if tracer.dropped:
+            lines.append(f"  ({tracer.dropped} span(s) dropped past "
+                         f"the event cap)")
+    if counters:
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<18s} {value:8d}")
+    return "\n".join(lines)

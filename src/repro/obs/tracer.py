@@ -1,0 +1,232 @@
+"""Hierarchical span tracing: where the wall-clock actually went.
+
+A :class:`Tracer` records *spans* - named, nested, attributed slices of
+wall-clock time - and aggregates them two ways at once:
+
+- **cumulative** seconds: total time any span of that name was open,
+  counted once per name even when a span re-enters itself (a memoized
+  ``Lab.run`` inside ``Lab.warm`` never double-bills the name);
+- **self** seconds: time spent in a span *excluding* its children.
+
+Self-time is what makes the report honest: the old flat stage counters
+summed ``persist`` and ``lookup`` into the same total as the enclosing
+``simulate``/``executor.run`` regions, so the printed total exceeded
+the measured wall-clock.  Self-times of strictly nested spans partition
+the traced time, so their sum can never exceed it.
+
+The tracer is deliberately clock-isolated: simulation code
+(:mod:`repro.uarch`, :mod:`repro.core`) never reads the clock itself -
+camp-lint's DET01 forbids it - it calls :func:`maybe_span`, which is a
+no-op unless a trace session (:func:`trace_session`) is active, and the
+clock read happens here, outside the simulated world.  Traced or not,
+simulated results are byte-identical; spans only ever observe.
+
+Exporters (Chrome trace-event JSON, JSONL) live in
+:mod:`repro.obs.export`; the compact text report in
+:mod:`repro.obs.report`.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Attribute value types a span may carry (JSON-serializable scalars).
+AttrValue = Any
+
+#: Default cap on retained span events; aggregation continues past it.
+DEFAULT_MAX_EVENTS = 200_000
+
+
+@dataclass
+class SpanRecord:
+    """One closed span, ready for export.
+
+    ``start_us``/``duration_us`` are microseconds relative to the
+    tracer's epoch (its construction time), which is what the Chrome
+    trace-event format wants in its ``ts``/``dur`` fields.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_us: int
+    duration_us: int
+    depth: int
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timings for one span name."""
+
+    count: int = 0
+    cumulative_s: float = 0.0
+    self_s: float = 0.0
+
+
+class Span:
+    """A live (open) span handle; ``annotate`` adds attributes."""
+
+    __slots__ = ("name", "attrs", "start_s", "child_s", "span_id",
+                 "parent_id", "depth", "outermost")
+
+    def __init__(self, name: str, attrs: Dict[str, AttrValue],
+                 start_s: float, span_id: int,
+                 parent_id: Optional[int], depth: int,
+                 outermost: bool):
+        self.name = name
+        self.attrs = attrs
+        self.start_s = start_s
+        self.child_s = 0.0
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.outermost = outermost
+
+    def annotate(self, **attrs: AttrValue) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Collects nested spans on one thread of execution.
+
+    Reentrant and allocation-light: opening a span pushes a handle on a
+    stack; closing it pops, charges self-time, and (up to
+    ``max_events``) appends a :class:`SpanRecord` for the exporters.
+    """
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        self.max_events = max_events
+        self.events: List[SpanRecord] = []
+        self.stats: Dict[str, SpanStats] = {}
+        self.dropped = 0
+        self._epoch_s = time.perf_counter()
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._active_names: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: AttrValue) -> Iterator[Span]:
+        """Time a named region; nests and re-enters safely."""
+        handle = self._open(name, dict(attrs))
+        try:
+            yield handle
+        finally:
+            self._close(handle)
+
+    def _open(self, name: str, attrs: Dict[str, AttrValue]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        active = self._active_names.get(name, 0)
+        handle = Span(
+            name=name, attrs=attrs, start_s=time.perf_counter(),
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack), outermost=active == 0)
+        self._next_id += 1
+        self._active_names[name] = active + 1
+        self._stack.append(handle)
+        return handle
+
+    def _close(self, handle: Span) -> None:
+        end_s = time.perf_counter()
+        # Unwind to the handle even if an inner span leaked (an
+        # exception path skipped a __exit__): the stack stays sound.
+        while self._stack and self._stack[-1] is not handle:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        elapsed_s = end_s - handle.start_s
+        self._active_names[handle.name] -= 1
+
+        stats = self.stats.setdefault(handle.name, SpanStats())
+        stats.count += 1
+        stats.self_s += max(0.0, elapsed_s - handle.child_s)
+        if handle.outermost:
+            stats.cumulative_s += elapsed_s
+        if self._stack:
+            self._stack[-1].child_s += elapsed_s
+
+        if len(self.events) < self.max_events:
+            self.events.append(SpanRecord(
+                span_id=handle.span_id, parent_id=handle.parent_id,
+                name=handle.name,
+                start_us=int(round(
+                    (handle.start_s - self._epoch_s) * 1e6)),
+                duration_us=int(round(elapsed_s * 1e6)),
+                depth=handle.depth, attrs=handle.attrs))
+        else:
+            self.dropped += 1
+
+    # -- introspection -------------------------------------------------------
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds since this tracer was created."""
+        return time.perf_counter() - self._epoch_s
+
+    def total_self_s(self) -> float:
+        """Sum of self-times: never exceeds the traced wall-clock."""
+        return sum(stats.self_s for stats in self.stats.values())
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's aggregates into this one.
+
+        Used by drivers that run several executors but report once
+        (the chaos harness).  Events are not migrated - their epochs
+        differ - only the per-name statistics; during a trace session
+        every :class:`~repro.runtime.telemetry.Telemetry` shares the
+        one active tracer, so events are already unified there.
+        """
+        if other is self:
+            return
+        for name, theirs in other.stats.items():
+            mine = self.stats.setdefault(name, SpanStats())
+            mine.count += theirs.count
+            mine.cumulative_s += theirs.cumulative_s
+            mine.self_s += theirs.self_s
+        self.dropped += other.dropped
+
+
+# ---------------------------------------------------------------------------
+# The active trace session.  ``python -m repro trace <cmd>`` installs a
+# tracer here; instrumentation points in clock-forbidden modules
+# (Machine.run) go through maybe_span so they stay no-ops otherwise.
+# ---------------------------------------------------------------------------
+
+_ACTIVE_TRACER: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The tracer installed by the current trace session, if any."""
+    return _ACTIVE_TRACER
+
+
+@contextmanager
+def trace_session(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _ACTIVE_TRACER
+    previous = _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER = previous
+
+
+@contextmanager
+def maybe_span(name: str, **attrs: AttrValue) -> Iterator[Optional[Span]]:
+    """A span on the active tracer, or a free no-op without a session.
+
+    This is the only instrumentation entry point simulation code may
+    use: it reads no clock when no session is active, so DET01-scoped
+    modules stay pure and untraced runs pay nothing.
+    """
+    tracer = _ACTIVE_TRACER
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attrs) as handle:
+        yield handle

@@ -14,11 +14,12 @@ exploits that purity twice:
   (:mod:`repro.runtime.spec`), so re-running a suite, sweep, or fleet
   plan is a cache lookup instead of a simulation.
 
-:mod:`repro.runtime.telemetry` adds the observability layer: per-stage
-wall-clock timings, cache hit/miss counters, and the ``--progress``
-reporting the CLI surfaces.  :mod:`repro.runtime.errors` defines the
-failure taxonomy the executor's fault tolerance is built on
-(``docs/FAULTS.md``).
+:mod:`repro.runtime.telemetry` is the runtime's face of the
+observability layer (:mod:`repro.obs`): hierarchical span timings with
+honest self-time accounting, cache hit/miss counters, and the
+``--progress`` reporting the CLI surfaces (``docs/OBSERVABILITY.md``).
+:mod:`repro.runtime.errors` defines the failure taxonomy the
+executor's fault tolerance is built on (``docs/FAULTS.md``).
 
 See ``docs/RUNTIME.md`` for the architecture, the cache-key recipe, and
 the invalidation rules.

@@ -169,6 +169,10 @@ class Executor:
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self._memo: Dict[str, Dict[str, Any]] = {}
+        if self.store is not None:
+            # Store get/put spans land in this executor's trace (an
+            # active trace session overrides this inside the store).
+            self.store.tracer = self.telemetry.tracer
 
     # -- cache layers --------------------------------------------------------
     def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
@@ -209,6 +213,16 @@ class Executor:
                 self.telemetry.counters.get("store_hits", 0))
 
     @property
+    def alias_count(self) -> int:
+        """In-batch duplicate specs served from their twin's execution.
+
+        Not cache hits: the batch simply asked the same question twice,
+        so they are counted apart (``alias_hits``) from ``memo_hits``/
+        ``store_hits``.
+        """
+        return self.telemetry.counters.get("alias_hits", 0)
+
+    @property
     def miss_count(self) -> int:
         return self.telemetry.counters.get("misses", 0)
 
@@ -217,6 +231,12 @@ class Executor:
             label: str = "run") -> List[RunResult]:
         """Execute a batch; results come back in input order."""
         specs = list(specs)
+        with self.telemetry.stage("executor.run", label=label,
+                                  batch=len(specs)):
+            return self._run_batch(specs, label)
+
+    def _run_batch(self, specs: List[RunSpec],
+                   label: str) -> List[RunResult]:
         reporter = ProgressReporter(len(specs), label=label,
                                     enabled=self.progress)
         with self.telemetry.stage("hash"):
@@ -227,7 +247,7 @@ class Executor:
         # Duplicate specs inside one batch execute once; the extra
         # indices are aliases filled in at commit time.
         aliases: Dict[str, List[int]] = {}
-        with self.telemetry.stage("lookup"):
+        with self.telemetry.stage("lookup") as lookup_span:
             for index, (spec, key) in enumerate(zip(specs, keys)):
                 payload = self._lookup(key)
                 payloads.append(payload)
@@ -235,7 +255,9 @@ class Executor:
                     reporter.update(hits=self.hit_count,
                                     misses=self.miss_count)
                 elif key in aliases:
-                    self.telemetry.count("memo_hits")
+                    # An in-batch duplicate, not a cache hit: the twin
+                    # that is about to execute will fill it in.
+                    self.telemetry.count("alias_hits")
                     aliases[key].append(index)
                     reporter.update(hits=self.hit_count,
                                     misses=self.miss_count)
@@ -243,9 +265,12 @@ class Executor:
                     self.telemetry.count("misses")
                     aliases[key] = []
                     pending.append((index, spec))
+            lookup_span.annotate(hits=self.hit_count,
+                                 aliases=self.alias_count,
+                                 misses=len(pending))
 
         if pending:
-            with self.telemetry.stage("simulate"):
+            with self.telemetry.stage("simulate", pending=len(pending)):
                 for index, payload in self._execute_pending(pending,
                                                             reporter):
                     payloads[index] = payload
@@ -289,8 +314,12 @@ class Executor:
         for index, spec in pending:
             if index in completed:
                 continue
-            payload = self._execute_serial_task(
-                spec, index, attempt=1 if fell_back else 0)
+            with self.telemetry.stage(
+                    "task", index=index, worker="serial",
+                    fingerprint=spec.fingerprint()[:12],
+                    fallback=fell_back):
+                payload = self._execute_serial_task(
+                    spec, index, attempt=1 if fell_back else 0)
             reporter.update(hits=self.hit_count,
                             misses=self.miss_count)
             yield index, payload
@@ -324,6 +353,12 @@ class Executor:
                 attempt += 1
 
     def _execute_pool(self, pending: List[Tuple[int, RunSpec]],
+                      workers: int, reporter: ProgressReporter):
+        with self.telemetry.stage("pool", workers=workers,
+                                  pending=len(pending)):
+            yield from self._pool_results(pending, workers, reporter)
+
+    def _pool_results(self, pending: List[Tuple[int, RunSpec]],
                       workers: int, reporter: ProgressReporter):
         self.telemetry.count("pool_workers", workers)
         plan = self.fault_plan
@@ -418,6 +453,12 @@ class Executor:
         and propagates.
         """
         items = list(items)
+        with self.telemetry.stage("executor.map", label=label,
+                                  batch=len(items)):
+            return self._map_batch(fn, items, label)
+
+    def _map_batch(self, fn: Callable[[T], R], items: List[T],
+                   label: str) -> List[R]:
         reporter = ProgressReporter(len(items), label=label,
                                     enabled=self.progress)
         workers = min(self.jobs, len(items))

@@ -17,7 +17,9 @@ Design rules:
   entry is rewritten.
 - **Self-describing entries.**  Every file carries its own ``key`` and
   ``schema`` so an entry that was hashed under different code can be
-  recognized and ignored.
+  recognized and ignored: ``get`` rejects entries whose ``schema``
+  differs from the current :data:`~repro.runtime.spec
+  .CACHE_SCHEMA_VERSION` as corrupt misses.
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ import pathlib
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional
+
+from ..obs.tracer import Tracer, active_tracer
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -60,10 +64,18 @@ class StoreStats:
 class ResultStore:
     """On-disk JSON cache addressed by run-spec fingerprints."""
 
-    def __init__(self, root: Optional[pathlib.Path] = None):
+    def __init__(self, root: Optional[pathlib.Path] = None,
+                 tracer: Optional[Tracer] = None):
         self.root = pathlib.Path(root) if root is not None \
             else default_cache_dir()
         self.stats = StoreStats()
+        #: Span tracer for get/put timing; the executor wires its
+        #: telemetry's tracer in, and a trace session overrides both.
+        self.tracer = tracer
+
+    def _tracer(self) -> Optional[Tracer]:
+        session = active_tracer()
+        return session if session is not None else self.tracer
 
     # -- paths ---------------------------------------------------------------
     def path_for(self, key: str) -> pathlib.Path:
@@ -76,9 +88,20 @@ class ResultStore:
         """The payload stored under ``key``, or ``None``.
 
         Any failure mode - missing file, invalid JSON, wrong embedded
-        key - reads as a miss; corrupted entries additionally bump
-        :attr:`StoreStats.corrupt`.
+        key, stale ``schema`` version - reads as a miss; corrupted
+        entries additionally bump :attr:`StoreStats.corrupt`.
         """
+        tracer = self._tracer()
+        if tracer is None:
+            return self._get(key)
+        with tracer.span("store.get", layer="store",
+                         key=key[:12]) as span:
+            payload = self._get(key)
+            span.annotate(hit=payload is not None)
+            return payload
+
+    def _get(self, key: str) -> Optional[Dict[str, Any]]:
+        from .spec import CACHE_SCHEMA_VERSION
         path = self.path_for(key)
         try:
             text = path.read_text()
@@ -89,6 +112,11 @@ class ResultStore:
             entry = json.loads(text)
             if not isinstance(entry, dict) or entry.get("key") != key:
                 raise ValueError("entry/key mismatch")
+            if entry.get("schema") != CACHE_SCHEMA_VERSION:
+                # Persisted under different code: the payload layout
+                # (or the simulator's semantics) has moved on, so the
+                # entry must not be served as a hit (module docstring).
+                raise ValueError("stale cache schema")
             payload = entry["payload"]
         except (ValueError, KeyError, TypeError):
             self.stats.corrupt += 1
@@ -99,6 +127,14 @@ class ResultStore:
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Persist ``payload`` under ``key`` (atomic replace)."""
+        tracer = self._tracer()
+        if tracer is None:
+            self._put(key, payload)
+            return
+        with tracer.span("store.put", layer="store", key=key[:12]):
+            self._put(key, payload)
+
+    def _put(self, key: str, payload: Dict[str, Any]) -> None:
         from .spec import CACHE_SCHEMA_VERSION
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)

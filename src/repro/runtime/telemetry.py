@@ -1,10 +1,18 @@
-"""Runtime observability: stage timings, cache counters, progress.
+"""Runtime observability: span-backed stage timings, counters, progress.
 
 The executor threads one :class:`Telemetry` object through a batch of
-work.  It accumulates wall-clock time per named stage (``hash``,
-``simulate``, ``persist``, ``decode``) and event counters (cache hits
-by layer, misses, worker pool size), and renders them as the compact
-report the CLI prints under ``--progress``.
+work.  Stage timing is delegated to a hierarchical
+:class:`~repro.obs.tracer.Tracer`: ``stage(name)`` opens a *span*, so
+nested regions (``persist`` inside ``simulate`` inside
+``executor.run``) are attributed once as self-time instead of being
+summed twice - the report's total can never exceed the measured
+wall-clock (``docs/OBSERVABILITY.md``).  Event counters (cache hits by
+layer, alias hits, misses, worker pool size) stay here.
+
+When a trace session is active (``python -m repro trace <cmd>``), a
+fresh :class:`Telemetry` attaches to the session's tracer instead of a
+private one, so every executor, store, and machine span in the process
+lands in one exportable trace.
 
 :class:`ProgressReporter` is the live side: a single-line carriage-
 return progress display on stderr, so stdout stays byte-identical with
@@ -15,64 +23,66 @@ equivalence tests rely on.
 from __future__ import annotations
 
 import sys
-import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, TextIO
 
+from ..obs.report import render_report
+from ..obs.tracer import Span, Tracer, active_tracer
+
 
 class Telemetry:
-    """Per-stage wall-clock timings plus named event counters."""
+    """Span-backed stage timings plus named event counters."""
 
-    def __init__(self) -> None:
-        self.stage_seconds: Dict[str, float] = {}
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        if tracer is None:
+            tracer = active_tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.counters: Dict[str, int] = {}
 
     @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Time a named stage (accumulates across invocations)."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.stage_seconds[name] = \
-                self.stage_seconds.get(name, 0.0) + elapsed
+    def stage(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a named span (nested and reentrant are both fine)."""
+        with self.tracer.span(name, **attrs) as span:
+            yield span
 
     def count(self, name: str, increment: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + increment
 
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Cumulative seconds per span name (compatibility view).
+
+        Cumulative times of *different* names still overlap when the
+        spans nest - use :meth:`summary`'s ``self_s`` for additive
+        accounting.
+        """
+        return {name: stats.cumulative_s
+                for name, stats in self.tracer.stats.items()}
+
     def merge(self, other: "Telemetry") -> None:
-        """Fold another telemetry's stages and counters into this one.
+        """Fold another telemetry's spans and counters into this one.
 
         Used by drivers that run several executors (the chaos harness
-        runs one per fault phase) but report once.
+        runs one per fault phase) but report once.  Telemetries sharing
+        one tracer (an active trace session) merge counters only.
         """
-        for name, seconds in other.stage_seconds.items():
-            self.stage_seconds[name] = \
-                self.stage_seconds.get(name, 0.0) + seconds
+        self.tracer.merge(other.tracer)
         for name, value in other.counters.items():
             self.count(name, value)
 
     # -- reporting -----------------------------------------------------------
     def summary(self) -> Dict[str, object]:
-        return {"stages": dict(self.stage_seconds),
-                "counters": dict(self.counters)}
+        return {
+            "spans": {name: {"count": stats.count,
+                             "cumulative_s": stats.cumulative_s,
+                             "self_s": stats.self_s}
+                      for name, stats in self.tracer.stats.items()},
+            "counters": dict(self.counters),
+        }
 
     def render(self) -> str:
         """A compact multi-line text report for the CLI."""
-        lines = []
-        if self.stage_seconds:
-            total = sum(self.stage_seconds.values())
-            lines.append("stage timings:")
-            for name, seconds in sorted(self.stage_seconds.items(),
-                                        key=lambda kv: -kv[1]):
-                lines.append(f"  {name:<12s} {seconds:8.3f}s")
-            lines.append(f"  {'total':<12s} {total:8.3f}s")
-        if self.counters:
-            lines.append("counters:")
-            for name, value in sorted(self.counters.items()):
-                lines.append(f"  {name:<18s} {value:8d}")
-        return "\n".join(lines)
+        return render_report(self.tracer, self.counters)
 
 
 class ProgressReporter:

@@ -81,6 +81,11 @@ class Placement:
         if self.is_dram_only:
             return "dram"
         pct = round(self.dram_fraction * 100)
+        if not self.is_slow_only:
+            # A mixed placement must never render as an endpoint:
+            # x=0.996 rounding to "100:0" reads as DRAM-only and
+            # x=0.004 to "0:100" as slow-only, both lies.
+            pct = min(99, max(1, pct))
         return f"{pct}:{100 - pct} dram:{self.device}"
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.counters import CounterSample, ProfiledRun
+from ..obs.tracer import maybe_span
 from ..workloads.spec import WorkloadSpec
 from .caches import DemandProfile, demand_profile
 from .config import (DEVICES, MemoryDeviceConfig, PlatformConfig,
@@ -209,6 +210,22 @@ class Machine:
         latency) without contributing to this workload's counters.
         """
         placement = placement or Placement.dram_only()
+        # Trace-session instrumentation only: maybe_span reads no
+        # clock (and costs nothing) unless `repro trace` is active, so
+        # this module stays DET01-pure and results are identical
+        # traced or untraced.
+        with maybe_span("machine.run", workload=workload.name,
+                        placement=placement.describe(),
+                        platform=self.platform.name) as span:
+            result = self._run(workload, placement, external_traffic)
+            if span is not None:
+                span.annotate(converged=result.converged)
+            return result
+
+    def _run(self, workload: WorkloadSpec,
+             placement: Placement,
+             external_traffic: Optional[Mapping[str, float]] = None
+             ) -> RunResult:
         external = dict(external_traffic or {})
 
         dram_dev = self.platform.dram

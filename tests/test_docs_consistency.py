@@ -16,8 +16,9 @@ import repro.cli as cli
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RUNTIME_FLAGS = ("--jobs", "--cache-dir", "--no-cache", "--progress")
-#: Subcommands that never simulate, so carry no runtime flags.
-NON_SIMULATING = ("workloads", "lint")
+#: Subcommands that never simulate (or, for ``trace``/``bench``, pin
+#: their own runtime configuration), so carry no runtime flags.
+NON_SIMULATING = ("workloads", "lint", "trace", "bench")
 
 
 def subcommands():
@@ -141,8 +142,9 @@ class TestPmuCounterReferences:
 
     DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/API.md", "docs/FAULTS.md", "docs/LINT.md",
-                 "docs/MODEL.md", "docs/RUNTIME.md",
-                 "docs/SUBSTRATE.md", "docs/WORKLOADS.md")
+                 "docs/MODEL.md", "docs/OBSERVABILITY.md",
+                 "docs/RUNTIME.md", "docs/SUBSTRATE.md",
+                 "docs/WORKLOADS.md")
 
     def test_registry_matches_counter_enum(self):
         from repro.core.counters import Counter
@@ -168,7 +170,8 @@ class TestPmuCounterReferences:
 
 class TestCrossLinks:
     @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md",
-                                     "docs/FAULTS.md"])
+                                     "docs/FAULTS.md",
+                                     "docs/OBSERVABILITY.md"])
     def test_readme_links_docs(self, doc):
         assert doc in read("README.md")
 
@@ -184,6 +187,10 @@ class TestCrossLinks:
     def test_runtime_and_api_docs_link_faults_doc(self):
         assert "FAULTS.md" in read("docs/RUNTIME.md")
         assert "FAULTS.md" in read("docs/API.md")
+
+    def test_runtime_and_api_docs_link_observability_doc(self):
+        assert "OBSERVABILITY.md" in read("docs/RUNTIME.md")
+        assert "OBSERVABILITY.md" in read("docs/API.md")
 
     def test_gitignore_excludes_cache_dir(self):
         assert ".repro-cache/" in read(".gitignore")

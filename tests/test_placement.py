@@ -25,6 +25,22 @@ class TestPlacement:
         placement = Placement.interleaved(0.7, "cxl-a")
         assert placement.describe() == "70:30 dram:cxl-a"
 
+    def test_describe_clamps_high_mixed_placements(self):
+        # Regression: x=0.996 used to round to "100:0", reading as
+        # DRAM-only for a placement that still spills to the slow tier.
+        placement = Placement.interleaved(0.996, "cxl-a")
+        assert placement.describe() == "99:1 dram:cxl-a"
+
+    def test_describe_clamps_low_mixed_placements(self):
+        # ... and x=0.004 to "0:100", reading as slow-only.
+        placement = Placement.interleaved(0.004, "cxl-a")
+        assert placement.describe() == "1:99 dram:cxl-a"
+
+    def test_describe_keeps_true_endpoints(self):
+        assert Placement.dram_only().describe() == "dram"
+        assert Placement.slow_only("cxl-a").describe() == \
+            "0:100 dram:cxl-a"
+
     def test_requires_device_when_spilling(self):
         with pytest.raises(ValueError):
             Placement(dram_fraction=0.5, device=None)

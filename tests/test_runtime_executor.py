@@ -94,10 +94,25 @@ class TestCacheAccounting:
         executor = Executor(store=store)
         executor.run([spec, spec])
         executor.run([spec])
-        # Simulated exactly once; everything else came from the memo.
+        # Simulated exactly once; the in-batch duplicate is an alias
+        # (it never consulted a cache), the cross-batch repeat a real
+        # memo hit.
         assert executor.miss_count == 1
         assert store.stats.writes == 1
-        assert executor.telemetry.counters["memo_hits"] == 2
+        assert executor.telemetry.counters["alias_hits"] == 1
+        assert executor.telemetry.counters["memo_hits"] == 1
+        assert executor.alias_count == 1
+
+    def test_aliases_not_counted_as_cache_hits(self, tmp_path):
+        machine = Machine(SKX2S)
+        spec = specs_for(machine)[0]
+        executor = Executor(store=ResultStore(tmp_path / "c"))
+        results = executor.run([spec, spec, spec])
+        assert executor.hit_count == 0
+        assert executor.alias_count == 2
+        assert executor.miss_count == 1
+        reference = snapshot(results[:1])[0]
+        assert all(entry == reference for entry in snapshot(results))
 
     def test_no_store_still_memoizes(self):
         machine = Machine(SKX2S)
@@ -154,6 +169,71 @@ class TestFallbacks:
         # The memo still serves repeats.
         executor.run_one(spec)
         assert executor.miss_count == 1
+
+
+class TestMidStreamFallback:
+    """A pool that dies mid-batch must not re-execute yielded tasks."""
+
+    def _crash_after(self, executor, crash_after):
+        import repro.runtime.executor as executor_mod
+        from repro.runtime.errors import WorkerCrashError
+
+        def crashing_pool(pending, workers, reporter):
+            for index, spec in pending[:crash_after]:
+                reporter.update(hits=executor.hit_count,
+                                misses=executor.miss_count)
+                # Resolved through the module so a counting monkeypatch
+                # sees pool-side executions too.
+                yield index, executor_mod.execute_run_spec(spec)
+            raise WorkerCrashError("injected mid-stream crash")
+        return crashing_pool
+
+    def test_yielded_indices_never_reexecute(self, monkeypatch, capsys):
+        import repro.runtime.executor as executor_mod
+        machine = Machine(SKX2S)
+        specs = specs_for(machine)[:6]
+
+        executions = []
+        real_execute = executor_mod.execute_run_spec
+
+        def counting_execute(spec):
+            executions.append(spec.fingerprint())
+            return real_execute(spec)
+        # The serial fallback path executes via the module-level
+        # function; the fake pool records its own executions.
+        monkeypatch.setattr(executor_mod, "execute_run_spec",
+                            counting_execute)
+
+        executor = Executor(jobs=2, progress=True)
+        monkeypatch.setattr(executor, "_execute_pool",
+                            self._crash_after(executor, crash_after=2))
+
+        results = executor.run(specs)
+
+        assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert result.workload.name == spec.workload.name
+            assert result.placement == spec.placement
+        # Every spec executed exactly once - the two yielded before the
+        # crash were not re-run by the serial fallback.
+        assert sorted(executions) == sorted(s.fingerprint()
+                                            for s in specs)
+        assert executor.telemetry.counters["pool_fallbacks"] == 1
+
+    def test_progress_line_well_formed_across_fallback(
+            self, monkeypatch, capsys):
+        machine = Machine(SKX2S)
+        specs = specs_for(machine)[:5]
+        executor = Executor(jobs=2, progress=True)
+        monkeypatch.setattr(executor, "_execute_pool",
+                            self._crash_after(executor, crash_after=2))
+
+        executor.run(specs, label="fallback")
+        err = capsys.readouterr().err
+        # Carriage-return redraws only; one terminating newline.
+        assert err.endswith("\n")
+        assert err.count("\n") == 1
+        assert f"[fallback] {len(specs)}/{len(specs)}" in err
 
 
 def _square(x):

@@ -89,6 +89,32 @@ class TestCorruptionIsAMiss:
         assert store.get(KEY) is None
         assert store.stats.corrupt == 1
 
+    def test_stale_schema_is_a_corrupt_miss(self, store):
+        # Regression: entries persisted under an older cache schema
+        # were served as hits because `get` never checked the field
+        # `put` writes.  A stale schema must read as a corrupt miss.
+        from repro.runtime.spec import CACHE_SCHEMA_VERSION
+        self.corrupt_with(store, json.dumps(
+            {"key": KEY, "schema": CACHE_SCHEMA_VERSION - 1,
+             "payload": {"cycles": 1}}))
+        assert store.get(KEY) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 1
+
+    def test_missing_schema_field_is_a_corrupt_miss(self, store):
+        self.corrupt_with(store, json.dumps(
+            {"key": KEY, "payload": {"cycles": 1}}))
+        assert store.get(KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_current_schema_round_trips(self, store):
+        store.put(KEY, {"cycles": 7})
+        entry = json.loads(store.path_for(KEY).read_text())
+        from repro.runtime.spec import CACHE_SCHEMA_VERSION
+        assert entry["schema"] == CACHE_SCHEMA_VERSION
+        assert store.get(KEY) == {"cycles": 7}
+        assert store.stats.corrupt == 0
+
     def test_rewrite_heals_corruption(self, store):
         self.corrupt_with(store, "garbage")
         assert store.get(KEY) is None
