@@ -23,7 +23,7 @@ from ..runtime.spec import RunSpec
 from ..runtime.store import ResultStore
 from ..uarch.config import PlatformConfig, get_platform
 from ..uarch.interleave import Placement
-from ..uarch.machine import Machine, RunResult
+from ..uarch.machine import Machine, RunResult, WarmStartCache
 from ..workloads.spec import WorkloadSpec
 from ..workloads.suites import evaluation_suite
 
@@ -67,6 +67,10 @@ class Lab:
         self._runs: Dict[Tuple[str, int, WorkloadSpec, Placement],
                          RunResult] = {}
         self._suite: Optional[List[WorkloadSpec]] = None
+        #: Converged fixed points shared across :meth:`sweep_runs`
+        #: calls: neighbouring ratios (and repeat sweeps at other
+        #: resolutions) seed from each other.
+        self._warm_cache = WarmStartCache()
 
     # -- ingredients ---------------------------------------------------------
     def suite(self) -> List[WorkloadSpec]:
@@ -144,6 +148,55 @@ class Lab:
                 for (key, _, _), result in zip(
                         missing, self.executor.run(specs, label=label)):
                     self._runs[key] = result
+        return [self._runs[key] for key in keys]
+
+    def _ratio_placement(self, tier: str, x: float) -> Placement:
+        if x >= 1.0:
+            return Placement.dram_only()
+        if x <= 0.0:
+            return Placement.slow_only(tier)
+        return Placement.interleaved(x, tier)
+
+    def sweep_runs(self, tier: str, workload: WorkloadSpec,
+                   ratios: Sequence[float],
+                   label: str = "sweep") -> List[RunResult]:
+        """Ratio sweep through the vectorized, warm-started solver.
+
+        The sweep shape is the substrate's hottest loop (Fig. 11/13/14
+        profile 101 ratios per workload), so it goes straight to
+        :meth:`Machine.run_batch` with Anderson acceleration and this
+        lab's warm-start cache instead of N scalar fixed points through
+        the executor.  Results are memoized into the same per-run memo
+        the scalar accessors use; points already memoized (for example
+        the DRAM baseline) are reused, not re-solved.
+
+        Accelerated results match the scalar path within
+        :data:`~repro.uarch.machine.ACCELERATED_RELATIVE_TOLERANCE`
+        rather than bit-for-bit, and bypass the persistent store - the
+        documented trade (docs/SOLVER.md) for the sweep speedup.
+        """
+        machine = self.machine_for_tier(tier)
+        placements = [self._ratio_placement(tier, float(x))
+                      for x in ratios]
+        keys = [(machine.platform.name, machine.seed, workload,
+                 placement) for placement in placements]
+        missing = [index for index, key in enumerate(keys)
+                   if key not in self._runs]
+        if missing:
+            stats: Dict[str, object] = {}
+            with self.executor.telemetry.stage(
+                    "lab.sweep", tier=tier.lower(), label=label,
+                    workload=workload.name, batch=len(keys),
+                    missing=len(missing)):
+                results = machine.run_batch(
+                    [(workload, placements[index]) for index in missing],
+                    accelerate=True, warm_cache=self._warm_cache,
+                    stats=stats)
+            for index, result in zip(missing, results):
+                self._runs[keys[index]] = result
+            if stats.get("nonconverged"):
+                self.executor.telemetry.count(
+                    "nonconverged_results", int(stats["nonconverged"]))
         return [self._runs[key] for key in keys]
 
     def dram_run(self, tier: str, workload: WorkloadSpec) -> RunResult:

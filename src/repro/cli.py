@@ -39,6 +39,7 @@ Fault schedules and the chaos invariants are in ``docs/FAULTS.md``.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
@@ -553,12 +554,27 @@ def cmd_trace(args) -> int:
 
 def cmd_bench(args) -> int:
     """Time the pinned runtime micro-suite (docs/OBSERVABILITY.md)."""
-    from .obs.bench import render_bench, run_bench
+    from .obs.bench import compare_bench, render_bench, run_bench
     out = pathlib.Path(args.out) if args.out else None
     result = run_bench(repeats=args.repeats, out=out)
     print(render_bench(result))
     if out is not None:
         print(f"wrote {out}", file=sys.stderr)
+    if args.compare:
+        baseline_path = pathlib.Path(args.compare)
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, ValueError) as exc:
+            # The trajectory check must never gate the bench itself.
+            print(f"bench compare: cannot read {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 0
+        warnings = compare_bench(baseline, result)
+        for line in warnings:
+            print(f"bench compare: {line}", file=sys.stderr)
+        if not warnings:
+            print(f"bench compare: no regressions vs {baseline_path}",
+                  file=sys.stderr)
     return 0
 
 
@@ -735,6 +751,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 5)")
     p.add_argument("--out", metavar="FILE",
                    help="write the schema-versioned JSON payload here")
+    p.add_argument("--compare", metavar="FILE",
+                   help="diff against a previous payload; regressions "
+                        "are warned to stderr, never fatal")
     p.set_defaults(func=cmd_bench)
 
     return parser

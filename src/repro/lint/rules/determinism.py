@@ -9,6 +9,14 @@ wall-clock reads (``time.time``, ``datetime.now``).  Seeded generators
 threaded through explicitly (``np.random.default_rng(seed)``,
 ``random.Random(seed)``) are fine - that is the pattern
 :mod:`repro.workloads.generator` uses.
+
+The batched solver kernels (docs/SOLVER.md) add a third leak:
+``numpy.empty``/``numpy.empty_like`` return whatever bytes the
+allocator hands back, so any lane the solver fails to overwrite -
+a masked-out element, an off-by-one in a convergence guard - reads
+garbage that varies run to run.  Sim-path kernels must allocate with
+``zeros``/``full``/``ones`` (or write every element unconditionally
+via ``where``).
 """
 
 from __future__ import annotations
@@ -34,6 +42,10 @@ _NP_ALLOWED = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
 
 #: stdlib random attributes that construct an explicit (seedable) RNG.
 _STDLIB_ALLOWED = {"Random"}
+
+#: Uninitialized-memory allocators: batch-kernel lanes left unwritten
+#: read nondeterministic bytes.
+_NP_UNINITIALIZED = {"numpy.empty", "numpy.empty_like"}
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -102,6 +114,13 @@ class DeterminismRule(Rule):
                     ctx, node,
                     f"wall-clock read `{name}` in a sim path; results "
                     f"must be pure functions of the RunSpec")
+            elif name in _NP_UNINITIALIZED:
+                yield self.finding(
+                    ctx, node,
+                    f"`{name}` returns uninitialized memory: a batch "
+                    f"lane the kernel fails to overwrite reads garbage "
+                    f"that varies run to run; allocate with "
+                    f"`numpy.zeros`/`full` instead")
             elif name.startswith("numpy.random."):
                 attr = name.rsplit(".", 1)[1]
                 if attr == "default_rng":

@@ -9,6 +9,13 @@ pickled to a spawned worker.  The rule resolves the worker function at
 each submission site and flags: lambdas and nested functions (closure
 capture), ``global``/``nonlocal`` statements, and writes or mutating
 method calls on names the worker does not bind locally.
+
+The batched solver kernels (docs/SOLVER.md) extend the same discipline
+to arrays: a *module-level* numpy buffer (``_SCRATCH = np.zeros(...)``)
+is shared mutable state - one batch call's leftovers leak into the
+next, and workers mutate private copies that diverge from the parent.
+Kernels must allocate their lane arrays per call, so any module-level
+assignment whose value is a numpy array allocator is flagged.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..engine import FileContext, Finding, Rule
+from .determinism import _ImportMap, _dotted
 
 #: Call attributes treated as in-place mutation of the receiver.
 _MUTATORS = {"append", "extend", "add", "update", "insert", "pop",
@@ -24,6 +32,13 @@ _MUTATORS = {"append", "extend", "add", "update", "insert", "pop",
              "sort", "reverse"}
 #: Submission-call attributes whose first argument is a pool worker.
 _SUBMIT_ATTRS = {"map", "submit"}
+
+#: numpy allocators whose result, bound at module level, is a shared
+#: mutable scratch buffer.
+_NP_ALLOCATORS = {
+    f"numpy.{name}" for name in
+    ("empty", "zeros", "ones", "full",
+     "empty_like", "zeros_like", "ones_like", "full_like")}
 
 
 def _root_name(node: ast.AST) -> Optional[str]:
@@ -90,6 +105,7 @@ class WorkerPurityRule(Rule):
         tree = ctx.tree
         if tree is None:
             return
+        yield from self._check_module_scratch(ctx, tree)
         top_level: Dict[str, ast.FunctionDef] = {
             node.name: node for node in tree.body
             if isinstance(node, ast.FunctionDef)}
@@ -131,6 +147,31 @@ class WorkerPurityRule(Rule):
                 continue
             checked.add(fn.name)
             yield from self._check_worker(ctx, fn)
+
+    def _check_module_scratch(self, ctx: FileContext,
+                              tree: ast.Module) -> Iterator[Finding]:
+        """Flag module-level numpy scratch-array bindings."""
+        imports = _ImportMap()
+        imports.visit(tree)
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = node.value
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = _dotted(value.func)
+            if dotted is None:
+                continue
+            if imports.canonical(dotted) in _NP_ALLOCATORS:
+                yield self.finding(
+                    ctx, node,
+                    f"module-level numpy buffer `{dotted}(...)` is a "
+                    f"shared scratch array: one batch call's leftovers "
+                    f"leak into the next, and -j N workers mutate "
+                    f"diverging copies; allocate per call instead")
 
     def _check_worker(self, ctx: FileContext,
                       fn: ast.FunctionDef) -> Iterator[Finding]:

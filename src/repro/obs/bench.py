@@ -10,15 +10,25 @@ code differ only in the measured seconds.  CI runs this non-blocking
 and uploads ``BENCH_runtime.json`` as an artifact, so the repository
 finally accumulates a performance trajectory PR over PR.
 
-The pinned cases cover the four layers a regression could hide in:
+The pinned cases cover the layers a regression could hide in:
 
-====================  ===================================================
-``machine_simulate``  one ``Machine.run`` solve (the inner loop)
-``store_roundtrip``   ``ResultStore.put`` + ``get`` for 64 entries
-``executor_cold``     a 6-spec batch, empty store (simulate + persist)
-``executor_warm``     the same batch against a warm store (lookup only)
-``suite_slice``       end-to-end: runs + predictions + accuracy summary
-====================  ===================================================
+======================  =================================================
+``machine_simulate``    one ``Machine.run`` solve (the inner loop)
+``store_roundtrip``     ``ResultStore.put`` + ``get`` for 64 entries
+``executor_cold``       a 6-spec batch, empty store (simulate + persist)
+``executor_warm``       the same batch against a warm store (lookup only)
+``suite_slice``         end-to-end: runs + predictions + accuracy summary
+``solver_sweep_loop``   101-ratio sweep, one scalar ``run`` per point
+``solver_sweep_batch``  the same sweep, one accelerated ``run_batch``
+``solver_sweep_warm``   the same sweep, accelerated + warm-start cache
+``solver_suite_loop``   16 workloads x {dram, cxl-a}, scalar loop
+``solver_suite_batch``  the same pairs, one accelerated ``run_batch``
+======================  =================================================
+
+The ``solver`` summary block reports the batch/loop speedups the
+vectorized solver is held to (docs/SOLVER.md): >= 5x on the ratio
+sweep, >= 3x on the cold suite shape.  ``compare_bench`` diffs two
+payloads for the CI trajectory check.
 
 Schema and how to read the trajectory: ``docs/OBSERVABILITY.md``.
 """
@@ -35,7 +45,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 #: Version of the bench payload layout; bump on any field change.
-BENCH_SCHEMA = "repro-bench/1"
+#: 2: solver section (five ``solver_*`` cases + the ``solver`` block).
+BENCH_SCHEMA = "repro-bench/2"
 
 #: Machine seed for every benched simulation (pinned => comparable).
 BENCH_SEED = 0
@@ -45,6 +56,13 @@ BENCH_SEED = 0
 BENCH_WORKLOADS = ("605.mcf", "557.xz", "603.bwaves")
 SUITE_SLICE_WORKLOADS = 4
 STORE_ROUNDTRIP_ENTRIES = 64
+
+#: Defaults for the solver section: the paper's 101-point ratio sweep
+#: and a 16-workload suite shape (both overridable for quick runs).
+SOLVER_SWEEP_POINTS = 101
+SOLVER_SUITE_WORKLOADS = 16
+SOLVER_SWEEP_WORKLOAD = "603.bwaves"
+SOLVER_SWEEP_DEVICE = "cxl-a"
 
 
 @dataclass
@@ -101,15 +119,22 @@ def _bench_specs(machine):
     return specs
 
 
-def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None
+def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
+              *, sweep_points: int = SOLVER_SWEEP_POINTS,
+              solver_workloads: int = SOLVER_SUITE_WORKLOADS
               ) -> Dict[str, Any]:
     """Run the pinned micro-suite; optionally write the JSON payload.
 
     Returns the payload dict.  ``repeats`` must be >= 1; 3-5 is enough
-    for stable medians on a quiet machine.
+    for stable medians on a quiet machine.  ``sweep_points`` and
+    ``solver_workloads`` shrink the solver section for quick local
+    runs; CI and the committed baseline use the defaults.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if sweep_points < 2 or solver_workloads < 1:
+        raise ValueError("solver section needs >= 2 sweep points and "
+                         ">= 1 workload")
     # Imported lazily so `repro.obs` stays import-light (the tracer is
     # imported from DET01-scoped modules, which must not drag the whole
     # runtime stack in at import time).
@@ -119,7 +144,8 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None
     from ..runtime.store import ResultStore
     from ..uarch.config import get_platform
     from ..uarch.interleave import Placement
-    from ..uarch.machine import Machine, slowdown
+    from ..uarch.machine import Machine, WarmStartCache, slowdown
+    from ..workloads.suites import get_workload, named_workloads
 
     machine = Machine(get_platform("skx2s"), seed=BENCH_SEED)
     specs = _bench_specs(machine)
@@ -204,6 +230,101 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None
         cases.append(_case("suite_slice", suite_slice, repeats,
                            workloads=len(slice_workloads)))
 
+    # -- solver: the vectorized batch solver against the scalar loop -------
+    sweep_spec = get_workload(SOLVER_SWEEP_WORKLOAD)
+    sweep_pairs = []
+    for index in range(sweep_points):
+        x = 1.0 - index / (sweep_points - 1)
+        if x >= 1.0:
+            placement = Placement.dram_only()
+        elif x <= 0.0:
+            placement = Placement.slow_only(SOLVER_SWEEP_DEVICE)
+        else:
+            placement = Placement.interleaved(x, SOLVER_SWEEP_DEVICE)
+        sweep_pairs.append((sweep_spec, placement))
+
+    def solver_sweep_loop() -> None:
+        for workload, placement in sweep_pairs:
+            machine.run(workload, placement)
+    cases.append(_case("solver_sweep_loop", solver_sweep_loop, repeats,
+                       points=sweep_points, workload=sweep_spec.name,
+                       device=SOLVER_SWEEP_DEVICE))
+
+    sweep_stats: Dict[str, Any] = {}
+
+    def solver_sweep_batch() -> None:
+        machine.run_batch(sweep_pairs, accelerate=True,
+                          stats=sweep_stats)
+    cases.append(_case("solver_sweep_batch", solver_sweep_batch, repeats,
+                       points=sweep_points, workload=sweep_spec.name,
+                       device=SOLVER_SWEEP_DEVICE))
+
+    warm_cache = WarmStartCache()
+    machine.run_batch(sweep_pairs, accelerate=True,
+                      warm_cache=warm_cache)  # seed the cache
+    warm_stats: Dict[str, Any] = {}
+
+    def solver_sweep_warm() -> None:
+        machine.run_batch(sweep_pairs, accelerate=True,
+                          warm_cache=warm_cache, stats=warm_stats)
+    cases.append(_case("solver_sweep_warm", solver_sweep_warm, repeats,
+                       points=sweep_points, workload=sweep_spec.name,
+                       device=SOLVER_SWEEP_DEVICE))
+
+    suite_specs = list(named_workloads().values())[:solver_workloads]
+    suite_pairs = []
+    for workload in suite_specs:
+        suite_pairs.append((workload, Placement.dram_only()))
+        suite_pairs.append(
+            (workload, Placement.slow_only(SOLVER_SWEEP_DEVICE)))
+
+    def solver_suite_loop() -> None:
+        for workload, placement in suite_pairs:
+            machine.run(workload, placement)
+    cases.append(_case("solver_suite_loop", solver_suite_loop, repeats,
+                       workloads=len(suite_specs),
+                       pairs=len(suite_pairs)))
+
+    suite_stats: Dict[str, Any] = {}
+
+    def solver_suite_batch() -> None:
+        machine.run_batch(suite_pairs, accelerate=True,
+                          stats=suite_stats)
+    cases.append(_case("solver_suite_batch", solver_suite_batch, repeats,
+                       workloads=len(suite_specs),
+                       pairs=len(suite_pairs)))
+
+    by_name = {case.name: case for case in cases}
+
+    def _speedup(loop_name: str, batch_name: str) -> float:
+        loop_s = by_name[loop_name].median_s
+        batch_s = max(by_name[batch_name].median_s, 1e-12)
+        return round(loop_s / batch_s, 2)
+
+    solver = {
+        "sweep_points": sweep_points,
+        "suite_workloads": len(suite_specs),
+        "sweep_speedup": _speedup("solver_sweep_loop",
+                                  "solver_sweep_batch"),
+        "sweep_warm_speedup": _speedup("solver_sweep_loop",
+                                       "solver_sweep_warm"),
+        "suite_speedup": _speedup("solver_suite_loop",
+                                  "solver_suite_batch"),
+        "sweep_outer_iterations": int(
+            sweep_stats.get("outer_iterations", 0)),
+        "sweep_warm_outer_iterations": int(
+            warm_stats.get("outer_iterations", 0)),
+        "nonconverged": int(sweep_stats.get("nonconverged", 0)) +
+        int(warm_stats.get("nonconverged", 0)) +
+        int(suite_stats.get("nonconverged", 0)),
+    }
+    by_name["solver_sweep_batch"].meta["speedup_vs_loop"] = \
+        solver["sweep_speedup"]
+    by_name["solver_sweep_warm"].meta["speedup_vs_loop"] = \
+        solver["sweep_warm_speedup"]
+    by_name["solver_suite_batch"].meta["speedup_vs_loop"] = \
+        solver["suite_speedup"]
+
     result = {
         "schema": BENCH_SCHEMA,
         "seed": BENCH_SEED,
@@ -212,6 +333,7 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None
             "cpu_count": os.cpu_count() or 1,
         },
         "benches": [case.as_dict() for case in cases],
+        "solver": solver,
     }
     if out is not None:
         pathlib.Path(out).write_text(
@@ -227,4 +349,48 @@ def render_bench(result: Dict[str, Any]) -> str:
         lines.append(f"  {case['name']:<18s} {case['median_s']*1e3:9.3f} ms"
                      f"   [{case['min_s']*1e3:.3f} .. "
                      f"{case['max_s']*1e3:.3f}]")
+    solver = result.get("solver")
+    if solver:
+        lines.append(
+            f"  solver speedups: sweep {solver['sweep_speedup']:.1f}x, "
+            f"warm {solver['sweep_warm_speedup']:.1f}x, "
+            f"suite {solver['suite_speedup']:.1f}x "
+            f"(targets >= 5x / - / 3x)")
     return "\n".join(lines)
+
+
+#: Median-seconds growth beyond which ``compare_bench`` flags a case.
+REGRESSION_THRESHOLD = 0.20
+
+
+def compare_bench(previous: Dict[str, Any], current: Dict[str, Any],
+                  threshold: float = REGRESSION_THRESHOLD) -> List[str]:
+    """Diff two bench payloads; return warning lines (non-blocking).
+
+    A case present in both payloads whose median grew by more than
+    ``threshold`` (relative) is flagged.  Cases that appear or vanish
+    are noted, not flagged - schema evolution is expected PR over PR.
+    Wall-clock medians are noisy on shared CI runners, which is why
+    the caller (the CI bench job) only *warns* on the result.
+    """
+    warnings: List[str] = []
+    before = {case["name"]: case for case in previous.get("benches", [])}
+    after = {case["name"]: case for case in current.get("benches", [])}
+    for name, case in after.items():
+        prior = before.get(name)
+        if prior is None:
+            warnings.append(f"note: new bench case {name!r} "
+                            "(no baseline yet)")
+            continue
+        old_s = prior["median_s"]
+        new_s = case["median_s"]
+        if old_s > 0 and new_s > old_s * (1.0 + threshold):
+            growth = (new_s / old_s - 1.0) * 100.0
+            warnings.append(
+                f"regression: {name} median {new_s*1e3:.3f} ms vs "
+                f"{old_s*1e3:.3f} ms baseline (+{growth:.0f}%, "
+                f"threshold +{threshold*100:.0f}%)")
+    for name in before:
+        if name not in after:
+            warnings.append(f"note: bench case {name!r} removed")
+    return warnings

@@ -48,6 +48,9 @@ class Caption(TieringPolicy):
         machine, workload = context.machine, context.workload
         cap = context.capacity_fraction
 
+        # A handful of probes is below the batch solver's profitable
+        # size (docs/SOLVER.md "when to batch"), so the candidates stay
+        # on the scalar path.
         measured = []
         for ratio in self.candidates:
             x = min(ratio, cap)

@@ -65,6 +65,13 @@ R = TypeVar("R")
 #: Environment variable overriding the default worker count.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Smallest same-machine group worth routing through the vectorized
+#: batch solver.  Below this the replay-mode batch does not amortize
+#: its per-iteration numpy overhead against N scalar solves
+#: (docs/SOLVER.md "when to batch"); sweeps and suite runs are far
+#: above it.
+MIN_BATCH_GROUP = 16
+
 
 def default_jobs() -> int:
     """Worker count: ``$REPRO_JOBS`` if set, else the CPU count.
@@ -282,6 +289,12 @@ class Executor:
         with self.telemetry.stage("decode"):
             results = [serde.run_result_from_dict(payload)
                        for payload in payloads]
+            # Surface solver-cap exhaustion (docs/SOLVER.md): a result
+            # whose fixed point hit the iteration cap is still returned,
+            # but never silently.
+            for result in results:
+                if not result.converged:
+                    self.telemetry.count("nonconverged_results")
         return results
 
     def _execute_pending(self, pending: List[Tuple[int, RunSpec]],
@@ -311,6 +324,13 @@ class Executor:
                 # original traceback.
                 self.telemetry.count("pool_fallbacks")
                 fell_back = True
+        if (not fell_back and self.fault_plan is None and
+                len(pending) >= MIN_BATCH_GROUP):
+            # Primary serial path only: the post-crash fallback and
+            # fault-injected runs keep the one-spec-at-a-time loop so
+            # retry/injection semantics stay per-task.
+            yield from self._execute_serial_batch(pending, reporter)
+            return
         for index, spec in pending:
             if index in completed:
                 continue
@@ -323,6 +343,60 @@ class Executor:
             reporter.update(hits=self.hit_count,
                             misses=self.miss_count)
             yield index, payload
+
+    def _execute_serial_batch(self, pending: List[Tuple[int, RunSpec]],
+                              reporter: ProgressReporter):
+        """Serial execution through the vectorized batch solver.
+
+        Specs sharing one machine identity (platform, noise, seed) are
+        solved together by :meth:`Machine.run_batch` in replay mode,
+        which is bit-identical to looped :meth:`Machine.run` - so the
+        executor's byte-identity guarantee (``-j 1`` == ``-j N``, cold
+        == warm) is preserved while an N-point sweep pays one masked
+        fixed point instead of N scalar ones.  Groups smaller than
+        :data:`MIN_BATCH_GROUP` go through :func:`execute_run_spec`
+        unchanged - below that size the vectorized replay does not pay
+        for its numpy overhead.
+
+        Grouping ignores the spec's captured ``slow_device`` because
+        placements resolve their slow tier through the global device
+        registry (:meth:`Placement.slow_device`), identically under
+        either machine instance.
+        """
+        groups: Dict[Tuple[Any, float, int],
+                     List[Tuple[int, RunSpec]]] = {}
+        order: List[Tuple[Any, float, int]] = []
+        for index, spec in pending:
+            key = (spec.platform, spec.noise, spec.seed)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((index, spec))
+        for key in order:
+            members = groups[key]
+            if len(members) < MIN_BATCH_GROUP:
+                for index, spec in members:
+                    with self.telemetry.stage(
+                            "task", index=index, worker="serial",
+                            fingerprint=spec.fingerprint()[:12],
+                            fallback=False):
+                        payload = self._execute_serial_task(spec, index)
+                    reporter.update(hits=self.hit_count,
+                                    misses=self.miss_count)
+                    yield index, payload
+                continue
+            machine = members[0][1].machine()
+            pairs = [(spec.workload, spec.placement)
+                     for _, spec in members]
+            with self.telemetry.stage("batch_solve", size=len(members),
+                                      worker="serial"):
+                results = machine.run_batch(pairs)
+            self.telemetry.count("batched_solves")
+            for (index, _), result in zip(members, results):
+                payload = serde.run_result_to_dict(result)
+                reporter.update(hits=self.hit_count,
+                                misses=self.miss_count)
+                yield index, payload
 
     def _execute_serial_task(self, spec: RunSpec, index: int,
                              attempt: int = 0) -> Dict[str, Any]:

@@ -41,7 +41,9 @@ from . import serde
 
 #: Version of the cache payload layout and simulator semantics.  Bump
 #: to invalidate every previously-persisted result at once.
-CACHE_SCHEMA_VERSION = 1
+#: 2: scalar-primitive normalization for the batched solver's bitwise
+#: replay contract (docs/SOLVER.md) shifts results at the ulp level.
+CACHE_SCHEMA_VERSION = 2
 
 
 def code_version() -> str:

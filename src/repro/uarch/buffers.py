@@ -28,7 +28,7 @@ stalls.  Three effects live here:
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from ..workloads.spec import WorkloadSpec
 from .config import PlatformConfig
@@ -57,8 +57,10 @@ def mlp_growth_factor(spec: WorkloadSpec, latency_ns: float,
     excess = max(0.0, latency_ns - reference_latency_ns)
     if excess <= 0 or spec.mlp_headroom <= 0:
         return 1.0
+    # np.exp, not math.exp: libm and numpy disagree in the last ulp and
+    # the batched kernels must replay this path bit-for-bit.
     return 1.0 + spec.mlp_headroom * (
-        1.0 - math.exp(-excess / MLP_GROWTH_SCALE_NS))
+        1.0 - float(np.exp(-excess / MLP_GROWTH_SCALE_NS)))
 
 
 #: LFB entries L1 prefetches may hold against demand pressure.  Real
@@ -159,3 +161,74 @@ def store_backpressure_stalls(spec: WorkloadSpec, platform: PlatformConfig,
     service = (store_mem_rfos_per_core * rfo_latency_cycles /
                platform.sb_drain_parallelism)
     return full * service * (1.0 - SB_DRAIN_OVERLAP)
+
+
+# --------------------------------------------------------------------------
+# Batched kernels (docs/SOLVER.md): struct-of-arrays mirrors of the
+# scalar buffer models above, arithmetic-identical per element.
+# --------------------------------------------------------------------------
+
+
+def mlp_growth_factor_batch(mlp_headroom: np.ndarray, latency_ns: np.ndarray,
+                            reference_latency_ns: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mlp_growth_factor`."""
+    excess = np.maximum(0.0, latency_ns - reference_latency_ns)
+    grown = 1.0 + mlp_headroom * (
+        1.0 - np.exp(-excess / MLP_GROWTH_SCALE_NS))
+    return np.where((excess <= 0) | (mlp_headroom <= 0), 1.0, grown)
+
+
+def effective_mlp_batch(mlp: np.ndarray, mlp_headroom: np.ndarray,
+                        lfb_entries: np.ndarray, latency_ns: np.ndarray,
+                        reference_latency_ns: np.ndarray,
+                        pf_l1_inflight: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`effective_mlp`."""
+    grown = mlp * mlp_growth_factor_batch(mlp_headroom, latency_ns,
+                                          reference_latency_ns)
+    displaced = np.minimum(np.maximum(pf_l1_inflight, 0.0), PF_LFB_ENTRY_CAP)
+    demand_entries = np.maximum(1.0, lfb_entries - displaced)
+    return np.maximum(1.0, np.minimum(grown, demand_entries))
+
+
+def lfb_occupancy_batch(demand_mlp: np.ndarray,
+                        pf_l1_inflight: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`lfb_occupancy`."""
+    return np.maximum(0.0, demand_mlp) + np.maximum(0.0, pf_l1_inflight)
+
+
+def lfb_contention_stalls_batch(occupancy: np.ndarray,
+                                lfb_entries: np.ndarray,
+                                memory_active_cycles: np.ndarray
+                                ) -> np.ndarray:
+    """Vectorized :func:`lfb_contention_stalls`."""
+    excess = occupancy - lfb_entries
+    stalls = (excess / lfb_entries) * LFB_CONTENTION_GAIN * \
+        memory_active_cycles
+    return np.where((memory_active_cycles <= 0) | (excess <= 0),
+                    0.0, stalls)
+
+
+def sb_full_fraction_batch(occupancy: np.ndarray, capacity: np.ndarray,
+                           burstiness: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`sb_full_fraction`."""
+    effective = np.maximum(0.0, occupancy) * (1.0 + burstiness)
+    fraction = effective / (effective + capacity)
+    return np.where(capacity <= 0, 1.0, fraction)
+
+
+def store_backpressure_stalls_batch(store_burst: np.ndarray,
+                                    sb_entries: np.ndarray,
+                                    sb_drain_parallelism: np.ndarray,
+                                    store_mem_rfos_per_core: np.ndarray,
+                                    rfo_latency_cycles: np.ndarray,
+                                    cycles: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`store_backpressure_stalls`."""
+    safe_cycles = np.where(cycles > 0, cycles, 1.0)
+    rfo_rate = store_mem_rfos_per_core / safe_cycles
+    occupancy = rfo_rate * rfo_latency_cycles
+    full = sb_full_fraction_batch(occupancy, sb_entries, store_burst)
+    service = (store_mem_rfos_per_core * rfo_latency_cycles /
+               sb_drain_parallelism)
+    stalls = full * service * (1.0 - SB_DRAIN_OVERLAP)
+    return np.where((cycles <= 0) | (store_mem_rfos_per_core <= 0),
+                    0.0, stalls)

@@ -34,15 +34,19 @@ vanish on DRAM and silently improve CXL runs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..workloads.spec import WorkloadSpec
-from .buffers import (effective_mlp, lfb_contention_stalls, lfb_occupancy,
-                      store_backpressure_stalls)
+from .buffers import (effective_mlp, effective_mlp_batch,
+                      lfb_contention_stalls, lfb_contention_stalls_batch,
+                      lfb_occupancy, lfb_occupancy_batch,
+                      store_backpressure_stalls,
+                      store_backpressure_stalls_batch)
 from .caches import DemandProfile
 from .config import PlatformConfig
-from .prefetcher import PrefetchProfile
+from .prefetcher import BatchPrefetchFlow, PrefetchProfile
 
 #: Exposure reduction per unit burstiness at saturated excess latency.
 BURST_HIDE_GAIN = 0.35
@@ -140,7 +144,9 @@ class CycleBreakdown:
 def _saturating(excess_ns: float, scale_ns: float) -> float:
     if excess_ns <= 0:
         return 0.0
-    return 1.0 - math.exp(-excess_ns / scale_ns)
+    # np.exp, not math.exp: the batched solver must replay this
+    # bit-for-bit and the two libms differ in the last ulp.
+    return 1.0 - float(np.exp(-excess_ns / scale_ns))
 
 
 def exposure_corrections(spec: WorkloadSpec, mlp_eff: float,
@@ -244,6 +250,268 @@ def account_cycles(spec: WorkloadSpec, platform: PlatformConfig,
         cycles = _DAMPING * new_cycles + (1.0 - _DAMPING) * cycles
 
     return CycleBreakdown(
+        cycles=cycles,
+        base_cycles=base_cycles,
+        s_llc=s_llc,
+        s_cache=s_cache,
+        s_l2_hit=s_l2_hit,
+        s_l3_hit=s_l3_hit,
+        s_sb=s_sb,
+        memory_active=memory_active,
+        mlp_effective=mlp_eff,
+        pf_l1_inflight=pf_inflight,
+        exposure_effective=exposure_eff,
+        converged=converged,
+    )
+
+
+# --------------------------------------------------------------------------
+# Batched cycle accounting (docs/SOLVER.md)
+#
+# The same damped inner fixed point as `account_cycles`, evaluated for N
+# (workload, placement) problems as numpy arrays with per-element
+# convergence masking.  Each lane performs the identical arithmetic in
+# the identical order as a scalar call, so a batch lane's doubles are
+# bit-equal to the scalar result - `Machine.run_batch`'s replay
+# contract rests on this.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchLatencyContext:
+    """Struct-of-arrays :class:`LatencyContext` for N problems."""
+
+    observed_read_ns: np.ndarray
+    tier_read_ns: np.ndarray
+    rfo_ns: np.ndarray
+    reference_idle_ns: np.ndarray
+
+    def __post_init__(self):
+        for name in ("observed_read_ns", "tier_read_ns", "rfo_ns",
+                     "reference_idle_ns"):
+            if bool(np.any(getattr(self, name) <= 0)):
+                raise ValueError(f"{name} must be positive in every lane")
+
+
+@dataclass(frozen=True)
+class BatchCoreParams:
+    """Per-element workload/platform/demand constants for the batch loop.
+
+    Everything the inner fixed point consumes that does *not* change
+    across outer-solver iterations, flattened to float64 arrays.
+    """
+
+    # Workload spec fields.
+    threads: np.ndarray
+    instructions: np.ndarray
+    base_cpi: np.ndarray
+    mlp: np.ndarray
+    mlp_headroom: np.ndarray
+    stall_exposure: np.ndarray
+    burstiness: np.ndarray
+    store_burst: np.ndarray
+    pf_friend: np.ndarray
+    l2_hit: np.ndarray
+    # Platform fields.
+    lfb_entries: np.ndarray
+    sq_entries: np.ndarray
+    sb_entries: np.ndarray
+    sb_drain_parallelism: np.ndarray
+    frequency_ghz: np.ndarray
+    llc_latency_ns: np.ndarray
+    # Demand-profile fields.
+    l1_miss_issued: np.ndarray
+    l2_misses: np.ndarray
+    l3_hit_rate: np.ndarray
+    store_mem_rfos: np.ndarray
+
+    @classmethod
+    def from_problems(cls, specs, platform: PlatformConfig,
+                      demands) -> "BatchCoreParams":
+        def lanes(values) -> np.ndarray:
+            return np.asarray(list(values), dtype=np.float64)
+
+        count = len(specs)
+        return cls(
+            threads=lanes(s.threads for s in specs),
+            instructions=lanes(s.instructions for s in specs),
+            base_cpi=lanes(s.base_cpi for s in specs),
+            mlp=lanes(s.mlp for s in specs),
+            mlp_headroom=lanes(s.mlp_headroom for s in specs),
+            stall_exposure=lanes(s.stall_exposure for s in specs),
+            burstiness=lanes(s.burstiness for s in specs),
+            store_burst=lanes(s.store_burst for s in specs),
+            pf_friend=lanes(s.pf_friend for s in specs),
+            l2_hit=lanes(s.l2_hit for s in specs),
+            lfb_entries=np.full(count, float(platform.lfb_entries)),
+            sq_entries=np.full(count, float(platform.sq_entries)),
+            sb_entries=np.full(count, float(platform.sb_entries)),
+            sb_drain_parallelism=np.full(
+                count, float(platform.sb_drain_parallelism)),
+            frequency_ghz=np.full(count, float(platform.frequency_ghz)),
+            llc_latency_ns=np.full(count, float(platform.llc_latency_ns)),
+            l1_miss_issued=lanes(d.l1_miss_issued for d in demands),
+            l2_misses=lanes(d.l2_misses for d in demands),
+            l3_hit_rate=lanes(d.l3_hit_rate for d in demands),
+            store_mem_rfos=lanes(d.store_mem_rfos for d in demands),
+        )
+
+
+@dataclass(frozen=True)
+class BatchCycleBreakdown:
+    """Struct-of-arrays :class:`CycleBreakdown`; ``converged`` is a
+    per-element boolean mask."""
+
+    cycles: np.ndarray
+    base_cycles: np.ndarray
+    s_llc: np.ndarray
+    s_cache: np.ndarray
+    s_l2_hit: np.ndarray
+    s_l3_hit: np.ndarray
+    s_sb: np.ndarray
+    memory_active: np.ndarray
+    mlp_effective: np.ndarray
+    pf_l1_inflight: np.ndarray
+    exposure_effective: np.ndarray
+    converged: np.ndarray
+
+    def element(self, index: int) -> CycleBreakdown:
+        """Materialize one lane as a scalar :class:`CycleBreakdown`."""
+        return CycleBreakdown(
+            cycles=float(self.cycles[index]),
+            base_cycles=float(self.base_cycles[index]),
+            s_llc=float(self.s_llc[index]),
+            s_cache=float(self.s_cache[index]),
+            s_l2_hit=float(self.s_l2_hit[index]),
+            s_l3_hit=float(self.s_l3_hit[index]),
+            s_sb=float(self.s_sb[index]),
+            memory_active=float(self.memory_active[index]),
+            mlp_effective=float(self.mlp_effective[index]),
+            pf_l1_inflight=float(self.pf_l1_inflight[index]),
+            exposure_effective=float(self.exposure_effective[index]),
+            converged=bool(self.converged[index]),
+        )
+
+
+def exposure_corrections_batch(burstiness: np.ndarray, mlp_eff: np.ndarray,
+                               observed_read_ns: np.ndarray,
+                               reference_idle_ns: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`exposure_corrections` (via :func:`_saturating`)."""
+    excess = observed_read_ns - reference_idle_ns
+    sat = np.where(excess <= 0, 0.0,
+                   1.0 - np.exp(-excess / CORRECTION_SCALE_NS))
+    burst = BURST_HIDE_GAIN * burstiness * sat
+    hyper_level = np.minimum(1.0, np.maximum(
+        0.0, (mlp_eff - HYPER_MLP_START) / HYPER_MLP_SPAN))
+    hyper = HYPER_MLP_GAIN * hyper_level * sat
+    corrected = np.maximum(0.1, 1.0 - burst - hyper)
+    return np.where(sat <= 0, 1.0, corrected)
+
+
+def account_cycles_batch(params: BatchCoreParams, flow: BatchPrefetchFlow,
+                         latency_ctx: BatchLatencyContext
+                         ) -> BatchCycleBreakdown:
+    """Solve N per-core cycle breakdowns at fixed memory latencies.
+
+    One damped loop over all lanes; lanes freeze individually the
+    iteration they meet the scalar solver's convergence criterion, so
+    every retained term carries exactly the doubles the scalar
+    `account_cycles` would have produced for that problem.
+    """
+    threads = params.threads
+    instructions_per_core = params.instructions / threads
+    base_cycles = instructions_per_core * params.base_cpi
+
+    demand_reads_pc = flow.demand_mem_reads / threads
+    covered_pc = flow.covered / threads
+    pf_l1_mem_pc = flow.pf_l1_mem / threads
+    store_rfos_pc = params.store_mem_rfos / threads
+
+    frequency_ghz = params.frequency_ghz
+    obs_cyc = latency_ctx.observed_read_ns * frequency_ghz
+    tier_cyc = latency_ctx.tier_read_ns * frequency_ghz
+    rfo_cyc = latency_ctx.rfo_ns * frequency_ghz
+    wait_cyc = flow.late_wait_ns * frequency_ghz
+
+    llc_cyc = params.llc_latency_ns * frequency_ghz
+    l2_hits_pc = (params.l1_miss_issued * params.l2_hit) / threads
+    l3_hits_pc = (params.l2_misses * params.l3_hit_rate *
+                  (1.0 - params.pf_friend)) / threads
+    s_l2_hit = (l2_hits_pc * L2_HIT_LATENCY_CYCLES *
+                params.stall_exposure / SHORT_STALL_OVERLAP)
+    s_l3_hit = (l3_hits_pc * llc_cyc *
+                params.stall_exposure / SHORT_STALL_OVERLAP)
+
+    cycles = base_cycles + demand_reads_pc * obs_cyc / np.maximum(
+        1.0, params.mlp)
+    mlp_eff = params.mlp.copy()
+    pf_inflight = np.zeros_like(cycles)
+    memory_active = np.zeros_like(cycles)
+    s_llc = np.zeros_like(cycles)
+    s_cache = np.zeros_like(cycles)
+    s_sb = np.zeros_like(cycles)
+    exposure_eff = params.stall_exposure.copy()
+    converged = np.zeros(cycles.shape, dtype=bool)
+    active = np.ones(cycles.shape, dtype=bool)
+
+    # Loop-invariant pieces the scalar loop recomputes verbatim each
+    # iteration (identical doubles either way).
+    pf_exposure = params.stall_exposure * PF_EXPOSURE_FACTOR
+    total_mem = covered_pc + demand_reads_pc
+    safe_total_mem = np.where(total_mem > 0, total_mem, 1.0)
+    pf_dominance = np.where(total_mem > 0, covered_pc / safe_total_mem, 0.0)
+
+    for _ in range(_MAX_ITERATIONS):
+        pf_inflight_it = pf_l1_mem_pc * tier_cyc / np.maximum(cycles, 1.0)
+        mlp_eff_it = effective_mlp_batch(
+            params.mlp, params.mlp_headroom, params.lfb_entries,
+            latency_ctx.observed_read_ns, latency_ctx.reference_idle_ns,
+            pf_inflight_it)
+        memory_active_it = demand_reads_pc * obs_cyc / mlp_eff_it
+        exposure_it = params.stall_exposure * exposure_corrections_batch(
+            params.burstiness, mlp_eff_it, latency_ctx.observed_read_ns,
+            latency_ctx.reference_idle_ns)
+        s_llc_it = memory_active_it * exposure_it
+
+        pf_overlap = np.minimum(params.sq_entries,
+                                np.maximum(2.0, 1.2 * mlp_eff_it))
+        late_stalls = (covered_pc * wait_cyc * pf_exposure *
+                       pf_dominance / pf_overlap)
+        occupancy = lfb_occupancy_batch(mlp_eff_it, pf_inflight_it)
+        contention = lfb_contention_stalls_batch(
+            occupancy, params.lfb_entries, memory_active_it)
+        s_cache_it = late_stalls + contention
+
+        s_sb_it = store_backpressure_stalls_batch(
+            params.store_burst, params.sb_entries,
+            params.sb_drain_parallelism, store_rfos_pc, rfo_cyc, cycles)
+
+        new_cycles = (base_cycles + s_llc_it + s_cache_it + s_sb_it +
+                      s_l2_hit + s_l3_hit)
+        conv_now = active & (np.abs(new_cycles - cycles) <=
+                             _RELATIVE_TOLERANCE * cycles)
+
+        # Lanes still iterating (including those converging right now)
+        # retain this iteration's terms - exactly what the scalar loop
+        # leaves behind when it breaks or exhausts the cap.
+        pf_inflight = np.where(active, pf_inflight_it, pf_inflight)
+        mlp_eff = np.where(active, mlp_eff_it, mlp_eff)
+        memory_active = np.where(active, memory_active_it, memory_active)
+        exposure_eff = np.where(active, exposure_it, exposure_eff)
+        s_llc = np.where(active, s_llc_it, s_llc)
+        s_cache = np.where(active, s_cache_it, s_cache)
+        s_sb = np.where(active, s_sb_it, s_sb)
+
+        damped = _DAMPING * new_cycles + (1.0 - _DAMPING) * cycles
+        still_active = active & ~conv_now
+        cycles = np.where(conv_now, new_cycles,
+                          np.where(still_active, damped, cycles))
+        converged = converged | conv_now
+        active = still_active
+        if not bool(active.any()):
+            break
+
+    return BatchCycleBreakdown(
         cycles=cycles,
         base_cycles=base_cycles,
         s_llc=s_llc,

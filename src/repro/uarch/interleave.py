@@ -16,7 +16,9 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from .config import MemoryDeviceConfig, get_device
 
@@ -114,3 +116,20 @@ def request_share(placement: Placement, workload_name: str,
     deviation *= math.sin(math.pi * x)
     skew = placement.hotness_bias * hotness_skew * (1.0 - x)
     return min(1.0, max(0.0, x + skew + deviation))
+
+
+def request_share_batch(placements: Sequence[Placement],
+                        workload_names: Sequence[str],
+                        hotness_skews: Sequence[float]) -> np.ndarray:
+    """Per-element :func:`request_share` as a float64 lane array.
+
+    The share is a per-problem constant (solved once, outside the
+    fixed-point loop), so this delegates to the scalar function per
+    element - trivially bit-identical to the looped path, hash and
+    all - and only packages the result for the batched solver.
+    """
+    return np.asarray(
+        [request_share(placement, name, skew)
+         for placement, name, skew in zip(placements, workload_names,
+                                          hotness_skews)],
+        dtype=np.float64)

@@ -20,23 +20,32 @@ queueing against CXL latency and develop the convex "bathtub" curve.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.counters import CounterSample, ProfiledRun
 from ..obs.tracer import maybe_span
 from ..workloads.spec import WorkloadSpec
+from . import memory as memory_mod
 from .caches import DemandProfile, demand_profile
 from .config import (DEVICES, MemoryDeviceConfig, PlatformConfig,
                      get_device)
-from .core import CycleBreakdown, LatencyContext, account_cycles
-from .interleave import Placement, request_share
-from .memory import (TierLoad, loaded_latency_ns, measure_idle_latency_ns,
-                     rfo_latency_ns, updated_escalation,
-                     utilization_for_bandwidth)
+from .core import (BatchCoreParams, BatchCycleBreakdown, BatchLatencyContext,
+                   CycleBreakdown, LatencyContext, account_cycles,
+                   account_cycles_batch)
+from .interleave import Placement, request_share, request_share_batch
+from .memory import (MAX_ESCALATION, DeviceLanes, TierLoad,
+                     loaded_latency_ns, loaded_latency_ns_batch,
+                     measure_idle_latency_ns, rfo_latency_ns,
+                     rfo_latency_ns_batch, updated_escalation,
+                     updated_escalation_batch, utilization_for_bandwidth,
+                     utilization_for_bandwidth_batch)
 from .pmu import DEFAULT_NOISE, emit_counters
-from .prefetcher import PrefetchProfile, prefetch_profile
+from .prefetcher import (BatchPrefetchFlow, PrefetchProfile,
+                         prefetch_profile, prefetch_profile_batch)
 
 #: Latency of near (uncore / memory-controller buffer) hits, tier
 #: independent - the absorption mechanism behind the paper's Fig. 4d.
@@ -48,6 +57,16 @@ DEMAND_WRITEBACK_RATIO = 0.10
 _MAX_OUTER_ITERATIONS = 600
 _OUTER_TOLERANCE = 1e-9
 _OUTER_DAMPING = 0.35
+
+#: Documented relative tolerance of *accelerated* (Anderson/warm-started)
+#: solves against the plain damped fixed point (docs/SOLVER.md).  The
+#: damped loop stops when its step is below `_OUTER_TOLERANCE`
+#: relatively, which leaves the iterate a bounded multiple of that step
+#: away from the true fixed point; an accelerated solve lands on the
+#: same fixed point along a different trajectory, so the two agree to
+#: this tolerance, not bit-for-bit.  Replay mode (the default) *is*
+#: bit-for-bit.
+ACCELERATED_RELATIVE_TOLERANCE = 1e-7
 
 
 @dataclass(frozen=True)
@@ -156,6 +175,174 @@ class _SolverState:
     slow_rfo_ns: float
     dram_escalation: float = 1.0
     slow_escalation: float = 1.0
+
+
+#: One solver state as a plain 6-tuple: (dram latency, slow latency,
+#: dram RFO, slow RFO, dram escalation, slow escalation) - the vector
+#: the batched solver iterates and the warm-start cache stores.
+StateVector = Tuple[float, float, float, float, float, float]
+
+
+@dataclass
+class _WarmEntry:
+    x_req: float
+    state: StateVector
+
+
+class WarmStartCache:
+    """Seeds accelerated solves from nearby converged fixed points.
+
+    Keyed by everything that pins the fixed point *except* the swept
+    quantities - the DRAM request share and external traffic: the
+    workload spec, the slow-tier name and hotness bias, the platform,
+    and the noise/seed identity.  Along a ratio sweep the nearest
+    recorded share is one grid step away, so a seeded solve converges
+    in a handful of iterations instead of hundreds; across colocation
+    iterations the share is constant and the previous joint iterate is
+    the seed.
+
+    Only consulted in ``accelerate=True`` mode: a warm seed changes the
+    solver trajectory, and replay mode must stay bit-identical to
+    ``Machine.run`` (docs/SOLVER.md).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, List[_WarmEntry]] = {}
+        #: How many solves were seeded from the cache.
+        self.seeds_served = 0
+        #: How many distinct fixed points are recorded.
+        self.points_recorded = 0
+
+    @staticmethod
+    def _key(workload: WorkloadSpec, placement: Placement,
+             platform_name: str, noise: float, seed: int) -> tuple:
+        return (workload, placement.device, placement.hotness_bias,
+                platform_name, noise, seed)
+
+    def seed(self, workload: WorkloadSpec, placement: Placement,
+             platform_name: str, noise: float, seed: int,
+             x_req: float) -> Optional[StateVector]:
+        """Nearest recorded fixed point by DRAM request share, if any."""
+        entries = self._entries.get(
+            self._key(workload, placement, platform_name, noise, seed))
+        if not entries:
+            return None
+        best = min(entries, key=lambda entry: abs(entry.x_req - x_req))
+        self.seeds_served += 1
+        return best.state
+
+    def record(self, workload: WorkloadSpec, placement: Placement,
+               platform_name: str, noise: float, seed: int,
+               x_req: float, state: StateVector) -> None:
+        """Record a converged fixed point (replacing a same-share entry)."""
+        key = self._key(workload, placement, platform_name, noise, seed)
+        entries = self._entries.setdefault(key, [])
+        for entry in entries:
+            if abs(entry.x_req - x_req) <= 1e-12:
+                entry.state = state
+                return
+        entries.append(_WarmEntry(x_req=x_req, state=state))
+        self.points_recorded += 1
+
+
+def _take_lanes(struct, index: np.ndarray):
+    """Subset a struct-of-arrays dataclass along the lane axis."""
+    return type(struct)(**{
+        f.name: getattr(struct, f.name)[index]
+        for f in dataclasses.fields(struct)})
+
+
+def _merge_lanes(new, old, mask: np.ndarray):
+    """Lane-wise ``np.where(mask, new, old)`` over a struct-of-arrays."""
+    if old is None:
+        return new
+    return type(new)(**{
+        f.name: np.where(mask, getattr(new, f.name), getattr(old, f.name))
+        for f in dataclasses.fields(new)})
+
+
+@dataclass
+class _BatchProblem:
+    """N (workload, placement) problems packed as lane arrays."""
+
+    workloads: List[WorkloadSpec]
+    placements: List[Placement]
+    demands: List[DemandProfile]
+    slow_devices: List[Optional[MemoryDeviceConfig]]
+    params: BatchCoreParams
+    dram_lanes: DeviceLanes
+    slow_lanes: DeviceLanes
+    has_slow: np.ndarray
+    x_req: np.ndarray
+    near_buffer_hit: np.ndarray
+    tail_sensitivity: np.ndarray
+    pf_l1_share: np.ndarray
+    pf_lookahead_ns: np.ndarray
+    mem_reads_potential: np.ndarray
+    dram_external_gbps: np.ndarray
+    slow_external_gbps: np.ndarray
+    reference_idle_ns: np.ndarray
+    zeros: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.workloads)
+
+    def subset(self, index: np.ndarray) -> "_BatchProblem":
+        def pick(items):
+            return [items[i] for i in index]
+
+        return _BatchProblem(
+            workloads=pick(self.workloads),
+            placements=pick(self.placements),
+            demands=pick(self.demands),
+            slow_devices=pick(self.slow_devices),
+            params=_take_lanes(self.params, index),
+            dram_lanes=_take_lanes(self.dram_lanes, index),
+            slow_lanes=_take_lanes(self.slow_lanes, index),
+            has_slow=self.has_slow[index],
+            x_req=self.x_req[index],
+            near_buffer_hit=self.near_buffer_hit[index],
+            tail_sensitivity=self.tail_sensitivity[index],
+            pf_l1_share=self.pf_l1_share[index],
+            pf_lookahead_ns=self.pf_lookahead_ns[index],
+            mem_reads_potential=self.mem_reads_potential[index],
+            dram_external_gbps=self.dram_external_gbps[index],
+            slow_external_gbps=self.slow_external_gbps[index],
+            reference_idle_ns=self.reference_idle_ns[index],
+            zeros=self.zeros[index],
+        )
+
+
+@dataclass
+class _BatchSolution:
+    """Final solver state + per-iteration observables for N problems."""
+
+    dram_latency_ns: np.ndarray
+    slow_latency_ns: np.ndarray
+    dram_rfo_ns: np.ndarray
+    slow_rfo_ns: np.ndarray
+    dram_escalation: np.ndarray
+    slow_escalation: np.ndarray
+    flow: BatchPrefetchFlow
+    breakdown: BatchCycleBreakdown
+    dram_gbps: np.ndarray
+    slow_gbps: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+
+    def splice(self, other: "_BatchSolution", index: np.ndarray) -> None:
+        """Overwrite the lanes at ``index`` with ``other``'s lanes."""
+        for name in ("dram_latency_ns", "slow_latency_ns", "dram_rfo_ns",
+                     "slow_rfo_ns", "dram_escalation", "slow_escalation",
+                     "dram_gbps", "slow_gbps", "converged"):
+            getattr(self, name)[index] = getattr(other, name)
+        self.iterations[index] += other.iterations
+        for struct_name in ("flow", "breakdown"):
+            ours, theirs = getattr(self, struct_name), getattr(
+                other, struct_name)
+            for f in dataclasses.fields(ours):
+                getattr(ours, f.name)[index] = getattr(theirs, f.name)
 
 
 class Machine:
@@ -364,6 +551,500 @@ class Machine:
             converged=converged and breakdown.converged,
         )
 
+    # -- batched execution ---------------------------------------------------
+    def run_batch(self, pairs: Sequence[Tuple[WorkloadSpec,
+                                              Optional[Placement]]],
+                  external_traffic: Optional[Sequence[
+                      Optional[Mapping[str, float]]]] = None,
+                  *, accelerate: bool = False,
+                  warm_cache: Optional[WarmStartCache] = None,
+                  stats: Optional[Dict[str, object]] = None
+                  ) -> List[RunResult]:
+        """Execute N (workload, placement) problems in one vectorized solve.
+
+        In the default *replay* mode the batched solver performs the
+        same arithmetic in the same order as looped :meth:`run`, so the
+        returned :class:`RunResult`\\ s are bit-identical to N scalar
+        calls.  With ``accelerate=True`` the outer fixed point uses
+        Anderson (secant) acceleration - optionally seeded from
+        ``warm_cache`` - converging in far fewer iterations to the same
+        fixed point within :data:`ACCELERATED_RELATIVE_TOLERANCE`
+        (docs/SOLVER.md has the full tolerance contract).
+
+        ``external_traffic`` optionally gives one per-problem mapping of
+        tier name to colocated GB/s, aligned with ``pairs``.  ``stats``
+        (if given) receives solver telemetry: problem count, mode,
+        outer-iteration totals, warm seeds used, and how many lanes did
+        not converge.
+        """
+        pairs = list(pairs)
+        if warm_cache is not None and not accelerate:
+            raise ValueError(
+                "warm_cache requires accelerate=True: replay mode must "
+                "stay bit-identical to Machine.run")
+        with maybe_span("machine.run_batch", problems=len(pairs),
+                        platform=self.platform.name,
+                        accelerated=accelerate) as span:
+            results, solve_stats = self._run_batch(
+                pairs, external_traffic, accelerate, warm_cache)
+            if span is not None:
+                span.annotate(**solve_stats)
+            if stats is not None:
+                stats.update(solve_stats)
+            return results
+
+    def _run_batch(self, pairs, external_traffic, accelerate, warm_cache):
+        if not pairs:
+            return [], {"problems": 0, "mode": "empty",
+                        "outer_iterations": 0, "nonconverged": 0,
+                        "warm_seeded": 0, "replay_resolves": 0}
+        externals: List[Optional[Mapping[str, float]]]
+        if external_traffic is None:
+            externals = [None] * len(pairs)
+        else:
+            externals = list(external_traffic)
+            if len(externals) != len(pairs):
+                raise ValueError(
+                    "external_traffic must align with pairs "
+                    f"({len(externals)} != {len(pairs)})")
+
+        if memory_mod._LATENCY_FAULT_HOOK is not None:
+            # Fault hooks are stateful per-call scalar functions; the
+            # vectorized kernels cannot thread them.  Fall back to the
+            # looped scalar path so chaos runs see identical behavior.
+            results = [
+                self._run(workload, placement or Placement.dram_only(),
+                          external)
+                for (workload, placement), external in zip(pairs, externals)]
+            return results, {
+                "problems": len(pairs), "mode": "scalar-fallback",
+                "outer_iterations": 0,
+                "nonconverged": sum(1 for r in results if not r.converged),
+                "warm_seeded": 0, "replay_resolves": 0}
+
+        problem = self._pack_batch(pairs, externals)
+        state = self._initial_state(problem)
+        warm_seeded = 0
+        if accelerate and warm_cache is not None:
+            warm_seeded = self._apply_warm_seeds(problem, state, warm_cache)
+
+        solution = self._solve_batch(problem, state, accelerate)
+        replay_resolves = 0
+        if accelerate and not bool(solution.converged.all()):
+            # Safe fallback: lanes the accelerated loop could not settle
+            # re-run under plain damping, reproducing exactly the
+            # (path-dependent) iterate the scalar solver returns.
+            index = np.flatnonzero(~solution.converged)
+            replay_resolves = int(index.size)
+            sub = self._solve_batch(
+                problem.subset(index),
+                self._initial_state(problem.subset(index)),
+                accelerate=False)
+            solution.splice(sub, index)
+
+        if accelerate and warm_cache is not None:
+            self._record_warm_points(problem, solution, warm_cache)
+
+        results = self._materialize(problem, solution)
+        solve_stats = {
+            "problems": problem.size,
+            "mode": "accelerated" if accelerate else "replay",
+            "outer_iterations": int(solution.iterations.sum()),
+            "nonconverged": sum(1 for r in results if not r.converged),
+            "warm_seeded": warm_seeded,
+            "replay_resolves": replay_resolves,
+        }
+        return results, solve_stats
+
+    def _pack_batch(self, pairs, externals) -> _BatchProblem:
+        workloads = [workload for workload, _ in pairs]
+        placements = [placement or Placement.dram_only()
+                      for _, placement in pairs]
+        count = len(pairs)
+        dram_dev = self.platform.dram
+        slow_devices = [placement.slow_device() for placement in placements]
+        has_slow = np.asarray([dev is not None for dev in slow_devices])
+        demands = [demand_profile(workload, self.platform)
+                   for workload in workloads]
+
+        def lanes(values) -> np.ndarray:
+            return np.asarray(list(values), dtype=np.float64)
+
+        dram_external = lanes(
+            (external or {}).get("dram", 0.0) for external in externals)
+        slow_external = lanes(
+            (external or {}).get(dev.name, 0.0) if dev is not None else 0.0
+            for dev, external in zip(slow_devices, externals))
+
+        return _BatchProblem(
+            workloads=workloads,
+            placements=placements,
+            demands=demands,
+            slow_devices=slow_devices,
+            params=BatchCoreParams.from_problems(
+                workloads, self.platform, demands),
+            dram_lanes=DeviceLanes.from_devices([dram_dev] * count),
+            slow_lanes=DeviceLanes.from_devices(
+                [dev if dev is not None else dram_dev
+                 for dev in slow_devices]),
+            has_slow=has_slow,
+            x_req=request_share_batch(
+                placements, [w.name for w in workloads],
+                [w.hotness_skew for w in workloads]),
+            near_buffer_hit=lanes(w.near_buffer_hit for w in workloads),
+            tail_sensitivity=lanes(w.tail_sensitivity for w in workloads),
+            pf_l1_share=lanes(w.pf_l1_share for w in workloads),
+            pf_lookahead_ns=lanes(w.pf_lookahead_ns for w in workloads),
+            mem_reads_potential=lanes(
+                d.mem_reads_potential for d in demands),
+            dram_external_gbps=dram_external,
+            slow_external_gbps=slow_external,
+            reference_idle_ns=np.full(count, dram_dev.idle_latency_ns),
+            zeros=np.zeros(count),
+        )
+
+    def _initial_state(self, problem: _BatchProblem) -> Dict[str, np.ndarray]:
+        idle_dram = problem.dram_lanes.idle_latency_ns
+        slow_idle = problem.slow_lanes.idle_latency_ns
+        return {
+            "dram_latency_ns": idle_dram.copy(),
+            "slow_latency_ns": np.where(
+                problem.has_slow, slow_idle, idle_dram),
+            "dram_rfo_ns":
+                idle_dram * problem.dram_lanes.rfo_latency_factor,
+            "slow_rfo_ns": np.where(
+                problem.has_slow,
+                slow_idle * problem.slow_lanes.rfo_latency_factor,
+                idle_dram),
+            "dram_escalation": np.ones(problem.size),
+            "slow_escalation": np.ones(problem.size),
+        }
+
+    def _apply_warm_seeds(self, problem: _BatchProblem,
+                          state: Dict[str, np.ndarray],
+                          warm_cache: WarmStartCache) -> int:
+        seeded = 0
+        names = ("dram_latency_ns", "slow_latency_ns", "dram_rfo_ns",
+                 "slow_rfo_ns", "dram_escalation", "slow_escalation")
+        for i in range(problem.size):
+            vector = warm_cache.seed(
+                problem.workloads[i], problem.placements[i],
+                self.platform.name, self.noise, self.seed,
+                float(problem.x_req[i]))
+            if vector is None:
+                continue
+            for name, value in zip(names, vector):
+                state[name][i] = value
+            seeded += 1
+        return seeded
+
+    def _record_warm_points(self, problem: _BatchProblem,
+                            solution: _BatchSolution,
+                            warm_cache: WarmStartCache) -> None:
+        for i in range(problem.size):
+            if not bool(solution.converged[i]):
+                continue
+            vector: StateVector = (
+                float(solution.dram_latency_ns[i]),
+                float(solution.slow_latency_ns[i]),
+                float(solution.dram_rfo_ns[i]),
+                float(solution.slow_rfo_ns[i]),
+                float(solution.dram_escalation[i]),
+                float(solution.slow_escalation[i]),
+            )
+            warm_cache.record(
+                problem.workloads[i], problem.placements[i],
+                self.platform.name, self.noise, self.seed,
+                float(problem.x_req[i]), vector)
+
+    def _evaluate_outer(self, problem: _BatchProblem,
+                        dram_latency_ns, slow_latency_ns,
+                        dram_rfo_ns, slow_rfo_ns,
+                        dram_escalation, slow_escalation):
+        """One application of the outer map at the given state arrays.
+
+        Mirrors the body of `_run`'s loop operation-for-operation;
+        returns the pre-damping latency targets, the updated
+        escalations, this iteration's observables, and the convergence
+        delta/scale.
+        """
+        x_req = problem.x_req
+        tier_read = (x_req * dram_latency_ns +
+                     (1.0 - x_req) * slow_latency_ns)
+        observed = (problem.near_buffer_hit * NEAR_BUFFER_LATENCY_NS +
+                    (1.0 - problem.near_buffer_hit) * tier_read)
+        rfo = (x_req * dram_rfo_ns +
+               (1.0 - x_req) * slow_rfo_ns)
+
+        flow = prefetch_profile_batch(
+            problem.params.pf_friend, problem.pf_l1_share,
+            problem.pf_lookahead_ns, problem.mem_reads_potential,
+            problem.params.l3_hit_rate, tier_read)
+        latency_ctx = BatchLatencyContext(
+            observed_read_ns=observed,
+            tier_read_ns=tier_read,
+            rfo_ns=rfo,
+            reference_idle_ns=problem.reference_idle_ns,
+        )
+        breakdown = account_cycles_batch(problem.params, flow, latency_ctx)
+
+        runtime_s = breakdown.cycles / (
+            self.platform.frequency_ghz * 1e9)
+        lines = (flow.demand_mem_reads + flow.pf_mem_reads +
+                 problem.params.store_mem_rfos +
+                 problem.params.store_mem_rfos +  # RFO read + writeback
+                 DEMAND_WRITEBACK_RATIO * flow.demand_mem_reads)
+        total_gbps = lines * 64.0 / runtime_s / 1e9
+
+        dram_gbps = total_gbps * x_req
+        slow_gbps = total_gbps * (1.0 - x_req)
+
+        dram_offered = dram_gbps + problem.dram_external_gbps
+        dram_util = utilization_for_bandwidth_batch(
+            problem.dram_lanes, dram_offered)
+        new_dram_escalation = updated_escalation_batch(
+            dram_escalation, problem.dram_lanes, dram_offered)
+        new_dram = loaded_latency_ns_batch(
+            problem.dram_lanes, dram_util,
+            problem.zeros) * new_dram_escalation
+        new_dram_rfo = rfo_latency_ns_batch(
+            problem.dram_lanes, dram_util,
+            problem.zeros) * new_dram_escalation
+
+        slow_offered = slow_gbps + problem.slow_external_gbps
+        slow_util = utilization_for_bandwidth_batch(
+            problem.slow_lanes, slow_offered)
+        slow_escalation_all = updated_escalation_batch(
+            slow_escalation, problem.slow_lanes, slow_offered)
+        new_slow_all = loaded_latency_ns_batch(
+            problem.slow_lanes, slow_util,
+            problem.tail_sensitivity) * slow_escalation_all
+        new_slow_rfo_all = rfo_latency_ns_batch(
+            problem.slow_lanes, slow_util,
+            problem.tail_sensitivity) * slow_escalation_all
+        new_slow = np.where(problem.has_slow, new_slow_all,
+                            slow_latency_ns)
+        new_slow_rfo = np.where(problem.has_slow, new_slow_rfo_all,
+                                slow_rfo_ns)
+        new_slow_escalation = np.where(problem.has_slow,
+                                       slow_escalation_all,
+                                       slow_escalation)
+
+        delta = (np.abs(new_dram - dram_latency_ns) +
+                 np.abs(new_slow - slow_latency_ns))
+        scale = dram_latency_ns + slow_latency_ns
+        return (new_dram, new_slow, new_dram_rfo, new_slow_rfo,
+                new_dram_escalation, new_slow_escalation,
+                flow, breakdown, dram_gbps, slow_gbps, delta, scale)
+
+    def _solve_batch(self, problem: _BatchProblem,
+                     state: Dict[str, np.ndarray],
+                     accelerate: bool) -> _BatchSolution:
+        """Iterate the outer fixed point for all lanes at once.
+
+        Replay mode applies exactly the scalar damped update; each lane
+        freezes - state, breakdown, and traffic - the iteration it
+        meets the scalar convergence criterion, so frozen lanes carry
+        the scalar path's doubles verbatim.  Accelerated mode layers an
+        Anderson(1) secant step on top of the damped map, with
+        per-lane safeguards falling back to the plain damped step.
+        """
+        dram_latency_ns = state["dram_latency_ns"]
+        slow_latency_ns = state["slow_latency_ns"]
+        dram_rfo_ns = state["dram_rfo_ns"]
+        slow_rfo_ns = state["slow_rfo_ns"]
+        dram_escalation = state["dram_escalation"]
+        slow_escalation = state["slow_escalation"]
+
+        count = problem.size
+        active = np.ones(count, dtype=bool)
+        converged = np.zeros(count, dtype=bool)
+        iterations = np.zeros(count, dtype=np.int64)
+        kept_flow: Optional[BatchPrefetchFlow] = None
+        kept_breakdown: Optional[BatchCycleBreakdown] = None
+        kept_dram_gbps = np.zeros(count)
+        kept_slow_gbps = np.zeros(count)
+        previous_x: Optional[np.ndarray] = None
+        previous_residual: Optional[np.ndarray] = None
+
+        for _ in range(_MAX_OUTER_ITERATIONS):
+            (new_dram, new_slow, new_dram_rfo, new_slow_rfo,
+             new_dram_escalation, new_slow_escalation,
+             flow, breakdown, dram_gbps, slow_gbps,
+             delta, scale) = self._evaluate_outer(
+                problem, dram_latency_ns, slow_latency_ns,
+                dram_rfo_ns, slow_rfo_ns,
+                dram_escalation, slow_escalation)
+            iterations += active
+
+            # Observables retained by lanes still iterating: exactly
+            # what the scalar loop leaves behind at its break.
+            kept_flow = _merge_lanes(flow, kept_flow, active)
+            kept_breakdown = _merge_lanes(breakdown, kept_breakdown, active)
+            kept_dram_gbps = np.where(active, dram_gbps, kept_dram_gbps)
+            kept_slow_gbps = np.where(active, slow_gbps, kept_slow_gbps)
+
+            conv_now = active & (delta <= _OUTER_TOLERANCE * scale)
+            still_active = active & ~conv_now
+
+            # The damped map image - the step the scalar solver takes
+            # every iteration, and the step every converging lane takes
+            # as its last (scalar damps *before* checking the break).
+            damped = np.stack([
+                dram_latency_ns + _OUTER_DAMPING * (
+                    new_dram - dram_latency_ns),
+                slow_latency_ns + _OUTER_DAMPING * (
+                    new_slow - slow_latency_ns),
+                dram_rfo_ns + _OUTER_DAMPING * (
+                    new_dram_rfo - dram_rfo_ns),
+                slow_rfo_ns + _OUTER_DAMPING * (
+                    new_slow_rfo - slow_rfo_ns),
+                new_dram_escalation,
+                new_slow_escalation,
+            ])
+
+            if accelerate:
+                current_x = np.stack([
+                    dram_latency_ns, slow_latency_ns, dram_rfo_ns,
+                    slow_rfo_ns, dram_escalation, slow_escalation])
+                residual = damped - current_x
+                step = damped
+                if previous_x is not None and previous_residual is not None:
+                    delta_x = current_x - previous_x
+                    delta_r = residual - previous_residual
+                    denominator = (delta_r * delta_r).sum(axis=0)
+                    safe_denominator = np.where(
+                        denominator > 0, denominator, 1.0)
+                    gamma = (residual * delta_r).sum(
+                        axis=0) / safe_denominator
+                    candidate = current_x + residual - gamma * (
+                        delta_x + delta_r)
+                    # Escalations are clamped to their physical range;
+                    # a secant step outside it is merely overshoot.
+                    candidate[4] = np.clip(candidate[4], 1.0,
+                                           MAX_ESCALATION)
+                    candidate[5] = np.clip(candidate[5], 1.0,
+                                           MAX_ESCALATION)
+                    valid = ((denominator > 1e-30) &
+                             np.isfinite(candidate).all(axis=0) &
+                             (candidate[:4] > 0).all(axis=0))
+                    step = np.where(valid, candidate, damped)
+                previous_x = current_x
+                previous_residual = residual
+            else:
+                step = damped
+
+            # Converging lanes take the damped step (scalar semantics);
+            # the rest of the active lanes take the (possibly
+            # accelerated) step; frozen lanes hold.
+            def advance(row: int, current: np.ndarray) -> np.ndarray:
+                return np.where(
+                    conv_now, damped[row],
+                    np.where(still_active, step[row], current))
+
+            dram_latency_ns = advance(0, dram_latency_ns)
+            slow_latency_ns = advance(1, slow_latency_ns)
+            dram_rfo_ns = advance(2, dram_rfo_ns)
+            slow_rfo_ns = advance(3, slow_rfo_ns)
+            dram_escalation = advance(4, dram_escalation)
+            slow_escalation = advance(5, slow_escalation)
+
+            converged = converged | conv_now
+            active = still_active
+            if not bool(active.any()):
+                break
+
+        assert kept_flow is not None and kept_breakdown is not None
+        return _BatchSolution(
+            dram_latency_ns=dram_latency_ns,
+            slow_latency_ns=slow_latency_ns,
+            dram_rfo_ns=dram_rfo_ns,
+            slow_rfo_ns=slow_rfo_ns,
+            dram_escalation=dram_escalation,
+            slow_escalation=slow_escalation,
+            flow=kept_flow,
+            breakdown=kept_breakdown,
+            dram_gbps=kept_dram_gbps,
+            slow_gbps=kept_slow_gbps,
+            converged=converged,
+            iterations=iterations,
+        )
+
+    def _materialize(self, problem: _BatchProblem,
+                     solution: _BatchSolution) -> List[RunResult]:
+        """Build per-element ``RunResult``s from the solved lane arrays.
+
+        The post-loop recomputation matches `_run` exactly: observed /
+        tier / RFO latencies from the final (damped) state, runtime
+        from the retained breakdown, utilizations from the retained
+        per-tier traffic.
+        """
+        x_req = problem.x_req
+        tier_read = (x_req * solution.dram_latency_ns +
+                     (1.0 - x_req) * solution.slow_latency_ns)
+        observed = (problem.near_buffer_hit * NEAR_BUFFER_LATENCY_NS +
+                    (1.0 - problem.near_buffer_hit) * tier_read)
+        rfo = (x_req * solution.dram_rfo_ns +
+               (1.0 - x_req) * solution.slow_rfo_ns)
+        runtime_s = solution.breakdown.cycles / (
+            self.platform.frequency_ghz * 1e9)
+        dram_util = utilization_for_bandwidth_batch(
+            problem.dram_lanes,
+            solution.dram_gbps + problem.dram_external_gbps)
+        slow_util = utilization_for_bandwidth_batch(
+            problem.slow_lanes,
+            solution.slow_gbps + problem.slow_external_gbps)
+
+        flow = solution.flow
+        results: List[RunResult] = []
+        for i in range(problem.size):
+            workload = problem.workloads[i]
+            placement = problem.placements[i]
+            demand = problem.demands[i]
+            breakdown = solution.breakdown.element(i)
+            prefetch = PrefetchProfile(
+                covered=float(flow.covered[i]),
+                demand_mem_reads=float(flow.demand_mem_reads[i]),
+                pf_mem_reads=float(flow.pf_mem_reads[i]),
+                pf_l1_mem=float(flow.pf_l1_mem[i]),
+                pf_l2_mem=float(flow.pf_l2_mem[i]),
+                pf_l1_any=float(flow.pf_l1_any[i]),
+                pf_l1_l3_hit=float(flow.pf_l1_l3_hit[i]),
+                pf_l2_any=float(flow.pf_l2_any[i]),
+                pf_l2_l3_hit=float(flow.pf_l2_l3_hit[i]),
+                late_wait_ns=float(flow.late_wait_ns[i]),
+                late_fraction=float(flow.late_fraction[i]),
+            )
+            tier_label = placement.describe()
+            counters = emit_counters(
+                workload, self.platform, demand, prefetch, breakdown,
+                tier_label, noise=self.noise, seed=self.seed)
+            has_slow = bool(problem.has_slow[i])
+            results.append(RunResult(
+                workload=workload,
+                placement=placement,
+                platform=self.platform,
+                breakdown=breakdown,
+                demand=demand,
+                prefetch=prefetch,
+                counters=counters,
+                observed_read_ns=float(observed[i]),
+                tier_read_ns=float(tier_read[i]),
+                rfo_ns=float(rfo[i]),
+                dram_latency_ns=float(solution.dram_latency_ns[i]),
+                slow_latency_ns=(float(solution.slow_latency_ns[i])
+                                 if has_slow else None),
+                dram_gbps=float(solution.dram_gbps[i]),
+                slow_gbps=float(solution.slow_gbps[i]),
+                dram_utilization=float(dram_util[i]),
+                slow_utilization=(float(slow_util[i]) if has_slow
+                                  else 0.0),
+                runtime_s=float(runtime_s[i]),
+                converged=bool(solution.converged[i]) and
+                breakdown.converged,
+            ))
+        return results
+
     def profile(self, workload: WorkloadSpec,
                 placement: Optional[Placement] = None) -> ProfiledRun:
         """Run and return only what a perf wrapper would capture."""
@@ -403,31 +1084,67 @@ class Machine:
     # -- colocation -----------------------------------------------------------
     def run_colocated(self, jobs: Sequence[Tuple[WorkloadSpec, Placement]],
                       max_iterations: int = 120,
-                      tolerance: float = 1e-6) -> List[RunResult]:
+                      tolerance: float = 1e-6,
+                      stats: Optional[Dict[str, object]] = None
+                      ) -> List[RunResult]:
         """Execute several workloads sharing this machine's memory.
 
         Solves the joint steady state: each workload's traffic raises
         tier utilization for everyone, which feeds back into everyone's
         latency and runtime.  Returns one :class:`RunResult` per job, in
         order; each result's counters reflect the interference.
+
+        Each joint iteration evaluates all jobs in one accelerated
+        :meth:`run_batch` solve, warm-started from the previous
+        iteration's fixed points (the per-job request share never
+        changes across iterations, so the previous iterate is always
+        the nearest recorded point).  ``stats`` (if given) receives
+        ``joint_converged``, ``joint_iterations``, and the summed
+        solver telemetry, so an exhausted iteration cap is observable
+        instead of silently returning the last iterate.
         """
         if not jobs:
+            if stats is not None:
+                stats.update(joint_converged=True, joint_iterations=0,
+                             outer_iterations=0, nonconverged=0)
             return []
+        with maybe_span("machine.run_colocated", jobs=len(jobs),
+                        platform=self.platform.name) as span:
+            results, joint_stats = self._run_colocated(
+                jobs, max_iterations, tolerance)
+            if span is not None:
+                span.annotate(**joint_stats)
+            if stats is not None:
+                stats.update(joint_stats)
+            return results
+
+    def _run_colocated(self, jobs, max_iterations, tolerance):
+        warm_cache = WarmStartCache()
         traffic: List[Dict[str, float]] = [dict() for _ in jobs]
         results: List[RunResult] = []
+        joint_converged = False
+        joint_iterations = 0
+        total_outer = 0
         for _ in range(max_iterations):
-            results = []
-            new_traffic: List[Dict[str, float]] = []
-            for index, (workload, placement) in enumerate(jobs):
+            joint_iterations += 1
+            externals: List[Dict[str, float]] = []
+            for index in range(len(jobs)):
                 external: Dict[str, float] = {}
                 for other_index, other in enumerate(traffic):
                     if other_index == index:
                         continue
                     for tier, gbps in other.items():
                         external[tier] = external.get(tier, 0.0) + gbps
-                result = self.run(workload, placement,
-                                  external_traffic=external)
-                results.append(result)
+                externals.append(external)
+
+            solve_stats: Dict[str, object] = {}
+            results = self.run_batch(
+                jobs, external_traffic=externals, accelerate=True,
+                warm_cache=warm_cache, stats=solve_stats)
+            total_outer += int(solve_stats.get("outer_iterations", 0))
+
+            new_traffic: List[Dict[str, float]] = []
+            for (workload, placement), result in zip(jobs, results):
                 contribution: Dict[str, float] = {
                     "dram": result.dram_gbps}
                 if placement.device is not None:
@@ -452,5 +1169,12 @@ class Machine:
                 })
             traffic = damped
             if worst <= tolerance:
+                joint_converged = True
                 break
-        return results
+        joint_stats: Dict[str, object] = {
+            "joint_converged": joint_converged,
+            "joint_iterations": joint_iterations,
+            "outer_iterations": total_outer,
+            "nonconverged": sum(1 for r in results if not r.converged),
+        }
+        return results, joint_stats

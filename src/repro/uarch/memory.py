@@ -30,9 +30,10 @@ Latency components:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from .config import CACHELINE_BYTES, MemoryDeviceConfig
 
@@ -87,9 +88,14 @@ def loaded_latency_ns(device: MemoryDeviceConfig, utilization: float,
     # saturation; the knee term sharpens growth past the device's knee.
     linear = 0.20 * u
     over_knee = max(0.0, u - device.queue_knee)
-    queue = (device.queue_gain * 0.20 * u ** 4 / (
+    # `u^4`/`over_knee^2` are spelled as explicit products: IEEE-754
+    # `x ** n` and `x * x` round differently, and the batched kernels
+    # (`loaded_latency_ns_batch`) must agree bit-for-bit with this
+    # scalar path so `Machine.run_batch` can replay `Machine.run`.
+    u_sq = u * u
+    queue = (device.queue_gain * 0.20 * (u_sq * u_sq) / (
         1.0 + _QUEUE_EPSILON - u)
-        + device.queue_gain * 0.12 * over_knee ** 2)
+        + device.queue_gain * 0.12 * (over_knee * over_knee))
     tail = device.tail_alpha * min(max(tail_sensitivity, 0.0), 1.0)
     latency_ns = base * (1.0 + linear + queue) * (1.0 + tail)
     if _LATENCY_FAULT_HOOK is not None:
@@ -121,7 +127,9 @@ def updated_escalation(escalation: float, device: MemoryDeviceConfig,
         return 1.0
     capacity = device.peak_bandwidth_gbps * MAX_UTILIZATION
     ratio = offered_gbps / capacity
-    new = escalation * ratio ** _ESCALATION_GAIN
+    # np.power, not ``**``: libm and numpy `pow` differ in the last ulp
+    # and the batched solver must replay this path bit-for-bit.
+    new = escalation * float(np.power(ratio, _ESCALATION_GAIN))
     return min(MAX_ESCALATION, max(1.0, new))
 
 
@@ -144,6 +152,94 @@ def utilization_for_bandwidth(device: MemoryDeviceConfig,
     if bandwidth_gbps <= 0:
         return 0.0
     return min(bandwidth_gbps / device.peak_bandwidth_gbps, MAX_UTILIZATION)
+
+
+# --------------------------------------------------------------------------
+# Batched kernels (docs/SOLVER.md)
+#
+# Struct-of-arrays mirrors of the scalar functions above.  Each kernel
+# performs the *same arithmetic in the same order* as its scalar twin,
+# so evaluating N problems as arrays yields bit-identical doubles to N
+# scalar calls - the foundation of `Machine.run_batch`'s replay
+# contract.  Device parameters arrive as per-element arrays
+# (`DeviceLanes`) because one batch may mix slow tiers.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceLanes:
+    """Per-element device parameters for the batched latency kernels."""
+
+    idle_latency_ns: np.ndarray
+    peak_bandwidth_gbps: np.ndarray
+    tail_alpha: np.ndarray
+    rfo_latency_factor: np.ndarray
+    queue_gain: np.ndarray
+    queue_knee: np.ndarray
+
+    @classmethod
+    def from_devices(cls, devices: Sequence[MemoryDeviceConfig]
+                     ) -> "DeviceLanes":
+        as_array = np.asarray
+        return cls(
+            idle_latency_ns=as_array(
+                [d.idle_latency_ns for d in devices], dtype=np.float64),
+            peak_bandwidth_gbps=as_array(
+                [d.peak_bandwidth_gbps for d in devices], dtype=np.float64),
+            tail_alpha=as_array(
+                [d.tail_alpha for d in devices], dtype=np.float64),
+            rfo_latency_factor=as_array(
+                [d.rfo_latency_factor for d in devices], dtype=np.float64),
+            queue_gain=as_array(
+                [d.queue_gain for d in devices], dtype=np.float64),
+            queue_knee=as_array(
+                [d.queue_knee for d in devices], dtype=np.float64),
+        )
+
+
+def loaded_latency_ns_batch(lanes: DeviceLanes, utilization: np.ndarray,
+                            tail_sensitivity: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`loaded_latency_ns` (fault hooks not supported:
+    `Machine.run_batch` falls back to the scalar path while a latency
+    fault hook is installed)."""
+    u = np.minimum(np.maximum(utilization, 0.0), MAX_UTILIZATION)
+    base = lanes.idle_latency_ns
+    linear = 0.20 * u
+    over_knee = np.maximum(0.0, u - lanes.queue_knee)
+    u_sq = u * u
+    queue = (lanes.queue_gain * 0.20 * (u_sq * u_sq) / (
+        1.0 + _QUEUE_EPSILON - u)
+        + lanes.queue_gain * 0.12 * (over_knee * over_knee))
+    tail = lanes.tail_alpha * np.minimum(
+        np.maximum(tail_sensitivity, 0.0), 1.0)
+    return base * (1.0 + linear + queue) * (1.0 + tail)
+
+
+def rfo_latency_ns_batch(lanes: DeviceLanes, utilization: np.ndarray,
+                         tail_sensitivity: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rfo_latency_ns`."""
+    return loaded_latency_ns_batch(
+        lanes, utilization, tail_sensitivity) * lanes.rfo_latency_factor
+
+
+def utilization_for_bandwidth_batch(lanes: DeviceLanes,
+                                    bandwidth_gbps: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`utilization_for_bandwidth`."""
+    utilization = np.minimum(
+        bandwidth_gbps / lanes.peak_bandwidth_gbps, MAX_UTILIZATION)
+    return np.where(bandwidth_gbps <= 0, 0.0, utilization)
+
+
+def updated_escalation_batch(escalation: np.ndarray, lanes: DeviceLanes,
+                             offered_gbps: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`updated_escalation`."""
+    capacity = lanes.peak_bandwidth_gbps * MAX_UTILIZATION
+    # Guard the masked-out lanes (offered <= 0) against 0^fractional.
+    safe_offered = np.where(offered_gbps > 0, offered_gbps, capacity)
+    ratio = safe_offered / capacity
+    new = escalation * np.power(ratio, _ESCALATION_GAIN)
+    clamped = np.minimum(MAX_ESCALATION, np.maximum(1.0, new))
+    return np.where(offered_gbps <= 0, 1.0, clamped)
 
 
 def measure_idle_latency_ns(device: MemoryDeviceConfig) -> float:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..workloads.spec import WorkloadSpec
 from .caches import DemandProfile
 
@@ -97,7 +99,9 @@ def expected_late_wait_ns(latency_ns: float, lookahead_ns: float) -> float:
         return latency_ns
     if latency_ns >= 2.0 * lookahead_ns:
         return latency_ns - lookahead_ns
-    return latency_ns ** 2 / (4.0 * lookahead_ns)
+    # Explicit product, not ``** 2``: must match the batched kernel
+    # bit-for-bit (docs/SOLVER.md replay contract).
+    return latency_ns * latency_ns / (4.0 * lookahead_ns)
 
 
 def late_fraction(latency_ns: float, lookahead_ns: float) -> float:
@@ -107,6 +111,93 @@ def late_fraction(latency_ns: float, lookahead_ns: float) -> float:
     if lookahead_ns <= 0:
         return 1.0
     return min(1.0, latency_ns / (2.0 * lookahead_ns))
+
+
+@dataclass(frozen=True)
+class BatchPrefetchFlow:
+    """Struct-of-arrays :class:`PrefetchProfile` for the batched solver.
+
+    Only the fields the inner cycle-accounting loop consumes are stored
+    as arrays; the full per-element :class:`PrefetchProfile` is
+    reconstructed scalar-side once the fixed point has converged.
+    """
+
+    covered: np.ndarray
+    demand_mem_reads: np.ndarray
+    pf_mem_reads: np.ndarray
+    pf_l1_mem: np.ndarray
+    pf_l2_mem: np.ndarray
+    pf_l1_any: np.ndarray
+    pf_l1_l3_hit: np.ndarray
+    pf_l2_any: np.ndarray
+    pf_l2_l3_hit: np.ndarray
+    late_wait_ns: np.ndarray
+    late_fraction: np.ndarray
+
+
+def expected_late_wait_ns_batch(latency_ns: np.ndarray,
+                                lookahead_ns: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`expected_late_wait_ns` (same arithmetic/order)."""
+    safe_lookahead = np.where(lookahead_ns > 0, lookahead_ns, 1.0)
+    quadratic = latency_ns * latency_ns / (4.0 * safe_lookahead)
+    wait = np.where(latency_ns >= 2.0 * lookahead_ns,
+                    latency_ns - lookahead_ns, quadratic)
+    wait = np.where(lookahead_ns <= 0, latency_ns, wait)
+    return np.where(latency_ns <= 0, 0.0, wait)
+
+
+def late_fraction_batch(latency_ns: np.ndarray,
+                        lookahead_ns: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`late_fraction` (same arithmetic/order)."""
+    safe_lookahead = np.where(lookahead_ns > 0, lookahead_ns, 1.0)
+    late = np.minimum(1.0, latency_ns / (2.0 * safe_lookahead))
+    late = np.where(lookahead_ns <= 0, 1.0, late)
+    return np.where(latency_ns <= 0, 0.0, late)
+
+
+def prefetch_profile_batch(pf_friend: np.ndarray, pf_l1_share: np.ndarray,
+                           pf_lookahead_ns: np.ndarray,
+                           mem_reads_potential: np.ndarray,
+                           l3_hit_rate: np.ndarray,
+                           read_latency_ns: np.ndarray) -> BatchPrefetchFlow:
+    """Vectorized :func:`prefetch_profile` over per-element spec arrays.
+
+    Mirrors the scalar function operation-for-operation so a batch lane
+    carries exactly the doubles the scalar path would compute at the
+    same read latency.
+    """
+    covered = mem_reads_potential * pf_friend
+    demand_mem_reads = mem_reads_potential - covered
+    pf_mem_reads = covered * (1.0 + PREFETCH_WASTE_RATIO)
+
+    late = late_fraction_batch(read_latency_ns, pf_lookahead_ns)
+    l1_share = np.minimum(
+        1.0, pf_l1_share + L2_TO_L1_SHIFT_MAX * late *
+        (1.0 - pf_l1_share))
+    pf_l1_mem = pf_mem_reads * l1_share
+    pf_l2_mem = pf_mem_reads - pf_l1_mem
+
+    miss_rate = np.maximum(1e-9, 1.0 - l3_hit_rate)
+    pf_l1_any = pf_l1_mem / miss_rate
+    pf_l1_l3_hit = pf_l1_any - pf_l1_mem
+    pf_l2_any = pf_l2_mem / miss_rate
+    pf_l2_l3_hit = pf_l2_any - pf_l2_mem
+
+    wait = expected_late_wait_ns_batch(read_latency_ns, pf_lookahead_ns)
+
+    return BatchPrefetchFlow(
+        covered=covered,
+        demand_mem_reads=demand_mem_reads,
+        pf_mem_reads=pf_mem_reads,
+        pf_l1_mem=pf_l1_mem,
+        pf_l2_mem=pf_l2_mem,
+        pf_l1_any=pf_l1_any,
+        pf_l1_l3_hit=pf_l1_l3_hit,
+        pf_l2_any=pf_l2_any,
+        pf_l2_l3_hit=pf_l2_l3_hit,
+        late_wait_ns=wait,
+        late_fraction=late,
+    )
 
 
 def prefetch_profile(spec: WorkloadSpec, demand: DemandProfile,

@@ -1,0 +1,302 @@
+"""Equivalence and acceleration guarantees of the batched solver.
+
+The contract (docs/SOLVER.md): in replay mode ``Machine.run_batch`` is
+bit-identical to looped ``Machine.run`` — same cycles, same counters,
+same convergence flags, even when the iteration cap truncates some
+lanes.  Accelerated mode (Anderson + warm starts) reaches the same
+fixed point within ``ACCELERATED_RELATIVE_TOLERANCE`` in far fewer
+outer iterations.  The executor's serial batch path must preserve the
+runtime's byte-identity guarantee on top of that.
+"""
+
+import pytest
+
+import repro.uarch.machine as machine_mod
+from repro.runtime.executor import MIN_BATCH_GROUP, Executor
+from repro.runtime.spec import RunSpec
+from repro.runtime.store import ResultStore
+from repro.uarch import Machine, Placement, SKX2S, SPR2S
+from repro.uarch.machine import (ACCELERATED_RELATIVE_TOLERANCE,
+                                 WarmStartCache)
+from repro.workloads import get_workload
+
+#: A spread of memory behaviors: latency-bound, compute-leaning,
+#: bandwidth-hungry, store-heavy, and an ML inference profile.
+WORKLOADS = ("605.mcf", "557.xz", "603.bwaves", "619.lbm", "gpt-2")
+
+
+def mixed_pairs():
+    """(workload, placement) problems spanning tiers and ratios."""
+    pairs = []
+    for offset, name in enumerate(WORKLOADS):
+        workload = get_workload(name)
+        pairs.append((workload, Placement.dram_only()))
+        pairs.append((workload, Placement.slow_only("cxl-a")))
+        pairs.append((workload,
+                      Placement.interleaved(0.25 + 0.15 * offset,
+                                            "cxl-a")))
+    return pairs
+
+
+def sweep_pairs(name="603.bwaves", points=20, device="cxl-a"):
+    workload = get_workload(name).with_threads(10)
+    pairs = []
+    for index in range(points):
+        x = 1.0 - index / (points - 1)
+        placement = (Placement.dram_only() if x >= 1.0 else
+                     Placement.slow_only(device) if x <= 0.0 else
+                     Placement.interleaved(x, device))
+        pairs.append((workload, placement))
+    return pairs
+
+
+def assert_bit_identical(batch, scalar):
+    assert len(batch) == len(scalar)
+    for got, want in zip(batch, scalar):
+        assert got.converged == want.converged
+        assert got.cycles == want.cycles
+        assert got.counters.as_dict() == want.counters.as_dict()
+        assert got.observed_read_ns == want.observed_read_ns
+        assert got.tier_read_ns == want.tier_read_ns
+        assert got.rfo_ns == want.rfo_ns
+        assert got.dram_latency_ns == want.dram_latency_ns
+        assert got.slow_latency_ns == want.slow_latency_ns
+        assert got.dram_gbps == want.dram_gbps
+        assert got.slow_gbps == want.slow_gbps
+        assert got.runtime_s == want.runtime_s
+
+
+def relative_error(got, want):
+    return abs(got - want) / max(abs(want), 1e-300)
+
+
+class TestReplayEquivalence:
+    """Default mode replays the scalar arithmetic bit-for-bit."""
+
+    def test_matches_looped_run_exactly(self, skx_machine):
+        pairs = mixed_pairs()
+        batch = skx_machine.run_batch(pairs)
+        scalar = [skx_machine.run(w, p) for w, p in pairs]
+        assert_bit_identical(batch, scalar)
+
+    def test_single_pair(self, spr_machine):
+        workload = get_workload("605.mcf")
+        placement = Placement.interleaved(0.6, "cxl-a")
+        batch = spr_machine.run_batch([(workload, placement)])
+        assert_bit_identical(batch,
+                             [spr_machine.run(workload, placement)])
+
+    def test_all_identical_pairs(self, skx_machine):
+        workload = get_workload("619.lbm")
+        placement = Placement.slow_only("cxl-a")
+        batch = skx_machine.run_batch([(workload, placement)] * 8)
+        scalar = skx_machine.run(workload, placement)
+        assert_bit_identical(batch, [scalar] * 8)
+
+    def test_empty_batch(self, skx_machine):
+        stats = {}
+        assert skx_machine.run_batch([], stats=stats) == []
+        assert stats["problems"] == 0
+
+    def test_none_placement_means_dram_only(self, skx_machine):
+        workload = get_workload("557.xz")
+        batch = skx_machine.run_batch([(workload, None)])
+        assert_bit_identical(batch, [skx_machine.run(workload)])
+
+    def test_external_traffic_matches_scalar(self, skx_machine):
+        workload = get_workload("603.bwaves").with_threads(10)
+        placement = Placement.interleaved(0.5, "cxl-a")
+        externals = [None, {"dram": 18.0, "cxl-a": 9.0}]
+        batch = skx_machine.run_batch(
+            [(workload, placement)] * 2, externals)
+        scalar = [skx_machine.run(workload, placement, external)
+                  for external in externals]
+        assert_bit_identical(batch, scalar)
+        assert batch[1].cycles > batch[0].cycles
+
+    def test_external_traffic_must_align(self, skx_machine):
+        with pytest.raises(ValueError):
+            skx_machine.run_batch(mixed_pairs()[:3], [None])
+
+    def test_mixed_converged_and_capped_lanes(self, skx_machine,
+                                              monkeypatch):
+        # At 50 outer iterations 557.xz settles (~37) while the
+        # bandwidth-saturating bwaves lanes (~300) hit the cap: the
+        # batch must reproduce the scalar solver's truncated iterates
+        # and convergence flags exactly, not just the converged ones.
+        monkeypatch.setattr(machine_mod, "_MAX_OUTER_ITERATIONS", 50)
+        pairs = [(get_workload("603.bwaves").with_threads(10),
+                  Placement.slow_only("cxl-a")),
+                 (get_workload("557.xz"), Placement.dram_only()),
+                 (get_workload("603.bwaves").with_threads(10),
+                  Placement.interleaved(0.5, "cxl-a"))]
+        stats = {}
+        batch = skx_machine.run_batch(pairs, stats=stats)
+        scalar = [skx_machine.run(w, p) for w, p in pairs]
+        assert [r.converged for r in batch] == [False, True, False]
+        assert stats["nonconverged"] == 2
+        assert_bit_identical(batch, scalar)
+
+    def test_stats_telemetry(self, skx_machine):
+        stats = {}
+        skx_machine.run_batch(mixed_pairs(), stats=stats)
+        assert stats["mode"] == "replay"
+        assert stats["problems"] == len(mixed_pairs())
+        assert stats["outer_iterations"] > 0
+        assert stats["nonconverged"] == 0
+        assert stats["warm_seeded"] == 0
+
+    def test_warm_cache_requires_accelerate(self, skx_machine):
+        with pytest.raises(ValueError, match="accelerate"):
+            skx_machine.run_batch(mixed_pairs()[:2],
+                                  warm_cache=WarmStartCache())
+
+
+class TestAcceleratedMode:
+    """Anderson acceleration: same fixed point, far fewer iterations."""
+
+    def test_within_documented_tolerance(self, skx_machine):
+        pairs = mixed_pairs()
+        batch = skx_machine.run_batch(pairs, accelerate=True)
+        scalar = [skx_machine.run(w, p) for w, p in pairs]
+        for got, want in zip(batch, scalar):
+            assert got.converged
+            assert relative_error(got.cycles, want.cycles) <= \
+                ACCELERATED_RELATIVE_TOLERANCE
+            assert relative_error(got.observed_read_ns,
+                                  want.observed_read_ns) <= \
+                ACCELERATED_RELATIVE_TOLERANCE
+
+    def test_cuts_outer_iterations(self, skx_machine):
+        pairs = sweep_pairs(points=21)
+        replay_stats, accel_stats = {}, {}
+        skx_machine.run_batch(pairs, stats=replay_stats)
+        skx_machine.run_batch(pairs, accelerate=True, stats=accel_stats)
+        assert accel_stats["mode"] == "accelerated"
+        assert accel_stats["outer_iterations"] < \
+            replay_stats["outer_iterations"] / 2
+
+    def test_cap_exhaustion_falls_back_to_replay(self, skx_machine,
+                                                 monkeypatch):
+        # When the accelerated loop cannot settle a lane it re-solves
+        # that lane under plain damping, so accelerated results are
+        # never worse-converged than replay ones.
+        monkeypatch.setattr(machine_mod, "_MAX_OUTER_ITERATIONS", 50)
+        pairs = sweep_pairs(points=5)
+        stats = {}
+        batch = skx_machine.run_batch(pairs, accelerate=True,
+                                      stats=stats)
+        scalar = [skx_machine.run(w, p) for w, p in pairs]
+        for got, want in zip(batch, scalar):
+            if not got.converged:
+                # Replayed lanes reproduce the scalar truncation.
+                assert got.cycles == want.cycles
+        assert stats["replay_resolves"] == stats["nonconverged"]
+
+
+class TestWarmStart:
+    """Warm starts reuse nearby fixed points along a sweep."""
+
+    def test_warm_matches_cold_within_tolerance(self, skx_machine):
+        pairs = sweep_pairs(points=21)
+        cache = WarmStartCache()
+        cold = skx_machine.run_batch(pairs, accelerate=True)
+        skx_machine.run_batch(pairs, accelerate=True, warm_cache=cache)
+        warm_stats = {}
+        warm = skx_machine.run_batch(pairs, accelerate=True,
+                                     warm_cache=cache, stats=warm_stats)
+        assert warm_stats["warm_seeded"] == len(pairs)
+        for got, want in zip(warm, cold):
+            assert got.converged
+            assert relative_error(got.cycles, want.cycles) <= \
+                ACCELERATED_RELATIVE_TOLERANCE
+
+    def test_warm_reduces_iterations(self, skx_machine):
+        pairs = sweep_pairs(points=21)
+        cache = WarmStartCache()
+        cold_stats, warm_stats = {}, {}
+        skx_machine.run_batch(pairs, accelerate=True, warm_cache=cache,
+                              stats=cold_stats)
+        skx_machine.run_batch(pairs, accelerate=True, warm_cache=cache,
+                              stats=warm_stats)
+        assert warm_stats["outer_iterations"] < \
+            cold_stats["outer_iterations"]
+        assert cache.seeds_served >= len(pairs)
+        assert cache.points_recorded >= 1
+
+    def test_cache_is_keyed_by_identity(self):
+        # A point recorded on one machine identity must not seed a
+        # different platform/seed: the lookup key includes both.
+        cache = WarmStartCache()
+        workload = get_workload("605.mcf")
+        placement = Placement.slow_only("cxl-a")
+        Machine(SKX2S, seed=1).run_batch(
+            [(workload, placement)], accelerate=True, warm_cache=cache)
+        stats = {}
+        Machine(SPR2S, seed=2).run_batch(
+            [(workload, placement)], accelerate=True, warm_cache=cache,
+            stats=stats)
+        assert stats["warm_seeded"] == 0
+
+
+class TestRunColocated:
+    def test_joint_stats_surface_convergence(self, skx_machine):
+        jobs = [(get_workload("605.mcf"), Placement.dram_only()),
+                (get_workload("603.bwaves").with_threads(10),
+                 Placement.slow_only("cxl-a"))]
+        stats = {}
+        results = skx_machine.run_colocated(jobs, stats=stats)
+        assert len(results) == len(jobs)
+        assert stats["joint_converged"] is True
+        assert stats["joint_iterations"] > 0
+        assert all(result.converged for result in results)
+
+    def test_empty_jobs(self, skx_machine):
+        stats = {}
+        assert skx_machine.run_colocated([], stats=stats) == []
+        assert stats["joint_converged"] is True
+
+
+class TestExecutorBatching:
+    """The runtime's serial path groups specs through run_batch."""
+
+    def sweep_specs(self, machine, points=MIN_BATCH_GROUP + 4):
+        return [RunSpec.from_machine(machine, workload, placement)
+                for workload, placement in sweep_pairs(points=points)]
+
+    def test_batched_path_is_byte_identical(self, tmp_path):
+        machine = Machine(SKX2S)
+        specs = self.sweep_specs(machine)
+        executor = Executor(jobs=1, store=ResultStore(tmp_path / "c"))
+        results = executor.run(specs)
+        assert executor.telemetry.counters.get("batched_solves") == 1
+        scalar = [machine.run(spec.workload, spec.placement)
+                  for spec in specs]
+        assert_bit_identical(results, scalar)
+
+    def test_small_groups_stay_scalar(self, tmp_path):
+        machine = Machine(SKX2S)
+        specs = self.sweep_specs(machine, points=5)
+        executor = Executor(jobs=1, store=ResultStore(tmp_path / "c"))
+        executor.run(specs)
+        assert "batched_solves" not in executor.telemetry.counters
+
+    def test_mixed_machines_group_separately(self, tmp_path):
+        specs = (self.sweep_specs(Machine(SKX2S)) +
+                 self.sweep_specs(Machine(SKX2S, seed=7)))
+        executor = Executor(jobs=1, store=ResultStore(tmp_path / "c"))
+        results = executor.run(specs)
+        assert executor.telemetry.counters.get("batched_solves") == 2
+        assert len(results) == len(specs)
+
+    def test_nonconverged_results_are_counted(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setattr(machine_mod, "_MAX_OUTER_ITERATIONS", 20)
+        machine = Machine(SKX2S)
+        specs = self.sweep_specs(machine)
+        executor = Executor(jobs=1, store=ResultStore(tmp_path / "c"))
+        results = executor.run(specs)
+        nonconverged = sum(1 for r in results if not r.converged)
+        assert nonconverged > 0
+        assert executor.telemetry.counters["nonconverged_results"] == \
+            nonconverged

@@ -99,6 +99,27 @@ class TestRuntimeDoc:
             assert flag in runtime, f"{flag} missing from RUNTIME.md"
 
 
+class TestSolverDoc:
+    def test_exists_and_covers_the_contract(self):
+        solver = read("docs/SOLVER.md")
+        for term in ("run_batch", "WarmStartCache",
+                     "ACCELERATED_RELATIVE_TOLERANCE", "bit-identical",
+                     "Anderson", "MIN_BATCH_GROUP", "replay_resolves",
+                     "nonconverged_results", "run_colocated",
+                     "scalar-fallback", "CACHE_SCHEMA_VERSION"):
+            assert term in solver, f"{term!r} missing from SOLVER.md"
+
+    def test_documents_the_real_tolerance(self):
+        from repro.uarch.machine import ACCELERATED_RELATIVE_TOLERANCE
+        assert ACCELERATED_RELATIVE_TOLERANCE == 1e-7
+        assert "1e-7" in read("docs/SOLVER.md")
+
+    def test_documents_the_real_batch_gate(self):
+        from repro.runtime.executor import MIN_BATCH_GROUP
+        solver = read("docs/SOLVER.md")
+        assert f"({MIN_BATCH_GROUP})" in solver
+
+
 class TestFaultsDoc:
     def test_exists_and_covers_the_contract(self):
         faults = read("docs/FAULTS.md")
@@ -143,8 +164,8 @@ class TestPmuCounterReferences:
     DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/API.md", "docs/FAULTS.md", "docs/LINT.md",
                  "docs/MODEL.md", "docs/OBSERVABILITY.md",
-                 "docs/RUNTIME.md", "docs/SUBSTRATE.md",
-                 "docs/WORKLOADS.md")
+                 "docs/RUNTIME.md", "docs/SOLVER.md",
+                 "docs/SUBSTRATE.md", "docs/WORKLOADS.md")
 
     def test_registry_matches_counter_enum(self):
         from repro.core.counters import Counter
@@ -171,9 +192,15 @@ class TestPmuCounterReferences:
 class TestCrossLinks:
     @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md",
                                      "docs/FAULTS.md",
-                                     "docs/OBSERVABILITY.md"])
+                                     "docs/OBSERVABILITY.md",
+                                     "docs/SOLVER.md"])
     def test_readme_links_docs(self, doc):
         assert doc in read("README.md")
+
+    def test_runtime_and_api_docs_link_solver_doc(self):
+        assert "SOLVER.md" in read("docs/RUNTIME.md")
+        assert "SOLVER.md" in read("docs/API.md")
+        assert "SOLVER.md" in read("docs/OBSERVABILITY.md")
 
     def test_design_links_runtime_doc(self):
         assert "docs/RUNTIME.md" in read("DESIGN.md")

@@ -83,6 +83,37 @@ class TestDet01:
         assert rules_hit("DET01", source,
                          "src/repro/core/fake.py") == ["DET01"]
 
+    BAD_UNINITIALIZED = """\
+        import numpy as np
+
+        def kernel(n):
+            lanes = np.empty(n)
+            return lanes
+        """
+    BAD_UNINITIALIZED_LIKE = """\
+        import numpy as np
+
+        def kernel(template):
+            return np.empty_like(template)
+        """
+    GOOD_ZEROED = """\
+        import numpy as np
+
+        def kernel(n):
+            lanes = np.zeros(n)
+            return lanes + np.full(n, 1.0)
+        """
+
+    @pytest.mark.parametrize("source", [BAD_UNINITIALIZED,
+                                        BAD_UNINITIALIZED_LIKE])
+    def test_flags_uninitialized_batch_buffers(self, source):
+        assert rules_hit("DET01", source,
+                         "src/repro/uarch/fake.py") == ["DET01"]
+
+    def test_zero_initialized_batch_buffers_pass(self):
+        assert not findings_for("DET01", self.GOOD_ZEROED,
+                                "src/repro/uarch/fake.py")
+
 
 class TestCache01:
     BAD_FIELD_ESCAPES_KEY = """\
@@ -271,6 +302,41 @@ class TestPure01:
         # for the resolver, but local-only mutation must never flag.
         assert not findings_for("PURE01", self.GOOD,
                                 "src/repro/analysis/fake.py")
+
+    BAD_MODULE_SCRATCH = """\
+        import numpy as np
+
+        _SCRATCH = np.zeros(64)
+
+        def kernel(values):
+            _SCRATCH[: len(values)] = values
+            return _SCRATCH.sum()
+        """
+    BAD_ALIASED_SCRATCH = """\
+        from numpy import empty
+
+        BUFFER: object = empty(8)
+        """
+    GOOD_PER_CALL = """\
+        import numpy as np
+
+        _WIDTH = 64
+
+        def kernel(values):
+            scratch = np.zeros(_WIDTH)
+            scratch[: len(values)] = values
+            return scratch.sum()
+        """
+
+    @pytest.mark.parametrize("source", [BAD_MODULE_SCRATCH,
+                                        BAD_ALIASED_SCRATCH])
+    def test_flags_module_level_scratch_arrays(self, source):
+        assert "PURE01" in rules_hit("PURE01", source,
+                                     "src/repro/uarch/fake.py")
+
+    def test_per_call_allocation_passes(self):
+        assert not findings_for("PURE01", self.GOOD_PER_CALL,
+                                "src/repro/uarch/fake.py")
 
 
 class TestUnits01:

@@ -305,10 +305,27 @@ class TestBench:
         assert result["seed"] == BENCH_SEED
         assert [case["name"] for case in result["benches"]] == [
             "machine_simulate", "store_roundtrip", "executor_cold",
-            "executor_warm", "suite_slice"]
+            "executor_warm", "suite_slice", "solver_sweep_loop",
+            "solver_sweep_batch", "solver_sweep_warm",
+            "solver_suite_loop", "solver_suite_batch"]
         for case in result["benches"]:
             assert case["repeats"] == 1
             assert 0 <= case["min_s"] <= case["median_s"] <= case["max_s"]
+
+    def test_solver_section(self, payload):
+        result, _ = payload
+        solver = result["solver"]
+        assert solver["sweep_points"] >= 2
+        assert solver["suite_workloads"] >= 1
+        assert solver["nonconverged"] == 0
+        # The batched solves must actually win; the committed baseline
+        # (BENCH_runtime.json) pins the headline >=5x / >=3x targets.
+        assert solver["sweep_speedup"] > 1.0
+        assert solver["suite_speedup"] > 1.0
+        assert solver["sweep_warm_speedup"] > 1.0
+        # Warm starts converge in fewer outer iterations than cold.
+        assert solver["sweep_warm_outer_iterations"] < \
+            solver["sweep_outer_iterations"]
 
     def test_payload_has_no_wall_clock_timestamps(self, payload):
         result, out = payload
@@ -337,3 +354,61 @@ class TestBench:
         with pytest.raises(SystemExit):
             main(["bench", "--repeats", "0"])
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestCompareBench:
+    """Trajectory diffs: warn on slowdowns, never gate the bench."""
+
+    def fake_payload(self, **medians):
+        return {"benches": [
+            {"name": name, "median_s": median}
+            for name, median in medians.items()]}
+
+    def test_self_compare_is_clean(self):
+        from repro.obs.bench import compare_bench
+        payload = self.fake_payload(machine_simulate=0.01,
+                                    suite_slice=0.04)
+        assert compare_bench(payload, payload) == []
+
+    def test_flags_regressions_beyond_threshold(self):
+        from repro.obs.bench import compare_bench
+        old = self.fake_payload(machine_simulate=0.010,
+                                suite_slice=0.040)
+        new = self.fake_payload(machine_simulate=0.013,
+                                suite_slice=0.041)
+        warnings = compare_bench(old, new)
+        assert len(warnings) == 1
+        assert "machine_simulate" in warnings[0]
+        assert "regression" in warnings[0]
+
+    def test_speedups_are_not_regressions(self):
+        from repro.obs.bench import compare_bench
+        old = self.fake_payload(machine_simulate=0.010)
+        new = self.fake_payload(machine_simulate=0.002)
+        assert compare_bench(old, new) == []
+
+    def test_new_and_removed_cases_are_noted(self):
+        from repro.obs.bench import compare_bench
+        old = self.fake_payload(machine_simulate=0.01, retired=0.02)
+        new = self.fake_payload(machine_simulate=0.01, fresh=0.03)
+        text = "\n".join(compare_bench(old, new))
+        assert "fresh" in text
+        assert "retired" in text
+
+    def test_cli_compare_warns_but_exits_zero(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        # An absurdly fast baseline makes every case a regression; the
+        # exit code must stay 0 regardless.
+        baseline.write_text(json.dumps(self.fake_payload(
+            machine_simulate=1e-9)))
+        assert main(["bench", "--repeats", "1",
+                     "--compare", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "bench compare: regression: machine_simulate" in err
+
+    def test_cli_compare_missing_baseline_is_nonfatal(self, capsys,
+                                                      tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "--repeats", "1",
+                     "--compare", str(missing)]) == 0
+        assert "cannot read" in capsys.readouterr().err
