@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.calibration import Calibration, calibrate
 from ..core.slowdown import SlowdownPredictor
+from ..runtime import serde
 from ..runtime.executor import Executor
 from ..runtime.spec import RunSpec
 from ..runtime.store import ResultStore
@@ -172,8 +173,14 @@ class Lab:
 
         Accelerated results match the scalar path within
         :data:`~repro.uarch.machine.ACCELERATED_RELATIVE_TOLERANCE`
-        rather than bit-for-bit, and bypass the persistent store - the
-        documented trade (docs/SOLVER.md) for the sweep speedup.
+        rather than bit-for-bit, and are therefore never *written* to
+        the persistent store - the documented trade (docs/SOLVER.md)
+        for the sweep speedup.  The store is still *read*: missing
+        points whose exact (scalar/replay) result a previous executor
+        run persisted are seeded from one batched
+        :meth:`~repro.runtime.store.ResultStore.get_many` before the
+        accelerated solve, so warm sweeps re-solve only genuinely new
+        ratios.
         """
         machine = self.machine_for_tier(tier)
         placements = [self._ratio_placement(tier, float(x))
@@ -182,6 +189,8 @@ class Lab:
                  placement) for placement in placements]
         missing = [index for index, key in enumerate(keys)
                    if key not in self._runs]
+        missing = self._seed_from_store(machine, workload, placements,
+                                        keys, missing)
         if missing:
             stats: Dict[str, object] = {}
             with self.executor.telemetry.stage(
@@ -198,6 +207,43 @@ class Lab:
                 self.executor.telemetry.count(
                     "nonconverged_results", int(stats["nonconverged"]))
         return [self._runs[key] for key in keys]
+
+    def _seed_from_store(self, machine: Machine,
+                         workload: WorkloadSpec,
+                         placements: Sequence[Placement],
+                         keys: Sequence[Tuple],
+                         missing: List[int]) -> List[int]:
+        """Fill sweep points the persistent store already has exactly.
+
+        One batched ``get_many`` over the missing points' fingerprints;
+        hits decode straight into the run memo (they are exact scalar
+        results, strictly better than re-solving them approximately)
+        and drop out of the accelerated batch.  Returns the indices
+        still missing.  Counted as ``sweep_seed_hits``, apart from the
+        executor's ``store_hits``, because no executor batch ran.
+        """
+        store = self.executor.store
+        if not missing or store is None or \
+                self.executor.fault_plan is not None:
+            return missing
+        fingerprints = {
+            index: RunSpec.from_machine(machine, workload,
+                                        placements[index]).fingerprint()
+            for index in missing}
+        found = store.get_many(sorted(set(fingerprints.values())))
+        if not found:
+            return missing
+        still: List[int] = []
+        for index in missing:
+            payload = found.get(fingerprints[index])
+            if payload is None:
+                still.append(index)
+            else:
+                self._runs[keys[index]] = \
+                    serde.run_result_from_dict(payload)
+        self.executor.telemetry.count("sweep_seed_hits",
+                                      len(missing) - len(still))
+        return still
 
     def dram_run(self, tier: str, workload: WorkloadSpec) -> RunResult:
         """The DRAM baseline on the tier's hosting platform."""

@@ -14,6 +14,8 @@ Drives the library end-to-end from a shell, the way an operator would:
 ``chaos``             run the suite under fault injection and check the
                       graceful-degradation invariants
 ``workloads``         list the named paper workloads
+``cache``             inspect / compact / clear / migrate the persistent
+                      result store (docs/STORE.md)
 ``lint``              camp-lint: statically check the determinism /
                       cache-key / PMU invariants (docs/LINT.md)
 ``trace``             re-run any other command under a span-trace
@@ -556,7 +558,7 @@ def cmd_bench(args) -> int:
     """Time the pinned runtime micro-suite (docs/OBSERVABILITY.md)."""
     from .obs.bench import compare_bench, render_bench, run_bench
     out = pathlib.Path(args.out) if args.out else None
-    result = run_bench(repeats=args.repeats, out=out)
+    result = run_bench(repeats=args.repeats, out=out, scale=args.scale)
     print(render_bench(result))
     if out is not None:
         print(f"wrote {out}", file=sys.stderr)
@@ -584,6 +586,47 @@ def cmd_workloads(args) -> int:
             for w in named_workloads().values()]
     print(ascii_table(["name", "suite", "thr", "GiB", "MLP", "tags"],
                       rows))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or maintain the persistent result store (docs/STORE.md)."""
+    from .runtime.spec import CACHE_SCHEMA_VERSION
+    from .runtime.store import LegacyJsonStore
+    root = pathlib.Path(args.cache_dir) if args.cache_dir \
+        else default_cache_dir()
+    if args.action == "migrate":
+        with ResultStore(root) as store:
+            entries = len(store)    # forces the open-time migration
+            stats = store.stats
+            print(f"migrated {stats.migrated} legacy entr"
+                  f"{'y' if stats.migrated == 1 else 'ies'} into "
+                  f"{len(store.segment_paths())} segment(s); "
+                  f"{stats.corrupt} rejected; {entries} entries live")
+        return 0
+    with ResultStore(root, migrate_legacy=False,
+                     auto_compact=False) as store:
+        if args.action == "clear":
+            entries = len(store)
+            store.clear()
+            print(f"cleared {entries} entr"
+                  f"{'y' if entries == 1 else 'ies'} under {root}")
+        elif args.action == "compact":
+            before = store.disk_bytes()
+            store.compact()
+            print(f"compacted {root}: {before} -> "
+                  f"{store.disk_bytes()} bytes across "
+                  f"{len(store.segment_paths())} segment(s), "
+                  f"{len(store)} entries live")
+        else:   # info
+            legacy = len(LegacyJsonStore(root))
+            print(f"root:          {root}")
+            print(f"schema:        {CACHE_SCHEMA_VERSION}")
+            print(f"entries:       {len(store)}")
+            print(f"segments:      {len(store.segment_paths())}")
+            print(f"disk bytes:    {store.disk_bytes()}")
+            print(f"corrupt:       {store.stats.corrupt}")
+            print(f"legacy (JSON): {legacy}")
     return 0
 
 
@@ -710,6 +753,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_workloads)
 
     p = sub.add_parser(
+        "cache",
+        help="inspect / compact / clear / migrate the persistent "
+             "result store (docs/STORE.md)")
+    p.add_argument("action",
+                   choices=("info", "compact", "clear", "migrate"),
+                   help="info: summary; compact: rewrite live records "
+                        "into fresh segments; clear: delete every "
+                        "entry; migrate: pull legacy JSON entries into "
+                        "segments")
+    p.add_argument("--cache-dir", type=_cache_dir_arg, metavar="DIR",
+                   help="store location (default: $REPRO_CACHE_DIR or "
+                        "./.repro-cache)")
+    p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
         "lint",
         help="camp-lint: static determinism/cache-key/PMU invariant "
              "checks (docs/LINT.md)")
@@ -754,6 +812,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare", metavar="FILE",
                    help="diff against a previous payload; regressions "
                         "are warned to stderr, never fatal")
+    p.add_argument("--scale", action="store_true",
+                   help="also run the large store cases (100k-entry "
+                        "roundtrip, 1M-entry get_many scan)")
     p.set_defaults(func=cmd_bench)
 
     return parser

@@ -77,12 +77,15 @@ class CounterInjector:
 class ChaosStore(ResultStore):
     """A :class:`ResultStore` whose writes may be damaged afterwards.
 
-    ``put`` completes normally (atomic replace and all), then the plan
-    decides whether the entry on disk is corrupted, truncated, or
-    deleted - modeling a writer that died after the rename, a torn
-    sector, or an external cleaner.  Reads are untouched: the base
-    class's corruption-is-a-miss contract is exactly what the chaos
-    suite verifies.
+    ``put`` completes normally (record appended and flushed), then the
+    plan decides whether the record's bytes on disk are corrupted
+    (payload bytes flipped - a torn sector under the CRC), truncated
+    (the segment cut mid-record - a writer that died mid-append), or
+    vanished (the segment cut at the record start - an external
+    cleaner; the very next append reuses the space).  Reads are
+    untouched: the base class's corruption-is-a-miss contract is
+    exactly what the chaos suite verifies, both through this store's
+    own read path and through a fresh reader's open-time segment scan.
     """
 
     def __init__(self, root: Union[pathlib.Path, str], plan: FaultPlan):
@@ -95,19 +98,39 @@ class ChaosStore(ResultStore):
         mode = self.plan.store_action(key)
         if mode is None:
             return
-        path = self.path_for(key)
+        location = self._record_location(key)
+        if location is None:   # pragma: no cover - put just indexed it
+            return
         try:
             if mode == "corrupt":
-                path.write_text("{ this is not json !!")
+                # Flip the record's last payload bytes in place: the
+                # header (and its claimed lengths) stay plausible, so
+                # only the CRC can unmask the damage.
+                flip_at = location.offset + location.length - 4
+                with open(location.path, "r+b") as handle:
+                    handle.seek(flip_at)
+                    tail = handle.read(4)
+                    handle.seek(flip_at)
+                    handle.write(bytes(b ^ 0xFF for b in tail))
+                self._drop_cached(key)
             elif mode == "truncate":
-                text = path.read_text()
-                path.write_text(text[:max(1, len(text) // 2)])
+                self._truncate_at(location.path, location.offset +
+                                  location.length // 2)
+                self._drop_cached(key)
             elif mode == "vanish":
-                path.unlink()
-        except OSError:
+                self._truncate_at(location.path, location.offset)
+                self._drop_cached(key)
+                self._drop_index(key)
+        except OSError:   # pragma: no cover - damage is best-effort
             return
         name = f"store_{mode}"
         self.injected[name] = self.injected.get(name, 0) + 1
+
+    def put_many(self, items) -> None:
+        # The batched commit path must stay damageable: route every
+        # entry through ``put`` so each write draws its own fault.
+        for key, payload in items:
+            self.put(key, payload)
 
 
 class LatencyInjector:

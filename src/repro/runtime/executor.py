@@ -8,7 +8,10 @@ It layers three caches and one pool:
 1. an in-process memo (fingerprint -> payload), so a driver that asks
    for the same run twice in one invocation pays nothing;
 2. the persistent :class:`~repro.runtime.store.ResultStore`, shared
-   across invocations and across ``-j`` settings;
+   across invocations and across ``-j`` settings — consulted with one
+   batched ``get_many`` per batch and fed with chunked ``put_many``
+   commits (:data:`COMMIT_CHUNK`), so a 1k-spec sweep pays two index
+   passes, not 2k file round-trips (docs/STORE.md);
 3. only the genuinely-missing specs are executed - in a
    ``ProcessPoolExecutor`` when ``jobs > 1`` and the batch is
    picklable, serially otherwise (``-j 1``, single-item batches, or
@@ -71,6 +74,13 @@ JOBS_ENV = "REPRO_JOBS"
 #: (docs/SOLVER.md "when to batch"); sweeps and suite runs are far
 #: above it.
 MIN_BATCH_GROUP = 16
+
+#: Freshly-executed payloads are persisted through
+#: :meth:`ResultStore.put_many` in chunks of this many entries: one
+#: lock acquisition and one segment flush per chunk instead of one per
+#: result, while a crash mid-batch still loses at most a chunk of
+#: re-executable work.
+COMMIT_CHUNK = 64
 
 
 def default_jobs() -> int:
@@ -182,32 +192,45 @@ class Executor:
             self.store.tracer = self.telemetry.tracer
 
     # -- cache layers --------------------------------------------------------
-    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
-        payload = self._memo.get(key)
-        if payload is not None:
-            self.telemetry.count("memo_hits")
-            return payload
-        if self.store is not None and self.fault_plan is None:
-            payload = self.store.get(key)
-            if payload is not None:
-                self.telemetry.count("store_hits")
-                self._memo[key] = payload
-                return payload
-        return None
+    def _fetch_store(self, keys: Sequence[str]
+                     ) -> Dict[str, Dict[str, Any]]:
+        """Batched store lookup for the keys the memo cannot serve.
 
-    def _commit(self, key: str, payload: Dict[str, Any]) -> None:
-        self._memo[key] = payload
-        if self.store is None:
+        One :meth:`ResultStore.get_many` call: a single index refresh
+        shared across the whole batch, instead of one ``get`` (and one
+        potential directory rescan) per spec.
+        """
+        if self.store is None or self.fault_plan is not None:
+            return {}
+        wanted = [key for key in dict.fromkeys(keys)
+                  if key not in self._memo]
+        if not wanted:
+            return {}
+        return self.store.get_many(wanted)
+
+    def _commit_many(self, items: List[Tuple[str, Dict[str, Any]]]
+                     ) -> None:
+        """Persist one chunk of freshly-executed payloads.
+
+        The memo is already updated by the caller; this is only the
+        store side, batched through :meth:`ResultStore.put_many` (a
+        single-item chunk keeps the plain ``put`` path so store
+        subclasses that intercept it — tests, chaos — see it).
+        """
+        if not items or self.store is None:
             return
         if self.fault_plan is not None:
             # Results produced under fault injection are suspect by
             # definition; refusing to persist them is what keeps the
             # shared cache unpoisoned (docs/FAULTS.md invariant 2).
-            self.telemetry.count("tainted_skips")
+            self.telemetry.count("tainted_skips", len(items))
             return
-        with self.telemetry.stage("persist"):
+        with self.telemetry.stage("persist", entries=len(items)):
             try:
-                self.store.put(key, payload)
+                if len(items) == 1:
+                    self.store.put(items[0][0], items[0][1])
+                else:
+                    self.store.put_many(items)
             except OSError:
                 # Unwritable cache (read-only dir, disk full):
                 # results are correct without it, so degrade to
@@ -255,8 +278,16 @@ class Executor:
         # indices are aliases filled in at commit time.
         aliases: Dict[str, List[int]] = {}
         with self.telemetry.stage("lookup") as lookup_span:
+            fetched = self._fetch_store(keys)
             for index, (spec, key) in enumerate(zip(specs, keys)):
-                payload = self._lookup(key)
+                payload = self._memo.get(key)
+                if payload is not None:
+                    self.telemetry.count("memo_hits")
+                else:
+                    payload = fetched.get(key)
+                    if payload is not None:
+                        self.telemetry.count("store_hits")
+                        self._memo[key] = payload
                 payloads.append(payload)
                 if payload is not None:
                     reporter.update(hits=self.hit_count,
@@ -278,12 +309,18 @@ class Executor:
 
         if pending:
             with self.telemetry.stage("simulate", pending=len(pending)):
+                fresh: List[Tuple[str, Dict[str, Any]]] = []
                 for index, payload in self._execute_pending(pending,
                                                             reporter):
                     payloads[index] = payload
                     for duplicate in aliases[keys[index]]:
                         payloads[duplicate] = payload
-                    self._commit(keys[index], payload)
+                    self._memo[keys[index]] = payload
+                    fresh.append((keys[index], payload))
+                    if len(fresh) >= COMMIT_CHUNK:
+                        self._commit_many(fresh)
+                        fresh = []
+                self._commit_many(fresh)
         reporter.finish()
 
         with self.telemetry.stage("decode"):

@@ -1,20 +1,26 @@
-"""JSON round-trips for the objects the result cache persists.
+"""Serialization for the objects the result cache persists.
 
-The :class:`~repro.runtime.store.ResultStore` keeps payloads as JSON so
-cache entries are inspectable, diffable, and independent of pickle
-versioning.  This module is the single place that knows how to flatten
-the simulator's dataclasses into plain dicts and rebuild them exactly.
+This module is the single place that knows how to flatten the
+simulator's dataclasses into plain dicts and rebuild them exactly.
 
 Round-trips are lossless: every field is a float, int, bool, string, or
-a nested dataclass of those, and Python's JSON encoder emits
-shortest-round-trip floats, so ``from_dict(to_dict(x))`` reconstructs
+a nested dataclass of those, so ``from_dict(to_dict(x))`` reconstructs
 ``x`` bit-for-bit.  That exactness is load-bearing - it is what makes
 warm-cache and cold-cache runs (and serial and parallel runs, which
 share this code path) produce byte-identical reports.
+
+Inside a :class:`~repro.runtime.store.ResultStore` record the dict
+payload is encoded with :mod:`marshal` (see :func:`payload_to_bytes`):
+C-speed both ways, floats stored as binary doubles rather than decimal
+strings, and loading never executes code.  Cache *keys* remain
+canonical JSON through :func:`repro.runtime.spec.canonical_json` -
+payload encoding is a private store detail (docs/STORE.md), key
+fingerprints are a public contract.
 """
 
 from __future__ import annotations
 
+import marshal
 from dataclasses import asdict
 from typing import Any, Dict, Optional
 
@@ -27,6 +33,45 @@ from ..uarch.interleave import Placement
 from ..uarch.machine import RunResult
 from ..uarch.prefetcher import PrefetchProfile
 from ..workloads.spec import WorkloadSpec
+
+# ---------------------------------------------------------------------------
+# Payload bytes: what actually lands inside a store record.
+# ---------------------------------------------------------------------------
+
+#: ``marshal`` data format version pinned into every record payload
+#: (docs/STORE.md, "Payload encoding").
+PAYLOAD_MARSHAL_VERSION = 4
+
+
+def payload_to_bytes(payload: Dict[str, Any]) -> bytes:
+    """Binary encoding of one cache payload.
+
+    Payloads are plain data - dicts of floats, ints, bools, strings,
+    and lists/dicts of those - which :func:`marshal.dumps` round-trips
+    bit-for-bit at C speed; an earlier canonical-JSON encoding spent
+    more time formatting floats than the store spent on I/O.  The
+    format version is pinned, and a payload written by an incompatible
+    interpreter simply fails :func:`payload_from_bytes`, which the
+    store reads as corruption: a miss, never an error.
+    """
+    return marshal.dumps(payload, PAYLOAD_MARSHAL_VERSION)
+
+
+def payload_from_bytes(raw: bytes) -> Dict[str, Any]:
+    """Decode record payload bytes; ``ValueError`` on any damage.
+
+    :func:`marshal.loads` constructs plain values only - unlike
+    pickle, damaged or hostile payload bytes cannot execute code; they
+    raise, and the store counts the record corrupt.
+    """
+    try:
+        payload = marshal.loads(raw)
+    except (EOFError, ValueError, TypeError) as exc:
+        raise ValueError("undecodable payload bytes") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("payload is not a dict")
+    return payload
+
 
 # ---------------------------------------------------------------------------
 # Configuration objects.

@@ -43,7 +43,9 @@ from . import serde
 #: to invalidate every previously-persisted result at once.
 #: 2: scalar-primitive normalization for the batched solver's bitwise
 #: replay contract (docs/SOLVER.md) shifts results at the ulp level.
-CACHE_SCHEMA_VERSION = 2
+#: 3: segment-backed store (docs/STORE.md) — payloads move from
+#: per-entry JSON files into CRC-checked binary segment records.
+CACHE_SCHEMA_VERSION = 3
 
 
 def code_version() -> str:

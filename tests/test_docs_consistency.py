@@ -18,7 +18,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 RUNTIME_FLAGS = ("--jobs", "--cache-dir", "--no-cache", "--progress")
 #: Subcommands that never simulate (or, for ``trace``/``bench``, pin
 #: their own runtime configuration), so carry no runtime flags.
-NON_SIMULATING = ("workloads", "lint", "trace", "bench")
+NON_SIMULATING = ("workloads", "lint", "trace", "bench", "cache")
 
 
 def subcommands():
@@ -152,6 +152,53 @@ class TestFaultsDoc:
                 f"chaos invariant {invariant!r} missing from FAULTS.md")
 
 
+class TestStoreDoc:
+    """docs/STORE.md is a byte-level format spec; hold it to the code."""
+
+    def test_exists_and_covers_the_contract(self):
+        store = read("docs/STORE.md")
+        for term in ("CAMPSEG1", "CREC", "RECORD_HEADER", "CRC",
+                     "tombstone", "compact", "torn", "LegacyJsonStore",
+                     "CACHE_SCHEMA_VERSION", "marshal",
+                     "get_many", "put_many"):
+            assert term in store, f"{term!r} missing from STORE.md"
+
+    def test_documents_the_real_magics(self):
+        from repro.runtime.store import RECORD_MAGIC, SEGMENT_MAGIC
+        assert SEGMENT_MAGIC == b"CAMPSEG1"
+        assert RECORD_MAGIC == b"CREC"
+
+    def test_documents_the_real_header_layout(self):
+        from repro.runtime.store import RECORD_HEADER
+        store = read("docs/STORE.md")
+        assert RECORD_HEADER.size == 19
+        assert "19-byte" in store
+        assert "<4sIBIHI>" in store
+
+    def test_documents_the_real_schema_version(self):
+        from repro.runtime.spec import CACHE_SCHEMA_VERSION
+        store = read("docs/STORE.md")
+        assert f"currently {CACHE_SCHEMA_VERSION}" in store
+
+    def test_documents_the_real_tuning_defaults(self):
+        from repro.runtime import store as mod
+        store = read("docs/STORE.md")
+        assert mod.DEFAULT_SEGMENT_MAX_BYTES == 8 * 1024 * 1024
+        assert "8 MiB" in store
+        for constant in ("DEFAULT_CACHE_CAPACITY", "DEFAULT_READER_HANDLES",
+                         "BULK_READ_DENSITY_BYTES"):
+            assert constant in store, f"{constant!r} missing from STORE.md"
+            assert str(getattr(mod, constant)) in store
+        from repro.runtime.serde import PAYLOAD_MARSHAL_VERSION
+        assert PAYLOAD_MARSHAL_VERSION == 4
+
+    def test_documented_header_fields_match_struct(self):
+        # The field table documents 4+4+1+4+2+4 = the struct's size.
+        import struct
+        from repro.runtime.store import RECORD_HEADER
+        assert RECORD_HEADER.size == struct.calcsize("<4sIBIHI")
+
+
 class TestPmuCounterReferences:
     """Docs can never mention a counter the simulator doesn't emit.
 
@@ -164,7 +211,7 @@ class TestPmuCounterReferences:
     DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/API.md", "docs/FAULTS.md", "docs/LINT.md",
                  "docs/MODEL.md", "docs/OBSERVABILITY.md",
-                 "docs/RUNTIME.md", "docs/SOLVER.md",
+                 "docs/RUNTIME.md", "docs/SOLVER.md", "docs/STORE.md",
                  "docs/SUBSTRATE.md", "docs/WORKLOADS.md")
 
     def test_registry_matches_counter_enum(self):
@@ -193,9 +240,15 @@ class TestCrossLinks:
     @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md",
                                      "docs/FAULTS.md",
                                      "docs/OBSERVABILITY.md",
-                                     "docs/SOLVER.md"])
+                                     "docs/SOLVER.md", "docs/STORE.md"])
     def test_readme_links_docs(self, doc):
         assert doc in read("README.md")
+
+    def test_runtime_and_api_docs_link_store_doc(self):
+        assert "STORE.md" in read("docs/RUNTIME.md")
+        assert "STORE.md" in read("docs/API.md")
+        assert "STORE.md" in read("docs/FAULTS.md")
+        assert "docs/STORE.md" in cli.__doc__
 
     def test_runtime_and_api_docs_link_solver_doc(self):
         assert "SOLVER.md" in read("docs/RUNTIME.md")
