@@ -12,7 +12,13 @@ Drives the library end-to-end from a shell, the way an operator would:
 ``fleet``             CAMP-guided capacity plan for a job mix
 ``dynamics``          simulate a reactive migration loop vs Best-shot
 ``chaos``             run the suite under fault injection and check the
-                      graceful-degradation invariants
+                      graceful-degradation invariants; ``--target
+                      serve`` drives a live server instead
+``serve``             online prediction service: coalesced batch
+                      solves, admission control, per-request deadlines,
+                      store circuit breaker (docs/SERVE.md)
+``loadgen``           open-loop constant-rate load against a running
+                      server; prints and saves the SLO report
 ``workloads``         list the named paper workloads
 ``cache``             inspect / compact / clear / migrate the persistent
                       result store (docs/STORE.md)
@@ -424,6 +430,18 @@ def cmd_dynamics(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    if args.target == "serve":
+        from .faults.chaos_serve import run_serve_chaos
+        schedule = args.schedule if args.schedule != "default" else "serve"
+        serve_report = run_serve_chaos(
+            schedule=schedule, seed=args.seed, rate_rps=args.rate,
+            duration_s=args.duration, platform=args.platform)
+        print(serve_report.render())
+        if args.slo_out:
+            pathlib.Path(args.slo_out).write_text(
+                serve_report.slo.to_json() + "\n")
+            print(f"wrote SLO report to {args.slo_out}", file=sys.stderr)
+        return 0 if serve_report.ok else 1
     from .faults.chaos import run_chaos
     cache_dir = getattr(args, "cache_dir", None)
     report = run_chaos(
@@ -437,6 +455,65 @@ def cmd_chaos(args) -> int:
         if rendered:
             print(rendered, file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the online prediction service until interrupted."""
+    import asyncio
+    import signal
+
+    from .runtime.store import ResultStore, default_cache_dir
+    from .serve.server import PredictionServer
+
+    machine = _machine(args)
+    store = None
+    if not args.no_cache:
+        root = (pathlib.Path(args.cache_dir) if args.cache_dir
+                else default_cache_dir())
+        store = ResultStore(root)
+    executor = Executor(jobs=1, store=store)
+    predictor = SlowdownPredictor(
+        _load_calibration(args, machine, executor))
+
+    from .serve.protocol import DEFAULT_DEADLINE_MS
+    deadline_ms = (args.deadline_ms if args.deadline_ms is not None
+                   else DEFAULT_DEADLINE_MS)
+
+    async def _run() -> None:
+        server = PredictionServer(
+            machine, predictor, store, host=args.host, port=args.port,
+            default_deadline_ms=deadline_ms,
+            queue_bound=args.queue_bound)
+        host, port = await server.start()
+        print(f"repro serve: listening on http://{host}:{port} "
+              f"(queue bound {server.coalescer.queue_bound}, "
+              f"default deadline {deadline_ms:g} ms)")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("repro serve: draining...", file=sys.stderr)
+        await server.drain()
+        print("repro serve: drained clean", file=sys.stderr)
+
+    asyncio.run(_run())
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a running server at a constant rate; report the SLO."""
+    from .serve.loadgen import run_loadgen_sync
+
+    report = run_loadgen_sync(
+        args.host, args.port, rate_rps=args.rate,
+        duration_s=args.duration, deadline_ms=args.deadline_ms,
+        connections=args.connections, seed=args.seed)
+    print(report.render())
+    if args.slo_out:
+        pathlib.Path(args.slo_out).write_text(report.to_json() + "\n")
+        print(f"wrote SLO report to {args.slo_out}", file=sys.stderr)
+    return 0 if report.failure_count == 0 else 1
 
 
 def cmd_lint(args) -> int:
@@ -747,7 +824,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", type=_workload_count_arg,
                    dest="limit", metavar="N",
                    help="workloads to exercise (default: per schedule)")
+    p.add_argument("--target", choices=("stack", "serve"),
+                   default="stack",
+                   help="what to fault-inject: the batch stack "
+                        "(default) or a live prediction server "
+                        "(docs/SERVE.md)")
+    p.add_argument("--rate", type=float, default=60.0,
+                   help="[serve target] load rate in requests/s "
+                        "(default 60)")
+    p.add_argument("--duration", type=float, default=4.0,
+                   help="[serve target] load duration in seconds "
+                        "(default 4)")
+    p.add_argument("--slo-out", metavar="FILE",
+                   help="[serve target] write the SLO report JSON here")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="online prediction service with admission control, "
+             "deadlines, and a store circuit breaker (docs/SERVE.md)")
+    p.add_argument("--platform", default="skx2s",
+                   help="platform preset (skx2s/spr2s/emr2s)")
+    p.add_argument("--device", default="cxl-a",
+                   help="slow tier (numa/cxl-a/cxl-b/cxl-c)")
+    p.add_argument("--calibration",
+                   help="path to a saved calibration JSON "
+                        "(default: calibrate on the fly, cached)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8484,
+                   help="bind port; 0 picks a free one (default 8484)")
+    p.add_argument("--deadline-ms", type=float,
+                   default=None, metavar="MS",
+                   help="default per-request deadline "
+                        "(docs/SERVE.md)")
+    p.add_argument("--queue-bound", type=int, default=None, metavar="N",
+                   help="admission queue bound; beyond it requests "
+                        "are shed with 429 (docs/SERVE.md)")
+    p.add_argument("--cache-dir", type=_cache_dir_arg, metavar="DIR",
+                   help="persistent result store to answer from "
+                        "(default: $REPRO_CACHE_DIR or ./.repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a persistent store")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop constant-rate load against a running server; "
+             "prints the SLO report (docs/SERVE.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="request rate in requests/s (default 50)")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="run duration in seconds (default 10)")
+    p.add_argument("--deadline-ms", type=float, default=2000.0,
+                   metavar="MS",
+                   help="per-request deadline sent with each query "
+                        "(default 2000)")
+    p.add_argument("--connections", type=int, default=8,
+                   help="keep-alive connections to multiplex over "
+                        "(default 8)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="request-mix seed (deterministic schedule)")
+    p.add_argument("--slo-out", metavar="FILE",
+                   help="write the SLO report JSON here")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("workloads", help="list named paper workloads")
     p.set_defaults(func=cmd_workloads)

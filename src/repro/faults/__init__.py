@@ -9,17 +9,24 @@ Three layers:
   faults are applied by the executor itself when a plan is attached);
 - :mod:`~repro.faults.chaos` - the harness behind ``python -m repro
   chaos``, which runs the stack under a named schedule and asserts the
-  graceful-degradation invariants.
+  graceful-degradation invariants;
+- :mod:`~repro.faults.chaos_serve` - the same idea against a *live*
+  :mod:`repro.serve` server (``repro chaos --target serve``): store
+  disconnects, solver crashes/hangs, and latency spikes injected into
+  a running service under open-loop load.
 """
 
 from .chaos import DEGRADED_MAPE_BOUND, ChaosReport, run_chaos
-from .injectors import ChaosStore, CounterInjector, LatencyInjector
+from .chaos_serve import ServeChaosReport, run_serve_chaos
+from .injectors import (ChaosStore, CounterInjector, FlakyStore,
+                        LatencyInjector)
 from .plan import (SCHEDULES, CounterFault, FaultPlan, StoreFault,
                    TierFault, WorkerFault, named_plan)
 
 __all__ = [
     "FaultPlan", "CounterFault", "TierFault", "WorkerFault",
     "StoreFault", "SCHEDULES", "named_plan",
-    "CounterInjector", "ChaosStore", "LatencyInjector",
+    "CounterInjector", "ChaosStore", "FlakyStore", "LatencyInjector",
     "ChaosReport", "run_chaos", "DEGRADED_MAPE_BOUND",
+    "ServeChaosReport", "run_serve_chaos",
 ]

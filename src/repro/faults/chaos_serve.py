@@ -1,0 +1,199 @@
+"""Live-service chaos: ``repro chaos --target serve``.
+
+Where :mod:`repro.faults.chaos` stresses the *batch* stack,
+this module boots a real :class:`~repro.serve.server.PredictionServer`
+in-process, injects the plan's faults into every seam the service has -
+
+- **store disconnects** via :class:`~repro.faults.injectors.FlakyStore`
+  (bursts of :class:`~repro.runtime.errors.StoreError` that must trip
+  the circuit breaker),
+- **solver crashes and hangs** via the coalescer's ``solve_hook``
+  (attempt-0-only, so recovery is guaranteed by construction),
+- **tier latency spikes** via :class:`~repro.faults.injectors.
+  LatencyInjector` (the hook is process-local and the coalescer solves
+  in an in-process thread, so the live server sees it) -
+
+then drives open-loop constant-rate load at it and asserts the
+**graceful degradation contract** (``docs/SERVE.md``): every request
+gets exactly one well-formed answer from the explicit outcome
+vocabulary - solved, shed, or deadline-expired - with zero internal
+errors, zero transport failures, no hangs, and no silent drops; the
+breaker opens under disconnect bursts instead of failing requests; and
+the drain at the end leaves nothing queued.
+
+Deterministic fault sites + an open-loop arrival schedule make runs
+*statistically* stable rather than bit-reproducible: timing decides
+which batch a request joins, never whether it is answered.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..runtime.errors import TransientTaskError
+from ..serve.breaker import CircuitBreaker
+from ..serve.loadgen import run_loadgen_sync
+from ..serve.server import ServerThread
+from ..serve.slo import SLOReport
+from ..uarch.config import get_platform
+from ..uarch.machine import Machine
+from .injectors import FlakyStore, LatencyInjector
+from .plan import FaultPlan, named_plan
+
+#: Breaker cooldown for chaos runs: short enough that a run sees the
+#: full open -> half-open -> closed cycle inside its duration.
+CHAOS_BREAKER_COOLDOWN_S = 1.0
+
+#: Cap on injected solver hangs: long enough to register as tail
+#: latency, short enough that a default deadline survives one.
+MAX_INJECTED_HANG_S = 0.4
+
+
+@dataclass
+class ServeChaosReport:
+    """One live-service chaos run: the SLO plus the invariant verdicts."""
+
+    schedule: str
+    seed: int
+    slo: SLOReport
+    injected: Dict[str, int] = field(default_factory=dict)
+    invariants: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.invariants.values())
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def render(self) -> str:
+        held = sum(1 for ok in self.invariants.values() if ok)
+        lines = [
+            f"chaos --target serve '{self.schedule}' seed={self.seed}: "
+            f"{'PASS' if self.ok else 'FAIL'} "
+            f"({held}/{len(self.invariants)} invariants held)",
+            f"injected faults: {self.total_injected}",
+        ]
+        for name in sorted(self.injected):
+            lines.append(f"  {name:<18s} {self.injected[name]:6d}")
+        lines.append(self.slo.render())
+        lines.append("invariants:")
+        for name in sorted(self.invariants):
+            verdict = "pass" if self.invariants[name] else "FAIL"
+            lines.append(f"  [{verdict}] {name}")
+        return "\n".join(lines)
+
+
+def _solve_hook(plan: FaultPlan):
+    """The coalescer fault seam for the plan's worker faults.
+
+    Crashes raise :class:`~repro.runtime.errors.TransientTaskError`
+    (the coalescer retries; only attempt 0 ever faults, so recovery is
+    certain).  Hangs sleep - bounded, so they show up as tail latency
+    and deadline expiries rather than a wedged service.
+    """
+    counts: Dict[str, int] = {}
+
+    def hook(batch_index: int, attempt: int) -> None:
+        action = plan.worker_action(batch_index, attempt)
+        if action is None:
+            return
+        if action.mode == "crash":
+            counts["worker_crash"] = counts.get("worker_crash", 0) + 1
+            raise TransientTaskError(
+                f"injected solver crash (batch {batch_index})")
+        counts["worker_hang"] = counts.get("worker_hang", 0) + 1
+        time.sleep(min(action.hang_s, MAX_INJECTED_HANG_S))
+
+    hook.counts = counts  # type: ignore[attr-defined]
+    return hook
+
+
+def run_serve_chaos(schedule: str = "serve", seed: int = 0, *,
+                    rate_rps: float = 60.0, duration_s: float = 4.0,
+                    deadline_ms: float = 2000.0,
+                    platform: str = "skx2s",
+                    queue_bound: Optional[int] = None,
+                    loadgen_seed: int = 0) -> ServeChaosReport:
+    """Boot a faulted live server, load it, assert degradation invariants.
+
+    The store is always a throwaway temporary directory - a serve
+    chaos run never touches real cached results.
+    """
+    plan = named_plan(schedule, seed)
+    machine = Machine(get_platform(platform))
+    hook = _solve_hook(plan)
+    breaker = CircuitBreaker(cooldown_s=CHAOS_BREAKER_COOLDOWN_S)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-chaos-") as tmp:
+        store = FlakyStore(pathlib.Path(tmp) / "store", plan)
+        thread = ServerThread(
+            machine, store=store, breaker=breaker,
+            queue_bound=queue_bound, solve_hook=hook)
+        with LatencyInjector(plan) as latency:
+            host, port = thread.start()
+            slo = run_loadgen_sync(
+                host, port, rate_rps=rate_rps, duration_s=duration_s,
+                deadline_ms=deadline_ms, seed=loadgen_seed)
+            thread.stop()
+        final_stats: Dict[str, Any] = thread.stats()
+
+    injected: Dict[str, int] = dict(store.injected)
+    for name, value in hook.counts.items():  # type: ignore[attr-defined]
+        injected[name] = injected.get(name, 0) + value
+    for name, value in latency.injected.items():
+        injected[name] = injected.get(name, 0) + value
+
+    outcomes = slo.outcomes
+    answered = sum(outcomes.values())
+    has_disconnects = any(fault.mode == "disconnect"
+                          for fault in plan.store_faults)
+    has_crashes = any(fault.mode == "crash"
+                      for fault in plan.worker_faults)
+    breaker_stats = final_stats.get("breaker", {})
+
+    invariants: Dict[str, bool] = {
+        # Every request got exactly one well-formed answer: no hangs,
+        # no silent drops, no malformed frames.
+        "every_request_answered": (
+            answered == slo.sent
+            and outcomes.get("transport_error", 0) == 0),
+        # All answers came from the explicit degradation vocabulary -
+        # never a 500, never a 400 (the generator sends valid bodies).
+        "no_internal_errors": (
+            outcomes.get("error", 0) == 0
+            and outcomes.get("bad_request", 0) == 0),
+        # Every internally-expired query produced exactly one explicit
+        # deadline response: expiry is an answer, not a drop.
+        "deadlines_explicit": (
+            final_stats.get("deadline_expired", 0)
+            == outcomes.get("deadline", 0)),
+        # Concurrency actually coalesced: >1 query lane per solve.
+        "coalesce_factor_above_one": slo.coalesce_factor > 1.0,
+        # The drain flushed everything it had admitted.
+        "clean_drain": (final_stats.get("queued", 1) == 0
+                        and final_stats.get("draining") is True),
+    }
+    if has_disconnects:
+        # Disconnect bursts must trip the breaker (degrade to
+        # solve-without-cache), and the store faults must actually
+        # have fired for that claim to mean anything.
+        invariants["breaker_opened_on_disconnects"] = (
+            breaker_stats.get("opens", 0) >= 1
+            and injected.get("store_disconnect", 0) >= 1)
+    if has_crashes:
+        # Injected solver crashes are absorbed by retry, never
+        # surfacing as request errors (asserted above) - and the
+        # retry path must actually have run.
+        invariants["solver_crashes_retried"] = (
+            final_stats.get("solve_retries", 0) >= 1
+            or injected.get("worker_crash", 0) == 0)
+
+    return ServeChaosReport(
+        schedule=schedule, seed=seed, slo=slo,
+        injected=injected, invariants=invariants)

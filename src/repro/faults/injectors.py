@@ -23,10 +23,11 @@ import pathlib
 from typing import Dict, Optional, Union
 
 from ..core.counters import Counter, CounterSample
+from ..runtime.errors import StoreError
 from ..runtime.store import ResultStore
 from ..uarch import memory
 from ..uarch.config import MemoryDeviceConfig
-from .plan import FaultPlan
+from .plan import FaultPlan, _draw
 
 
 class CounterInjector:
@@ -93,10 +94,15 @@ class ChaosStore(ResultStore):
         self.plan = plan
         self.injected: Dict[str, int] = {}
 
+    #: The modes this injector can realise: on-disk damage only.
+    #: ``disconnect`` is an availability fault, not a damage fault -
+    #: :class:`FlakyStore` implements it.
+    DAMAGE_MODES = ("corrupt", "truncate", "vanish")
+
     def put(self, key: str, payload) -> None:
         super().put(key, payload)
         mode = self.plan.store_action(key)
-        if mode is None:
+        if mode is None or mode not in self.DAMAGE_MODES:
             return
         location = self._record_location(key)
         if location is None:   # pragma: no cover - put just indexed it
@@ -131,6 +137,61 @@ class ChaosStore(ResultStore):
         # entry through ``put`` so each write draws its own fault.
         for key, payload in items:
             self.put(key, payload)
+
+
+class FlakyStore(ChaosStore):
+    """A :class:`ChaosStore` that can also become unreachable.
+
+    Models the availability failure the on-disk damage modes cannot: a
+    remote or network-mounted store that stops answering.  Operations
+    are counted; each block of :attr:`burst` consecutive operations
+    draws once against the plan's ``disconnect`` faults, and a faulted
+    block raises :class:`~repro.runtime.errors.StoreError` for every
+    operation in it.  Whole-block outages guarantee the consecutive
+    failures a circuit breaker needs to trip (a per-operation coin flip
+    would make breaker chaos assertions flaky), while staying
+    deterministic in the plan's seed.
+
+    Damage modes (corrupt/truncate/vanish) still apply to writes that
+    get through, via the base class.
+    """
+
+    #: Operations per outage-draw block; at least the breaker's
+    #: failure threshold so one faulted block always trips it.
+    DEFAULT_BURST = 6
+
+    def __init__(self, root: Union[pathlib.Path, str], plan: FaultPlan,
+                 burst: int = DEFAULT_BURST):
+        super().__init__(root, plan)
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.burst = burst
+        self._operations = 0
+
+    def _gate(self, operation: str, key: str) -> None:
+        disconnects = [fault for fault in self.plan.store_faults
+                       if fault.mode == "disconnect"]
+        if not disconnects:
+            return
+        index = self._operations
+        self._operations += 1
+        block = index // self.burst
+        for fault in disconnects:
+            if _draw(self.plan.seed, "store-disconnect",
+                     block) < fault.probability:
+                self.injected["store_disconnect"] = (
+                    self.injected.get("store_disconnect", 0) + 1)
+                raise StoreError(
+                    f"injected store disconnect "
+                    f"({operation} {key[:12]}..., block {block})")
+
+    def get(self, key: str):
+        self._gate("get", key)
+        return super().get(key)
+
+    def put(self, key: str, payload) -> None:
+        self._gate("put", key)
+        super().put(key, payload)
 
 
 class LatencyInjector:

@@ -37,9 +37,11 @@ COUNTER_MODES = ("drop", "zero", "perturb")
 TIER_MODES = ("spike", "stall")
 #: Worker-fault modes: hard process death, or a hang (sleep).
 WORKER_MODES = ("crash", "hang")
-#: Store-fault modes: overwrite with garbage, cut the file short, or
-#: delete it outright.
-STORE_MODES = ("corrupt", "truncate", "vanish")
+#: Store-fault modes: overwrite with garbage, cut the file short,
+#: delete it outright, or make the store unreachable for a burst of
+#: operations (``disconnect`` - the mode the serve-target chaos suite
+#: uses to trip the circuit breaker).
+STORE_MODES = ("corrupt", "truncate", "vanish", "disconnect")
 
 
 def _draw(seed: int, *parts) -> float:
@@ -290,6 +292,25 @@ def _schedule_workers(seed: int) -> FaultPlan:
     )
 
 
+def _schedule_serve(seed: int) -> FaultPlan:
+    """The live-service plan for ``repro chaos --target serve``.
+
+    Store disconnect bursts (to trip the circuit breaker), solver
+    crashes and short hangs (to exercise retry and deadline paths),
+    and mild tier-latency spikes (to slow solves enough that the
+    coalescer actually batches).  Hangs are kept well under typical
+    request deadlines so they surface as latency, not mass expiry.
+    """
+    return FaultPlan(
+        seed=seed, name="serve",
+        tier_faults=(TierFault("*", "spike", 0.2, 1.5),),
+        worker_faults=(WorkerFault("crash", 0.35),
+                       WorkerFault("hang", 0.2, hang_s=0.3)),
+        store_faults=(StoreFault("disconnect", 0.5),
+                      StoreFault("corrupt", 0.3)),
+    )
+
+
 def _schedule_store(seed: int) -> FaultPlan:
     """Cache damage only: the corruption-is-a-miss stress test."""
     return FaultPlan(
@@ -308,6 +329,7 @@ SCHEDULES: Dict[str, object] = {
     "tiers": _schedule_tiers,
     "workers": _schedule_workers,
     "store": _schedule_store,
+    "serve": _schedule_serve,
 }
 
 

@@ -25,8 +25,8 @@ See ``docs/RUNTIME.md`` for the architecture, the cache-key recipe, and
 the invalidation rules.
 """
 
-from .errors import (RetryPolicy, TaskTimeoutError, TransientTaskError,
-                     WorkerCrashError)
+from .errors import (RetryPolicy, StoreError, TaskTimeoutError,
+                     TransientTaskError, WorkerCrashError)
 from .executor import Executor, default_jobs, execute_run_spec
 from .spec import (CACHE_SCHEMA_VERSION, CalibrationSpec, RunSpec,
                    canonical_json, code_version, fingerprint)
@@ -43,6 +43,7 @@ __all__ = [
     "ResultStore",
     "RetryPolicy",
     "RunSpec",
+    "StoreError",
     "StoreStats",
     "TaskTimeoutError",
     "Telemetry",

@@ -17,12 +17,20 @@ opposite reactions (``docs/FAULTS.md``):
 *knows* its failure is retryable (an injected fault, a flaky external
 resource) raises it to opt in to bounded in-process retries governed by
 :class:`RetryPolicy`.
+
+:class:`StoreError` names the third family the online service cares
+about: the persistent :class:`~repro.runtime.store.ResultStore` became
+unreachable (disk yanked, NFS partition, injected disconnect).  Results
+are correct without the cache, so callers degrade to solve-without-
+cache; ``repro serve`` additionally trips a circuit breaker after
+repeated occurrences (``docs/SERVE.md``).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 
 class WorkerCrashError(RuntimeError):
@@ -52,19 +60,60 @@ class TransientTaskError(RuntimeError):
     """
 
 
+class StoreError(RuntimeError):
+    """The persistent result store became unreachable mid-operation.
+
+    Distinct from corruption (which the store reads as a miss) and from
+    task failures: the *cache* is gone but the work is fine.  Callers
+    react by computing without the cache; ``repro serve`` counts
+    consecutive occurrences into its store circuit breaker
+    (``docs/SERVE.md``).
+    """
+
+
+def _jitter_fraction(key: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one retry site.
+
+    Hash-keyed like :func:`repro.faults.plan._draw`, so retry schedules
+    replay exactly under a fixed key while distinct keys (e.g. task
+    fingerprints) decorrelate - which is the whole point of jitter.
+    """
+    material = f"retry:{key}:{attempt}".encode()
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff for transient task failures.
+    """Bounded, jittered exponential backoff for transient failures.
 
     ``max_attempts`` counts executions, not retries: the default of 3
     means one initial attempt plus up to two retries.  ``backoff_s`` is
-    the sleep before the first retry; each subsequent retry multiplies
-    it by ``multiplier``.
+    the *ceiling* of the sleep before the first retry; each subsequent
+    retry multiplies the ceiling by ``multiplier``.
+
+    With ``jitter`` enabled (the default) each sleep is drawn uniformly
+    from ``[0, ceiling)`` - AWS-style *full jitter*.  Without it, N
+    clients whose requests coalesced into one failing batch all sleep
+    exactly ``backoff_s`` and retry as one synchronized storm; jitter
+    spreads them across the window.  The draw is a deterministic hash
+    of ``(key, attempt)``, so a chaos run replays bit-exactly: pass a
+    per-task ``key`` (the executor passes the spec fingerprint) to
+    decorrelate tasks, or no key for a shared-but-reproducible stream.
+
+    ``max_total_s`` caps the *cumulative* sleep across all retries of
+    one task: a delay that would push the running total past the cap is
+    clamped to the remaining budget.  Retries themselves still happen
+    (``max_attempts`` governs those); only the waiting is bounded, so a
+    deep backoff curve cannot stall a latency-sensitive caller for the
+    full geometric sum.
     """
 
     max_attempts: int = 3
     backoff_s: float = 0.05
     multiplier: float = 2.0
+    jitter: bool = True
+    max_total_s: float = 2.0
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -73,10 +122,22 @@ class RetryPolicy:
             raise ValueError("backoff_s must be non-negative")
         if self.multiplier < 1.0:
             raise ValueError("multiplier must be >= 1")
+        if self.max_total_s < 0:
+            raise ValueError("max_total_s must be non-negative")
 
-    def delays(self) -> Iterator[float]:
-        """Sleep durations before each retry, in order."""
-        delay = self.backoff_s
-        for _ in range(self.max_attempts - 1):
+    def delays(self, key: Optional[str] = None) -> Iterator[float]:
+        """Sleep durations before each retry, in order.
+
+        ``key`` seeds the full-jitter draws; omitted, a fixed seed is
+        used (still deterministic, just shared by every caller).
+        """
+        ceiling = self.backoff_s
+        budget = self.max_total_s
+        for attempt in range(self.max_attempts - 1):
+            delay = ceiling
+            if self.jitter:
+                delay *= _jitter_fraction(key or "", attempt)
+            delay = min(delay, budget)
+            budget -= delay
             yield delay
-            delay *= self.multiplier
+            ceiling *= self.multiplier

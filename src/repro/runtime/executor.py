@@ -138,6 +138,60 @@ def _call(item: Tuple[Callable[[T], R], T]) -> R:
     return fn(arg)
 
 
+class _TaskDeadlines:
+    """Per-task execution deadlines for the pool watchdog.
+
+    ``wait(..., timeout=task_timeout)`` alone cannot catch a hung
+    worker on a busy pool: the timer restarts whenever *any* future
+    completes, so as long as siblings keep finishing, one hung task
+    evades its timeout forever.  This ladder instead assigns each task
+    its own deadline, started when the task plausibly begins running -
+    i.e. when it enters the ``workers``-wide running window in
+    submission order (``ProcessPoolExecutor`` dispatches work items
+    FIFO), not when it was merely queued.  A completion elsewhere
+    promotes the next queued task into the window; it never extends a
+    running task's deadline.
+    """
+
+    def __init__(self, timeout_s: Optional[float], workers: int,
+                 clock: Callable[[], float] = time.monotonic):
+        self._timeout_s = timeout_s
+        self._workers = workers
+        self._clock = clock
+        self._queued: List[Any] = []
+        self._running: Dict[Any, float] = {}
+
+    def submit(self, future: Any) -> None:
+        self._queued.append(future)
+        self._fill()
+
+    def _fill(self) -> None:
+        while self._queued and len(self._running) < self._workers:
+            future = self._queued.pop(0)
+            if self._timeout_s is not None:
+                self._running[future] = self._clock() + self._timeout_s
+
+    def complete(self, future: Any) -> None:
+        self._running.pop(future, None)
+        if future in self._queued:
+            self._queued.remove(future)
+        self._fill()
+
+    def next_timeout_s(self) -> Optional[float]:
+        """Seconds until the earliest running-task deadline (>= 0)."""
+        if self._timeout_s is None or not self._running:
+            return None
+        return max(0.0, min(self._running.values()) - self._clock())
+
+    def expired(self) -> List[Any]:
+        """Running tasks whose own deadline has passed."""
+        if self._timeout_s is None:
+            return []
+        now = self._clock()
+        return [future for future, deadline in self._running.items()
+                if deadline <= now]
+
+
 class Executor:
     """Cached, optionally-parallel runner for simulated executions.
 
@@ -154,9 +208,12 @@ class Executor:
         When true, batch entry points draw a live progress line on
         stderr.
     task_timeout:
-        Seconds without *any* task completing before the pool is
-        declared hung and the batch remainder re-runs serially.
-        ``None`` (the default) waits forever.
+        Per-task execution budget in seconds, measured from the moment
+        the task enters the pool's running window (not from batch
+        start, and not reset by sibling completions - see
+        :class:`_TaskDeadlines`).  A task exceeding it declares the
+        pool hung and the batch remainder re-runs serially.  ``None``
+        (the default) waits forever.
     retry:
         Backoff policy for :class:`TransientTaskError` failures in the
         serial path.
@@ -441,9 +498,14 @@ class Executor:
 
         ``attempt`` starts at 1 when the task already failed once in
         the pool, so injected first-attempt faults are not re-drawn.
+
+        Retry sleeps draw full jitter keyed by the spec fingerprint
+        (:meth:`RetryPolicy.delays`), so coalesced twins of one failing
+        task do not storm back in lockstep; the total time slept is
+        surfaced as ``retry_delay_ms`` telemetry.
         """
         plan = self.fault_plan
-        delays = self.retry.delays()
+        delays = self.retry.delays(key=spec.fingerprint())
         while True:
             try:
                 if plan is not None:
@@ -460,6 +522,8 @@ class Executor:
                     raise
                 self.telemetry.count("retries")
                 if delay > 0:
+                    self.telemetry.count("retry_delay_ms",
+                                         int(delay * 1000.0))
                     time.sleep(delay)
                 attempt += 1
 
@@ -480,31 +544,41 @@ class Executor:
             raise WorkerCrashError(
                 f"could not start worker pool: {exc}") from exc
         completed = False
+        deadlines = _TaskDeadlines(self.task_timeout, workers)
         try:
             try:
+                futures = set()
                 if plan is None:
-                    futures = {pool.submit(_indexed_execute, item)
-                               for item in pending}
+                    for item in pending:
+                        future = pool.submit(_indexed_execute, item)
+                        futures.add(future)
+                        deadlines.submit(future)
                 else:
-                    futures = set()
                     for index, spec in pending:
                         action = plan.worker_action(index, attempt=0)
                         if action is not None:
                             self.telemetry.count(
                                 f"injected_{action.mode}")
-                        futures.add(pool.submit(
-                            _indexed_execute_faulted, (index, spec, plan)))
+                        future = pool.submit(
+                            _indexed_execute_faulted, (index, spec, plan))
+                        futures.add(future)
+                        deadlines.submit(future)
             except BrokenExecutor as exc:
                 raise WorkerCrashError(str(exc) or
                                        "worker pool broke") from exc
             while futures:
-                done, futures = wait(futures, timeout=self.task_timeout,
-                                     return_when=FIRST_COMPLETED)
-                if not done:
+                done, futures = wait(
+                    futures, timeout=deadlines.next_timeout_s(),
+                    return_when=FIRST_COMPLETED)
+                if not done and deadlines.expired():
+                    # Per-task deadline, not since-last-completion: a
+                    # hung task on a busy pool cannot ride its
+                    # siblings' completions past its own timeout.
                     raise TaskTimeoutError(
-                        f"no task completed within "
-                        f"{self.task_timeout:g}s; assuming hung worker")
+                        f"task exceeded its {self.task_timeout:g}s "
+                        f"deadline; assuming hung worker")
                 for future in done:
+                    deadlines.complete(future)
                     try:
                         index, payload = future.result()
                     except BrokenExecutor as exc:

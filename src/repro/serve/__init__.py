@@ -1,0 +1,60 @@
+"""Online prediction service: ``repro serve`` and its clients.
+
+The batch stack (executor, store, sweeps) answers "what is the
+slowdown of these thousand configurations" offline.  This package
+answers the *online* form of the same question - a placement daemon or
+a scheduler asking "what would this workload's slowdown be on that
+tier, right now" - with the robustness contract an online caller
+needs:
+
+- bounded admission with **explicit load shedding** (never a silent
+  drop),
+- per-request **deadlines** enforced at every stage (an expired query
+  is never solved),
+- concurrent queries **coalesced** into one vectorized
+  :meth:`~repro.uarch.machine.Machine.run_batch` solve,
+- a **circuit breaker** around the result store so an unreachable
+  cache degrades to solve-without-cache instead of failing requests,
+- **graceful drain** on shutdown.
+
+``docs/SERVE.md`` documents the protocol, the coalescing and deadline
+semantics, and the SLO report schema; ``repro chaos --target serve``
+asserts the degradation contract against a live server.
+"""
+
+from .breaker import (BREAKER_COOLDOWN_S, BREAKER_FAILURE_THRESHOLD,
+                      BreakerOpenError, CircuitBreaker)
+from .coalescer import Outcome, QueryCoalescer
+from .loadgen import run_loadgen, run_loadgen_sync
+from .protocol import (DEFAULT_COALESCE_WINDOW_MS, DEFAULT_DEADLINE_MS,
+                       DEFAULT_QUEUE_BOUND, MAX_COALESCE_LANES,
+                       PredictRequest, ProtocolError, RunQuery,
+                       SignatureQuery, parse_predict_request)
+from .server import PredictionServer, ServerThread
+from .slo import SLO_SCHEMA, LatencyRecorder, SLOReport, load_report
+
+__all__ = [
+    "BREAKER_COOLDOWN_S",
+    "BREAKER_FAILURE_THRESHOLD",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "DEFAULT_COALESCE_WINDOW_MS",
+    "DEFAULT_DEADLINE_MS",
+    "DEFAULT_QUEUE_BOUND",
+    "LatencyRecorder",
+    "MAX_COALESCE_LANES",
+    "Outcome",
+    "PredictRequest",
+    "PredictionServer",
+    "ProtocolError",
+    "QueryCoalescer",
+    "RunQuery",
+    "SLOReport",
+    "SLO_SCHEMA",
+    "ServerThread",
+    "SignatureQuery",
+    "load_report",
+    "parse_predict_request",
+    "run_loadgen",
+    "run_loadgen_sync",
+]

@@ -1,0 +1,151 @@
+"""Circuit breaker guarding the result store (``docs/SERVE.md``).
+
+The online service treats the persistent
+:class:`~repro.runtime.store.ResultStore` as an accelerator, never a
+dependency: every answer can be computed without it.  But a store that
+has become unreachable (disk yanked, injected disconnect) must not tax
+every request with a failing syscall and its timeout.  The breaker
+implements the classic three-state machine around store operations:
+
+- **closed** - operations flow through; consecutive
+  :class:`~repro.runtime.errors.StoreError` failures are counted and
+  any success resets the count;
+- **open** - after :data:`BREAKER_FAILURE_THRESHOLD` consecutive
+  failures the breaker rejects operations locally (the caller solves
+  without the cache) for :data:`BREAKER_COOLDOWN_S` seconds;
+- **half-open** - after the cooldown, exactly one probe operation is
+  let through; success closes the breaker, failure re-opens it for
+  another cooldown.
+
+Thread-safe: the coalescer's solver thread and the event loop may
+consult it concurrently.  The clock is injectable so tests replay the
+state machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+from ..runtime.errors import StoreError
+
+#: Consecutive StoreErrors that trip the breaker open.
+BREAKER_FAILURE_THRESHOLD = 3
+
+#: Seconds the breaker stays open before allowing a half-open probe.
+BREAKER_COOLDOWN_S = 5.0
+
+#: The three states, as reported by :attr:`CircuitBreaker.state`.
+STATES = ("closed", "open", "half-open")
+
+
+class BreakerOpenError(StoreError):
+    """The breaker is open: the store is presumed unreachable.
+
+    A :class:`~repro.runtime.errors.StoreError` subclass so callers
+    need a single except clause for "no cache right now".
+    """
+
+
+class CircuitBreaker:
+    """Failure-counting gate around store operations."""
+
+    def __init__(self,
+                 failure_threshold: int = BREAKER_FAILURE_THRESHOLD,
+                 cooldown_s: float = BREAKER_COOLDOWN_S,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: float = 0.0
+        self._open = False
+        self._probe_inflight = False
+        #: Lifetime counters for the SLO report.
+        self.opens = 0
+        self.rejections = 0
+        self.failures = 0
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if not self._open:
+            return "closed"
+        if self._clock() - self._opened_at >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "rejections": self.rejections,
+                "failures": self.failures,
+            }
+
+    # -- accounting ----------------------------------------------------------
+    def allow(self) -> bool:
+        """True when an operation may be attempted right now.
+
+        In half-open state only the first caller gets a probe; the
+        rest are rejected until the probe settles.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._open = False
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if self._open or (self._consecutive_failures
+                              >= self.failure_threshold):
+                if not self._open:
+                    self.opens += 1
+                self._open = True
+                self._opened_at = self._clock()
+
+    # -- the guarded call ----------------------------------------------------
+    def call(self, operation: Callable[[], Any]) -> Any:
+        """Run ``operation`` under the breaker.
+
+        Raises :class:`BreakerOpenError` without calling when open;
+        converts the operation's :class:`StoreError`/:class:`OSError`
+        into failure accounting and re-raises as :class:`StoreError`.
+        """
+        if not self.allow():
+            raise BreakerOpenError(
+                f"store breaker open "
+                f"({self._consecutive_failures} consecutive failures)")
+        try:
+            result = operation()
+        except (StoreError, OSError) as exc:
+            self.record_failure()
+            raise StoreError(f"store operation failed: {exc}") from exc
+        self.record_success()
+        return result

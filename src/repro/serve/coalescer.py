@@ -1,0 +1,371 @@
+"""Admission control and batch coalescing for ``repro serve``.
+
+The heart of the service.  Query requests flow through a **bounded
+admission queue** (full queue -> explicit shed, never a silent drop)
+into a single coalescer task that groups concurrent queries into one
+:meth:`~repro.uarch.machine.Machine.run_batch` call:
+
+- the first queued query opens a **coalescing window**
+  (:data:`~repro.serve.protocol.DEFAULT_COALESCE_WINDOW_MS`); everything
+  that arrives before it closes - up to
+  :data:`~repro.serve.protocol.MAX_COALESCE_LANES` - joins the batch;
+- identical queries (same :class:`~repro.runtime.spec.RunSpec`
+  fingerprint) **share one solver lane**, so a thundering herd of the
+  same question costs one solve;
+- batches of at least :data:`~repro.runtime.executor.MIN_BATCH_GROUP`
+  lanes run in bit-identical *replay* mode and are persisted to the
+  result store; smaller batches run ``accelerate=True`` seeded from a
+  serve-local :class:`~repro.uarch.machine.WarmStartCache` and are
+  memoized only in process, never persisted - tolerance-level deviation
+  must not poison the byte-identity store (``docs/SOLVER.md``).
+
+Deadlines are enforced at every stage a request can wait: admission,
+batch formation, and the moment the solver thread picks the batch up.
+An expired query is answered with an explicit deadline outcome and is
+**never solved**.  All store traffic goes through the
+:class:`~repro.serve.breaker.CircuitBreaker`: when the store is
+unreachable the service degrades to solve-without-cache instead of
+failing requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..runtime import serde
+from ..runtime.errors import StoreError, TransientTaskError
+from ..runtime.executor import MIN_BATCH_GROUP
+from ..runtime.spec import RunSpec
+from ..runtime.store import ResultStore
+from ..uarch.machine import Machine, WarmStartCache
+from ..workloads.suites import get_workload
+from .breaker import CircuitBreaker
+from .protocol import (DEFAULT_COALESCE_WINDOW_MS, DEFAULT_QUEUE_BOUND,
+                       MAX_COALESCE_LANES, RunQuery)
+
+#: How many times a batch solve is retried when the injected (or real)
+#: fault is transient; matches the executor's attempt budget.
+SOLVE_MAX_ATTEMPTS = 3
+
+#: Results memoized in process for accelerated (non-persisted) answers.
+MAX_MEMO_ENTRIES = 4096
+
+
+@dataclass
+class Outcome:
+    """How one admitted query terminated (the closed vocabulary)."""
+
+    kind: str  # "ok" | "shed" | "deadline" | "draining" | "error"
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _Pending:
+    """One admitted query waiting for its batch."""
+
+    query: RunQuery
+    spec: RunSpec
+    key: str
+    deadline_at: float
+    enqueued_at: float
+    future: "asyncio.Future[Outcome]"
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline_at
+
+    def waited_ms(self, now: float) -> float:
+        return (now - self.enqueued_at) * 1000.0
+
+    def deadline_ms(self) -> float:
+        return (self.deadline_at - self.enqueued_at) * 1000.0
+
+
+class QueryCoalescer:
+    """Bounded-queue admission + batched solving for query requests.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine queries are solved on.
+    store:
+        Optional persistent result store; consulted and written only
+        through the circuit breaker.
+    solve_hook:
+        Test/chaos seam: called as ``solve_hook(batch_index, attempt)``
+        inside the solver thread before each solve attempt.  Raising
+        :class:`~repro.runtime.errors.TransientTaskError` exercises the
+        retry path; sleeping simulates a hung solver.
+    """
+
+    def __init__(self, machine: Machine,
+                 store: Optional[ResultStore] = None, *,
+                 queue_bound: int = DEFAULT_QUEUE_BOUND,
+                 coalesce_window_ms: float = DEFAULT_COALESCE_WINDOW_MS,
+                 max_lanes: int = MAX_COALESCE_LANES,
+                 breaker: Optional[CircuitBreaker] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 solve_hook: Optional[Callable[[int, int], None]] = None):
+        if queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+        if max_lanes < 1:
+            raise ValueError("max_lanes must be >= 1")
+        self.machine = machine
+        self.store = store
+        self.queue_bound = queue_bound
+        self.coalesce_window_s = coalesce_window_ms / 1000.0
+        self.max_lanes = max_lanes
+        self.breaker = breaker or CircuitBreaker()
+        self.clock = clock
+        self.solve_hook = solve_hook
+        self.warm_cache = WarmStartCache()
+        self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
+        self._memo: Dict[str, Dict[str, Any]] = {}
+        self._memo_lock = threading.Lock()
+        self._draining = False
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._batch_counter = 0
+        #: Counters surfaced through /stats and the SLO report.
+        self.counters: Dict[str, int] = {
+            "admitted": 0, "shed": 0, "deadline_expired": 0,
+            "lanes_solved": 0, "batches_solved": 0,
+            "coalesced_twins": 0, "store_hits": 0, "memo_hits": 0,
+            "store_errors": 0, "store_writes": 0, "solve_retries": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def drain(self) -> None:
+        """Stop admitting, flush queued work, stop the batch task.
+
+        Every request admitted before the drain still gets its answer
+        (or its explicit deadline outcome) - graceful shutdown never
+        abandons an in-flight future.
+        """
+        self._draining = True
+        await self._queue.join()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot: Dict[str, Any] = dict(self.counters)
+        snapshot["queued"] = self._queue.qsize()
+        snapshot["queue_bound"] = self.queue_bound
+        snapshot["breaker"] = self.breaker.snapshot()
+        snapshot["warm_points"] = self.warm_cache.points_recorded
+        snapshot["warm_seeds_served"] = self.warm_cache.seeds_served
+        return snapshot
+
+    # -- admission -----------------------------------------------------------
+    def submit(self, query: RunQuery,
+               deadline_ms: float) -> "asyncio.Future[Outcome]":
+        """Admit one query; the returned future resolves to its outcome.
+
+        The future always resolves - shed and draining resolve it
+        immediately, everything else is owned by the coalescer task.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Outcome]" = loop.create_future()
+        if self._draining:
+            future.set_result(Outcome("draining"))
+            return future
+        queued = self._queue.qsize()
+        if queued >= self.queue_bound:
+            self.counters["shed"] += 1
+            future.set_result(Outcome(
+                "shed", {"queued": queued, "bound": self.queue_bound}))
+            return future
+        try:
+            spec, key = self._resolve_spec(query)
+        except (KeyError, TypeError, ValueError) as exc:
+            future.set_result(Outcome("error", {"error": str(exc)}))
+            return future
+        now = self.clock()
+        self.counters["admitted"] += 1
+        self._queue.put_nowait(_Pending(
+            query=query, spec=spec, key=key,
+            deadline_at=now + deadline_ms / 1000.0,
+            enqueued_at=now, future=future))
+        return future
+
+    def _resolve_spec(self, query: RunQuery) -> Tuple[RunSpec, str]:
+        workload = get_workload(query.workload)
+        if query.threads is not None:
+            workload = serde.workload_from_dict(
+                dict(serde.workload_to_dict(workload),
+                     threads=query.threads))
+        placement = (serde.placement_from_dict(dict(query.placement))
+                     if query.placement is not None else None)
+        spec = RunSpec.from_machine(self.machine, workload, placement)
+        return spec, spec.fingerprint()
+
+    # -- batch formation -----------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            batch = await self._collect_batch()
+            if batch:
+                await self._dispatch(batch)
+
+    async def _collect_batch(self) -> List[_Pending]:
+        first = await self._queue.get()
+        batch = [first]
+        window_closes = self.clock() + self.coalesce_window_s
+        while len(batch) < self.max_lanes:
+            remaining_s = window_closes - self.clock()
+            if remaining_s <= 0:
+                break
+            try:
+                batch.append(await asyncio.wait_for(
+                    self._queue.get(), timeout=remaining_s))
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _dispatch(self, batch: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(
+                None, self._process_batch, batch)
+        except Exception as exc:  # the service must outlive any solve
+            self.counters["errors"] += len(batch)
+            outcomes = [Outcome("error", {"error": str(exc)})] * len(batch)
+        for pending, outcome in zip(batch, outcomes):
+            if not pending.future.done():
+                pending.future.set_result(outcome)
+            self._queue.task_done()
+
+    # -- solving (runs in a worker thread) -----------------------------------
+    def _process_batch(self, batch: List[_Pending]) -> List[Outcome]:
+        now = self.clock()
+        outcomes: List[Optional[Outcome]] = [None] * len(batch)
+
+        live: List[int] = []
+        for index, pending in enumerate(batch):
+            if pending.expired(now):
+                self.counters["deadline_expired"] += 1
+                outcomes[index] = Outcome("deadline", {
+                    "deadline_ms": pending.deadline_ms(),
+                    "waited_ms": pending.waited_ms(now)})
+            else:
+                live.append(index)
+
+        # Identical fingerprints share one lane; twins get copies.
+        lanes: Dict[str, List[int]] = {}
+        for index in live:
+            lanes.setdefault(batch[index].key, []).append(index)
+        self.counters["coalesced_twins"] += len(live) - len(lanes)
+
+        unsolved: List[str] = []
+        answers: Dict[str, Dict[str, Any]] = {}
+        for key in lanes:
+            cached = self._lookup(key)
+            if cached is not None:
+                answers[key] = cached
+            else:
+                unsolved.append(key)
+
+        if unsolved:
+            try:
+                answers.update(self._solve_lanes(
+                    [(key, batch[lanes[key][0]].spec) for key in unsolved]))
+            except Exception as exc:
+                self.counters["errors"] += sum(
+                    len(lanes[key]) for key in unsolved)
+                for key in unsolved:
+                    failure = Outcome("error", {"error": str(exc)})
+                    for index in lanes[key]:
+                        outcomes[index] = failure
+
+        for key, members in lanes.items():
+            if key not in answers:
+                continue  # already marked as an error above
+            for index in members:
+                outcomes[index] = Outcome("ok", {
+                    "fingerprint": key,
+                    "result": answers[key],
+                })
+        return [outcome or Outcome("error", {"error": "unresolved lane"})
+                for outcome in outcomes]
+
+    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._memo_lock:
+            memo = self._memo.get(key)
+        if memo is not None:
+            self.counters["memo_hits"] += 1
+            return memo
+        if self.store is None or not self.breaker.allow():
+            return None
+        try:
+            payload = self.breaker.call(lambda: self.store.get(key))
+        except StoreError:
+            self.counters["store_errors"] += 1
+            return None
+        if payload is not None:
+            self.counters["store_hits"] += 1
+        return payload
+
+    def _solve_lanes(self, lanes: List[Tuple[str, RunSpec]]
+                     ) -> Dict[str, Dict[str, Any]]:
+        self._batch_counter += 1
+        batch_index = self._batch_counter
+        replay = len(lanes) >= MIN_BATCH_GROUP
+        pairs = [(spec.workload, spec.placement) for _, spec in lanes]
+
+        last_error: Optional[BaseException] = None
+        for attempt in range(SOLVE_MAX_ATTEMPTS):
+            if self.solve_hook is not None:
+                try:
+                    self.solve_hook(batch_index, attempt)
+                except TransientTaskError as exc:
+                    self.counters["solve_retries"] += 1
+                    last_error = exc
+                    continue
+            results = self.machine.run_batch(
+                pairs, accelerate=not replay,
+                warm_cache=None if replay else self.warm_cache)
+            break
+        else:
+            raise TransientTaskError(
+                f"batch {batch_index} failed all {SOLVE_MAX_ATTEMPTS} "
+                f"attempts") from last_error
+
+        self.counters["batches_solved"] += 1
+        self.counters["lanes_solved"] += len(lanes)
+        answers: Dict[str, Dict[str, Any]] = {}
+        for (key, _spec), result in zip(lanes, results):
+            payload = serde.run_result_to_dict(result)
+            answers[key] = payload
+            if replay:
+                self._persist(key, payload)
+            else:
+                # Accelerated answers are tolerance-level, not
+                # byte-identical: memoize locally, never persist.
+                with self._memo_lock:
+                    if len(self._memo) < MAX_MEMO_ENTRIES:
+                        self._memo[key] = payload
+        return answers
+
+    def _persist(self, key: str, payload: Dict[str, Any]) -> None:
+        if self.store is None or not self.breaker.allow():
+            return
+        try:
+            self.breaker.call(lambda: self.store.put(key, payload))
+            self.counters["store_writes"] += 1
+        except StoreError:
+            self.counters["store_errors"] += 1

@@ -1,0 +1,174 @@
+"""Open-loop constant-rate load generator for ``repro serve``.
+
+wrk2-style: requests are launched on a fixed schedule regardless of
+how fast earlier responses come back, and each latency is measured
+from the request's *scheduled* send time.  A closed-loop driver (send,
+wait, send) would silently stop applying load the moment the server
+stalls - the coordinated-omission trap - and the p99 would measure the
+generator, not the service.  Open loop keeps the pressure honest, which
+is the entire point of an SLO report.
+
+The generated mix cycles deterministically (seeded) over named paper
+workloads and a few placements, with a configurable fraction of
+signature requests; duplicates are frequent by construction so the
+coalescer's twin-merging shows up in the report's coalesce factor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import (DEFAULT_DEADLINE_MS, ProtocolError,
+                       encode_http_request, read_http_response)
+from .slo import LatencyRecorder, SLOReport
+
+#: Default request mix: workloads x placements the generator cycles.
+DEFAULT_WORKLOADS = ("xsbench", "redis-ycsb", "bc-kron", "pr-twitter",
+                     "605.mcf", "resnet50")
+DEFAULT_PLACEMENTS: Tuple[Optional[Dict[str, Any]], ...] = (
+    None,
+    {"dram_fraction": 0.5, "device": "cxl-a", "hotness_bias": 0.0},
+    {"dram_fraction": 0.25, "device": "cxl-b", "hotness_bias": 0.0},
+)
+
+#: Concurrent connections the generator multiplexes requests over.
+DEFAULT_CONNECTIONS = 8
+
+
+def _mix_draw(seed: int, index: int, space: int) -> int:
+    """Deterministic uniform draw in [0, space) for request ``index``."""
+    digest = hashlib.sha256(f"loadgen:{seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % space
+
+
+def request_body(index: int, seed: int = 0,
+                 deadline_ms: float = DEFAULT_DEADLINE_MS,
+                 workloads: Tuple[str, ...] = DEFAULT_WORKLOADS,
+                 placements: Tuple[Optional[Dict[str, Any]], ...]
+                 = DEFAULT_PLACEMENTS) -> Dict[str, Any]:
+    """The deterministic request body for schedule slot ``index``."""
+    workload = workloads[_mix_draw(seed, index * 2, len(workloads))]
+    placement = placements[_mix_draw(seed, index * 2 + 1, len(placements))]
+    body: Dict[str, Any] = {"kind": "query", "workload": workload,
+                            "deadline_ms": deadline_ms}
+    if placement is not None:
+        body["placement"] = dict(placement)
+    return body
+
+
+class _Connection:
+    """One serially-reused keep-alive connection to the server."""
+
+    def __init__(self, host: str, port: int):
+        self.host, self.port = host, port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def request(self, body: Dict[str, Any]
+                      ) -> Tuple[int, Dict[str, Any]]:
+        async with self._lock:
+            if self._writer is None:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port)
+            try:
+                self._writer.write(encode_http_request(
+                    "POST", "/v1/predict", body))
+                await self._writer.drain()
+                return await read_http_response(self._reader)
+            except (ConnectionError, ProtocolError,
+                    asyncio.IncompleteReadError):
+                await self.close()
+                raise
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+
+async def run_loadgen(host: str, port: int, *, rate_rps: float,
+                      duration_s: float,
+                      deadline_ms: float = DEFAULT_DEADLINE_MS,
+                      connections: int = DEFAULT_CONNECTIONS,
+                      seed: int = 0,
+                      stats_probe: bool = True) -> SLOReport:
+    """Drive the server at ``rate_rps`` for ``duration_s`` seconds.
+
+    Returns the client-side :class:`~repro.serve.slo.SLOReport` with
+    the server's ``/stats`` snapshot (coalesce factor, breaker state)
+    embedded when ``stats_probe`` is set.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    total = max(1, int(rate_rps * duration_s))
+    interval_s = 1.0 / rate_rps
+    recorder = LatencyRecorder()
+    pool = [_Connection(host, port) for _ in range(max(1, connections))]
+    inflight: List["asyncio.Task[None]"] = []
+
+    async def fire(index: int, scheduled_at: float) -> None:
+        body = request_body(index, seed=seed, deadline_ms=deadline_ms)
+        connection = pool[index % len(pool)]
+        try:
+            _status, payload = await connection.request(body)
+            outcome = payload.get("status", "error")
+            if outcome not in ("ok", "shed", "deadline", "draining",
+                               "bad_request", "error"):
+                outcome = "transport_error"
+        except (ConnectionError, ProtocolError, OSError,
+                asyncio.IncompleteReadError):
+            outcome = "transport_error"
+        # Latency from the *scheduled* send time: queueing delay the
+        # generator suffered counts against the server, not for it.
+        recorder.record(outcome,
+                        (time.monotonic() - scheduled_at) * 1000.0)
+
+    start = time.monotonic()
+    for index in range(total):
+        scheduled_at = start + index * interval_s
+        delay_s = scheduled_at - time.monotonic()
+        if delay_s > 0:
+            await asyncio.sleep(delay_s)
+        inflight.append(asyncio.ensure_future(fire(index, scheduled_at)))
+
+    if inflight:
+        await asyncio.gather(*inflight)
+
+    server_stats: Dict[str, Any] = {}
+    if stats_probe:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_http_request("GET", "/stats",
+                                             keep_alive=False))
+            await writer.drain()
+            _status, payload = await read_http_response(reader)
+            server_stats = payload.get("stats", {})
+            writer.close()
+        except (ConnectionError, ProtocolError, OSError):
+            server_stats = {}
+    for connection in pool:
+        await connection.close()
+
+    return SLOReport(
+        rate_rps=rate_rps,
+        duration_s=duration_s,
+        sent=total,
+        outcomes=recorder.counts(),
+        latency_ms=recorder.latency_summary_ms(),
+        server=server_stats,
+    )
+
+
+def run_loadgen_sync(host: str, port: int, **kwargs: Any) -> SLOReport:
+    """Blocking wrapper: run the generator on a fresh event loop."""
+    return asyncio.run(run_loadgen(host, port, **kwargs))

@@ -1,0 +1,311 @@
+"""Wire protocol for ``repro serve`` (``docs/SERVE.md``).
+
+JSON over HTTP/1.1, stdlib only.  Two request kinds share one endpoint
+(``POST /v1/predict``):
+
+- a **signature** request carries raw DRAM-only counters; the server
+  answers from the calibrated :class:`~repro.core.slowdown.
+  SlowdownPredictor` inline (pure arithmetic, never queued);
+- a **query** request names a (workload, placement) pair; the server
+  admits it into the coalescer, which answers from the result store /
+  serve memo or solves it in a :meth:`~repro.uarch.machine.Machine.
+  run_batch` lane.
+
+Every admitted request terminates in exactly one of the explicit
+outcomes below - the degradation contract ``repro chaos --target
+serve`` asserts is that **nothing is ever silently dropped**:
+
+====================  =====  ==============================================
+outcome               HTTP   body ``status``
+====================  =====  ==============================================
+answered              200    ``ok``
+shed (queue full)     429    ``shed`` - admission control, never silent
+deadline expired      504    ``deadline`` - never solved past its budget
+draining              503    ``draining`` - server is shutting down
+malformed             400    ``bad_request``
+internal fault        500    ``error`` - chaos asserts zero of these
+====================  =====  ==============================================
+
+This module also carries the minimal HTTP/1.1 framing shared by the
+server, the load generator, and the chaos driver; it knows nothing
+about asyncio scheduling or solving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Bounded admission queue: a query arriving while this many are
+#: already queued is shed with an explicit 429 response.
+DEFAULT_QUEUE_BOUND = 128
+
+#: Default per-request deadline.  A query still queued (or batched but
+#: not yet solved) when its deadline passes gets an explicit 504
+#: response and is never solved.
+DEFAULT_DEADLINE_MS = 2000.0
+
+#: How long the coalescer holds the first queued query open for
+#: companions before solving the batch.
+DEFAULT_COALESCE_WINDOW_MS = 20.0
+
+#: Most lanes one coalesced solve will take; queries beyond this wait
+#: for the next batch (still inside their own deadlines).
+MAX_COALESCE_LANES = 64
+
+#: Largest request body the server will read.
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_REASON = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be understood (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class SignatureQuery:
+    """Raw DRAM-only counters to predict from, no simulation needed."""
+
+    counters: Mapping[str, float]
+    platform_family: str
+    frequency_ghz: float
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class RunQuery:
+    """A (workload, placement) pair to solve (or serve from cache)."""
+
+    workload: str
+    #: ``serde.placement_to_dict`` shape, or None for DRAM-only.
+    placement: Optional[Dict[str, Any]] = None
+    threads: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One parsed ``POST /v1/predict`` body."""
+
+    kind: str
+    deadline_ms: float
+    signature: Optional[SignatureQuery] = None
+    query: Optional[RunQuery] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+def _require(body: Mapping[str, Any], key: str) -> Any:
+    try:
+        return body[key]
+    except KeyError:
+        raise ProtocolError(f"missing required field {key!r}") from None
+
+
+def parse_predict_request(body: Mapping[str, Any],
+                          default_deadline_ms: float = DEFAULT_DEADLINE_MS
+                          ) -> PredictRequest:
+    """Validate one decoded request body into a :class:`PredictRequest`.
+
+    Raises :class:`ProtocolError` (-> HTTP 400) on anything malformed;
+    the server must never crash on client input.
+    """
+    if not isinstance(body, Mapping):
+        raise ProtocolError("request body must be a JSON object")
+    kind = _require(body, "kind")
+    deadline_ms = body.get("deadline_ms", default_deadline_ms)
+    if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+        raise ProtocolError(
+            f"deadline_ms must be a positive number, got {deadline_ms!r}")
+
+    if kind == "signature":
+        counters = _require(body, "counters")
+        if not isinstance(counters, Mapping) or not counters:
+            raise ProtocolError("counters must be a non-empty object")
+        family = _require(body, "platform_family")
+        frequency = _require(body, "frequency_ghz")
+        if not isinstance(frequency, (int, float)) or frequency <= 0:
+            raise ProtocolError("frequency_ghz must be positive")
+        return PredictRequest(
+            kind=kind, deadline_ms=float(deadline_ms),
+            signature=SignatureQuery(
+                counters=dict(counters), platform_family=str(family),
+                frequency_ghz=float(frequency),
+                label=str(body.get("label", ""))))
+
+    if kind == "query":
+        workload = _require(body, "workload")
+        if not isinstance(workload, str) or not workload:
+            raise ProtocolError("workload must be a non-empty string")
+        placement = body.get("placement")
+        if placement is not None and not isinstance(placement, Mapping):
+            raise ProtocolError("placement must be an object or null")
+        threads = body.get("threads")
+        if threads is not None and (not isinstance(threads, int)
+                                    or threads < 1):
+            raise ProtocolError("threads must be a positive integer")
+        return PredictRequest(
+            kind=kind, deadline_ms=float(deadline_ms),
+            query=RunQuery(workload=workload,
+                           placement=(dict(placement)
+                                      if placement is not None else None),
+                           threads=threads))
+
+    raise ProtocolError(
+        f"unknown request kind {kind!r}; expected 'signature' or 'query'")
+
+
+# ---------------------------------------------------------------------------
+# Response bodies.  One constructor per outcome keeps the status
+# vocabulary closed - the chaos suite enumerates exactly these.
+# ---------------------------------------------------------------------------
+
+def ok_response(**payload: Any) -> Tuple[int, Dict[str, Any]]:
+    body = {"status": "ok"}
+    body.update(payload)
+    return 200, body
+
+
+def shed_response(queued: int, bound: int) -> Tuple[int, Dict[str, Any]]:
+    """Explicit load-shedding answer: the queue is full, try later."""
+    return 429, {"status": "shed", "queued": queued, "bound": bound}
+
+
+def deadline_response(deadline_ms: float,
+                      waited_ms: float) -> Tuple[int, Dict[str, Any]]:
+    """The request's deadline expired before it could be solved."""
+    return 504, {"status": "deadline", "deadline_ms": deadline_ms,
+                 "waited_ms": round(waited_ms, 3)}
+
+
+def draining_response() -> Tuple[int, Dict[str, Any]]:
+    return 503, {"status": "draining"}
+
+
+def bad_request_response(error: str) -> Tuple[int, Dict[str, Any]]:
+    return 400, {"status": "bad_request", "error": error}
+
+
+def error_response(error: str) -> Tuple[int, Dict[str, Any]]:
+    return 500, {"status": "error", "error": error}
+
+
+# ---------------------------------------------------------------------------
+# Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+# ---------------------------------------------------------------------------
+
+async def read_http_request(reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str,
+                                                Dict[str, str], bytes]]:
+    """Read one request; ``None`` on a cleanly closed connection.
+
+    Raises :class:`ProtocolError` on malformed framing (the caller
+    answers 400 and closes).
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {request_line!r}")
+    method, path, _version = parts
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if b":" not in line:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ProtocolError(
+                f"malformed Content-Length: {length!r}") from None
+        if size < 0 or size > MAX_BODY_BYTES:
+            raise ProtocolError(f"unacceptable Content-Length: {size}")
+        if size:
+            try:
+                body = await reader.readexactly(size)
+            except asyncio.IncompleteReadError:
+                return None
+    return method.upper(), path, headers, body
+
+
+def encode_http_response(status: int, payload: Mapping[str, Any],
+                         keep_alive: bool = True) -> bytes:
+    """One JSON response, framed for HTTP/1.1."""
+    body = json.dumps(payload, sort_keys=True).encode()
+    reason = _STATUS_REASON.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+def encode_http_request(method: str, path: str,
+                        payload: Optional[Mapping[str, Any]] = None,
+                        keep_alive: bool = True) -> bytes:
+    """One client-side request frame (used by loadgen and chaos)."""
+    body = (json.dumps(payload).encode()
+            if payload is not None else b"")
+    headers = [
+        f"{method.upper()} {path} HTTP/1.1",
+        "Host: repro-serve",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if payload is not None:
+        headers.insert(2, "Content-Type: application/json")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+async def read_http_response(reader: asyncio.StreamReader
+                             ) -> Tuple[int, Dict[str, Any]]:
+    """Read one response; returns ``(status, decoded_json_body)``."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ProtocolError("connection closed before response")
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ProtocolError(f"malformed status line: {status_line!r}")
+    status = int(parts[1])
+
+    length: Optional[int] = None
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    if length is None:
+        raise ProtocolError("response without Content-Length")
+    raw = await reader.readexactly(length) if length else b"{}"
+    try:
+        body = json.loads(raw.decode() or "{}")
+    except ValueError:
+        raise ProtocolError(f"unparseable response body: {raw!r}") from None
+    return status, body

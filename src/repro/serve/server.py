@@ -1,0 +1,328 @@
+"""The ``repro serve`` asyncio HTTP server (``docs/SERVE.md``).
+
+Stdlib only: hand-rolled HTTP/1.1 framing from
+:mod:`repro.serve.protocol` over :func:`asyncio.start_server`.  Three
+routes:
+
+- ``POST /v1/predict`` - the prediction endpoint.  Signature requests
+  (DRAM-only counters) are answered inline from the calibrated
+  :class:`~repro.core.slowdown.SlowdownPredictor` - pure arithmetic,
+  never queued.  Query requests go through the
+  :class:`~repro.serve.coalescer.QueryCoalescer` and terminate in
+  exactly one of the protocol's explicit outcomes;
+- ``GET /healthz`` - liveness plus drain state;
+- ``GET /stats`` - the live counter snapshot the SLO report embeds.
+
+Every request is wrapped in a :func:`repro.obs.maybe_span` so a trace
+session (``--trace``) sees per-request latency attributed to parse /
+admission / solve; without a session the spans are free.
+
+Shutdown is a **graceful drain**: new work is refused with explicit
+draining responses while every already-admitted query still gets its
+answer or its deadline outcome.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.counters import Counter, CounterSample
+from ..core.signature import signature_from_sample
+from ..core.slowdown import SlowdownPredictor
+from ..obs import maybe_span
+from ..runtime.store import ResultStore
+from ..uarch.machine import Machine
+from .breaker import CircuitBreaker
+from .coalescer import Outcome, QueryCoalescer
+from .protocol import (DEFAULT_DEADLINE_MS, PredictRequest, ProtocolError,
+                       SignatureQuery, bad_request_response,
+                       deadline_response, draining_response,
+                       encode_http_response, error_response, ok_response,
+                       parse_predict_request, read_http_request,
+                       shed_response)
+from .slo import LatencyRecorder
+
+
+class PredictionServer:
+    """The online prediction service around one simulated machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine query requests are solved on.
+    predictor:
+        Calibrated signature predictor; ``None`` disables the
+        signature path (such requests get a 400).
+    store:
+        Optional persistent result store, guarded by the breaker.
+    """
+
+    def __init__(self, machine: Machine,
+                 predictor: Optional[SlowdownPredictor] = None,
+                 store: Optional[ResultStore] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 default_deadline_ms: float = DEFAULT_DEADLINE_MS,
+                 queue_bound: Optional[int] = None,
+                 coalesce_window_ms: Optional[float] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 solve_hook: Optional[Callable[[int, int], None]] = None):
+        self.machine = machine
+        self.predictor = predictor
+        self.host = host
+        self.port = port
+        self.default_deadline_ms = default_deadline_ms
+        coalescer_kwargs: Dict[str, Any] = {}
+        if queue_bound is not None:
+            coalescer_kwargs["queue_bound"] = queue_bound
+        if coalesce_window_ms is not None:
+            coalescer_kwargs["coalesce_window_ms"] = coalesce_window_ms
+        self.coalescer = QueryCoalescer(
+            machine, store, breaker=breaker, solve_hook=solve_hook,
+            **coalescer_kwargs)
+        self.recorder = LatencyRecorder()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._draining = False
+        self.requests_served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self.coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def drain(self) -> None:
+        """Refuse new work, flush admitted work, close the listener."""
+        self._draining = True
+        await self.coalescer.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot = self.coalescer.stats()
+        snapshot["requests_served"] = self.requests_served
+        snapshot["draining"] = self._draining
+        snapshot["outcomes"] = self.recorder.counts()
+        snapshot["latency_ms"] = self.recorder.latency_summary_ms()
+        return snapshot
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_http_request(reader)
+                except ProtocolError as exc:
+                    writer.write(encode_http_response(
+                        *bad_request_response(str(exc)), keep_alive=False))
+                    await writer.drain()
+                    break
+                if frame is None:
+                    break
+                method, path, headers, body = frame
+                keep_alive = (headers.get("connection", "keep-alive")
+                              .lower() != "close")
+                status, payload = await self._route(method, path, body)
+                writer.write(encode_http_response(
+                    status, payload, keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        self.requests_served += 1
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "draining" if self._draining else "ok"}
+        if path == "/stats" and method == "GET":
+            return 200, {"status": "ok", "stats": self.stats()}
+        if path != "/v1/predict":
+            return 404, {"status": "bad_request",
+                         "error": f"unknown path {path}"}
+        if method != "POST":
+            return 405, {"status": "bad_request",
+                         "error": "predict requires POST"}
+        return await self._predict(body)
+
+    async def _predict(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        started = time.monotonic()
+        with maybe_span("serve.predict") as span:
+            status, payload = await self._predict_inner(body, span)
+        latency_ms = (time.monotonic() - started) * 1000.0
+        self.recorder.record(payload.get("status", "error"), latency_ms)
+        return status, payload
+
+    async def _predict_inner(self, body: bytes, span
+                             ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            decoded = _decode_json(body)
+            request = parse_predict_request(
+                decoded, default_deadline_ms=self.default_deadline_ms)
+        except ProtocolError as exc:
+            if span is not None:
+                span.annotate(kind="malformed")
+            return bad_request_response(str(exc))
+        if span is not None:
+            span.annotate(kind=request.kind)
+
+        if self._draining:
+            return draining_response()
+
+        if request.kind == "signature":
+            return self._predict_signature(request)
+
+        outcome = await self.coalescer.submit(
+            request.query, request.deadline_ms)
+        if span is not None:
+            span.annotate(outcome=outcome.kind)
+        return _outcome_to_response(request, outcome)
+
+    def _predict_signature(self, request: PredictRequest
+                           ) -> Tuple[int, Dict[str, Any]]:
+        if self.predictor is None:
+            return bad_request_response(
+                "this server has no calibration loaded; "
+                "signature requests are unavailable")
+        query = request.signature
+        assert query is not None
+        try:
+            sample = _sample_from_counters(query)
+        except (KeyError, ValueError) as exc:
+            return bad_request_response(f"bad counters: {exc}")
+        signature = signature_from_sample(
+            sample, query.platform_family, query.frequency_ghz,
+            label=query.label)
+        prediction = self.predictor.predict_signature(signature)
+        return ok_response(
+            kind="signature",
+            prediction=prediction.as_dict(),
+            device=prediction.device,
+            degraded=prediction.degraded,
+            confidence=prediction.confidence)
+
+
+def _decode_json(body: bytes) -> Dict[str, Any]:
+    try:
+        decoded = json.loads(body.decode() or "{}")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request body is not JSON: {exc}") from None
+    if not isinstance(decoded, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return decoded
+
+
+def _sample_from_counters(query: SignatureQuery) -> CounterSample:
+    values: Dict[Counter, float] = {}
+    for name, count in query.counters.items():
+        if not isinstance(count, (int, float)):
+            raise ValueError(f"counter {name!r} count must be numeric")
+        values[Counter(name)] = float(count)
+    return CounterSample(values)
+
+
+def _outcome_to_response(request: PredictRequest,
+                         outcome: Outcome) -> Tuple[int, Dict[str, Any]]:
+    if outcome.kind == "ok":
+        return ok_response(kind="query", **outcome.payload)
+    if outcome.kind == "shed":
+        return shed_response(outcome.payload.get("queued", 0),
+                             outcome.payload.get("bound", 0))
+    if outcome.kind == "deadline":
+        return deadline_response(
+            outcome.payload.get("deadline_ms", request.deadline_ms),
+            outcome.payload.get("waited_ms", 0.0))
+    if outcome.kind == "draining":
+        return draining_response()
+    return error_response(outcome.payload.get("error", "internal error"))
+
+
+class ServerThread:
+    """Run a :class:`PredictionServer` on a private event loop thread.
+
+    The helper tests, the load generator, and the chaos driver use to
+    host a live server inside one process:
+
+    >>> with ServerThread(machine) as (host, port):
+    ...     ...  # talk HTTP to it
+    """
+
+    def __init__(self, machine: Machine, **kwargs: Any):
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server = PredictionServer(machine, **kwargs)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.address: Optional[Tuple[str, int]] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self.address = loop.run_until_complete(self.server.start())
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+    def start(self) -> Tuple[str, int]:
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.address is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self.address
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+        drained = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), loop)
+        drained.result(timeout=60.0)
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=30.0)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.server.stats()
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,183 @@
+"""ChaosStore over the segment-backed store: record-level coverage.
+
+The contract (docs/FAULTS.md + docs/STORE.md): injected damage lands
+*after* a fully honest append, corruption reads as a miss - never a
+wrong value - through every read path (the writer's own cache-dropped
+reads, a fresh reader's open-time scan), and damaged records interact
+safely with the store's own maintenance: ``compact()`` carries live
+undamaged records forward and sheds the damaged ones, and ``put_many``
+draws one independent fault per record exactly like looped ``put``.
+"""
+
+import pytest
+
+from repro.faults import ChaosStore, FaultPlan, StoreFault
+from repro.runtime.store import ResultStore
+
+
+def key_for(index):
+    return f"{index:040x}"
+
+
+def payload_for(index):
+    return {"index": index, "value": float(index) * 0.5}
+
+
+def seeded_plan(mode, probability=0.5, seed=0):
+    return FaultPlan(seed=seed,
+                     store_faults=(StoreFault(mode, probability),))
+
+
+def expected_hits(plan, keys):
+    """Which keys the plan will damage (parent-side precomputation)."""
+    return {key for key in keys if plan.store_action(key) is not None}
+
+
+class TestRecordLevelDamage:
+    @pytest.mark.parametrize("mode", ["corrupt", "truncate", "vanish"])
+    def test_damaged_records_miss_survivors_exact(self, tmp_path, mode):
+        plan = seeded_plan(mode)
+        store = ChaosStore(tmp_path / "s", plan)
+        keys = [key_for(index) for index in range(30)]
+        for index, key in enumerate(keys):
+            store.put(key, payload_for(index))
+        damaged = expected_hits(plan, keys)
+        assert damaged and len(damaged) < len(keys)
+        assert sum(store.injected.values()) == len(damaged)
+        for index, key in enumerate(keys):
+            if key in damaged:
+                assert store.get(key) is None
+            else:
+                assert store.get(key) == payload_for(index)
+
+    @pytest.mark.parametrize("mode", ["corrupt", "truncate", "vanish"])
+    def test_fresh_reader_agrees_damage_is_a_miss(self, tmp_path, mode):
+        plan = seeded_plan(mode)
+        store = ChaosStore(tmp_path / "s", plan)
+        keys = [key_for(index) for index in range(30)]
+        for index, key in enumerate(keys):
+            store.put(key, payload_for(index))
+        store.close()
+        damaged = expected_hits(plan, keys)
+
+        reader = ResultStore(tmp_path / "s")
+        for index, key in enumerate(keys):
+            if key in damaged:
+                assert reader.get(key) is None
+            else:
+                assert reader.get(key) == payload_for(index)
+        if mode == "corrupt":
+            # In-place byte flips preserve record framing, so the
+            # open-time segment scan books each damaged record exactly.
+            assert reader.stats.corrupt == len(damaged)
+        elif mode == "truncate":
+            # Truncation destroys framing; adjacent damaged records can
+            # merge into one resync, but the scan always notices.
+            assert 1 <= reader.stats.corrupt <= len(damaged)
+
+    def test_rewrite_after_vanish_is_served_again(self, tmp_path):
+        plan = seeded_plan("vanish", probability=1.0)
+        store = ChaosStore(tmp_path / "s", plan)
+        store.put(key_for(1), payload_for(1))
+        assert store.get(key_for(1)) is None
+        # The executor's re-execution path writes the entry again;
+        # the plan damages it again - vanish never corrupts, so the
+        # store keeps behaving like a (useless but safe) cache.
+        store.put(key_for(1), payload_for(1))
+        assert store.get(key_for(1)) is None
+        assert store.injected["store_vanish"] == 2
+
+
+class TestPutManyDraws:
+    def test_put_many_equals_looped_put_fault_for_fault(self, tmp_path):
+        plan = seeded_plan("corrupt", probability=0.4, seed=11)
+        keys = [key_for(index) for index in range(24)]
+
+        batched = ChaosStore(tmp_path / "batched", plan)
+        batched.put_many((key, payload_for(index))
+                         for index, key in enumerate(keys))
+        looped = ChaosStore(tmp_path / "looped", plan)
+        for index, key in enumerate(keys):
+            looped.put(key, payload_for(index))
+
+        assert batched.injected == looped.injected
+        for key in keys:
+            assert batched.get(key) == looped.get(key)
+
+    def test_put_many_damage_is_per_record_not_per_batch(self,
+                                                         tmp_path):
+        plan = seeded_plan("truncate", probability=0.5, seed=2)
+        keys = [key_for(index) for index in range(40)]
+        store = ChaosStore(tmp_path / "s", plan)
+        store.put_many((key, payload_for(index))
+                       for index, key in enumerate(keys))
+        damaged = expected_hits(plan, keys)
+        survivors = [key for key in keys if key not in damaged]
+        assert damaged and survivors
+        for key in survivors:
+            assert store.get(key) is not None
+
+
+class TestDamageRacingCompaction:
+    def test_compact_sheds_damage_and_keeps_survivors(self, tmp_path):
+        plan = seeded_plan("corrupt", probability=0.5, seed=5)
+        store = ChaosStore(tmp_path / "s", plan)
+        keys = [key_for(index) for index in range(40)]
+        for index, key in enumerate(keys):
+            store.put(key, payload_for(index))
+        damaged = expected_hits(plan, keys)
+        survivors = {key for key in keys} - damaged
+
+        store.compact()
+        for index, key in enumerate(keys):
+            if key in survivors:
+                assert store.get(key) == payload_for(index)
+            else:
+                assert store.get(key) is None
+
+        # Compaction dropped the damaged bytes for good: a fresh
+        # reader sees clean segments (no corrupt records booked).
+        store.close()
+        reader = ResultStore(tmp_path / "s")
+        assert set(reader.keys()) == survivors
+        assert reader.stats.corrupt == 0
+
+    def test_interleaved_damage_and_compaction_rounds(self, tmp_path):
+        """Faults landing between compactions never resurrect or leak.
+
+        Each round writes a fresh batch (drawing per-record faults),
+        then compacts; earlier survivors must keep their exact values
+        through every later round's damage + rewrite cycle.
+        """
+        plan = seeded_plan("truncate", probability=0.35, seed=9)
+        store = ChaosStore(tmp_path / "s", plan)
+        alive = {}
+        for round_index in range(4):
+            base = round_index * 20
+            for index in range(base, base + 20):
+                key = key_for(index)
+                store.put(key, payload_for(index))
+                if plan.store_action(key) is None:
+                    alive[key] = payload_for(index)
+            summary = store.compact()
+            assert summary["live_entries"] == len(alive)
+            for key, expected in alive.items():
+                assert store.get(key) == expected
+        assert len(store) == len(alive)
+
+    def test_damage_after_compaction_still_hits_records(self, tmp_path):
+        # Compaction renumbers segments and relocates records; a write
+        # after compaction must still be damageable at its *new* home.
+        plan = seeded_plan("corrupt", probability=1.0)
+        store = ChaosStore(tmp_path / "s", plan)
+        clean_plan = FaultPlan(seed=0)
+        store.plan = clean_plan
+        for index in range(8):
+            store.put(key_for(index), payload_for(index))
+        store.compact()
+        store.plan = plan
+        store.put(key_for(99), payload_for(99))
+        assert store.injected.get("store_corrupt") == 1
+        assert store.get(key_for(99)) is None
+        for index in range(8):
+            assert store.get(key_for(index)) == payload_for(index)

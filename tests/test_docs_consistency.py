@@ -18,7 +18,10 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 RUNTIME_FLAGS = ("--jobs", "--cache-dir", "--no-cache", "--progress")
 #: Subcommands that never simulate (or, for ``trace``/``bench``, pin
 #: their own runtime configuration), so carry no runtime flags.
-NON_SIMULATING = ("workloads", "lint", "trace", "bench", "cache")
+#: ``serve`` takes the cache flags but runs its own single-threaded
+#: solver loop; ``loadgen`` only talks HTTP.
+NON_SIMULATING = ("workloads", "lint", "trace", "bench", "cache",
+                  "serve", "loadgen")
 
 
 def subcommands():
@@ -199,6 +202,59 @@ class TestStoreDoc:
         assert RECORD_HEADER.size == struct.calcsize("<4sIBIHI")
 
 
+class TestServeDoc:
+    """docs/SERVE.md pins the service's operational defaults to code."""
+
+    def test_exists_and_covers_the_contract(self):
+        serve = read("docs/SERVE.md")
+        for term in ("POST /v1/predict", "GET /healthz", "GET /stats",
+                     "coalesce factor", "QueryCoalescer",
+                     "CircuitBreaker", "MIN_BATCH_GROUP",
+                     "run_batch", "repro-slo/1", "open-loop",
+                     "coordinated omission",
+                     "repro chaos --target serve"):
+            assert term in serve, f"{term!r} missing from SERVE.md"
+
+    def test_documents_the_real_defaults(self):
+        from repro.serve.breaker import (BREAKER_COOLDOWN_S,
+                                         BREAKER_FAILURE_THRESHOLD)
+        from repro.serve.protocol import (DEFAULT_COALESCE_WINDOW_MS,
+                                          DEFAULT_DEADLINE_MS,
+                                          DEFAULT_QUEUE_BOUND,
+                                          MAX_COALESCE_LANES)
+        serve = read("docs/SERVE.md")
+        assert DEFAULT_QUEUE_BOUND == 128
+        assert DEFAULT_DEADLINE_MS == 2000.0
+        assert DEFAULT_COALESCE_WINDOW_MS == 20.0
+        assert MAX_COALESCE_LANES == 64
+        assert BREAKER_FAILURE_THRESHOLD == 3
+        assert BREAKER_COOLDOWN_S == 5.0
+        for snippet in ("(128)", "(2000 ms)", "(20 ms", "(64)",
+                        "(3)", "(5.0 s"):
+            assert snippet in serve, f"{snippet!r} missing from SERVE.md"
+
+    def test_documents_every_outcome_status(self):
+        serve = read("docs/SERVE.md")
+        from repro.serve.slo import OUTCOMES
+        for outcome in OUTCOMES:
+            assert f"`{outcome}`" in serve, (
+                f"outcome {outcome!r} missing from SERVE.md")
+
+    def test_documents_every_serve_chaos_invariant(self):
+        serve = read("docs/SERVE.md")
+        for invariant in ("every_request_answered", "no_internal_errors",
+                          "deadlines_explicit",
+                          "coalesce_factor_above_one", "clean_drain",
+                          "breaker_opened_on_disconnects",
+                          "solver_crashes_retried"):
+            assert f"`{invariant}`" in serve, (
+                f"serve invariant {invariant!r} missing from SERVE.md")
+
+    def test_documents_the_real_slo_schema(self):
+        from repro.serve.slo import SLO_SCHEMA
+        assert f'"{SLO_SCHEMA}"' in read("docs/SERVE.md")
+
+
 class TestPmuCounterReferences:
     """Docs can never mention a counter the simulator doesn't emit.
 
@@ -211,8 +267,9 @@ class TestPmuCounterReferences:
     DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/API.md", "docs/FAULTS.md", "docs/LINT.md",
                  "docs/MODEL.md", "docs/OBSERVABILITY.md",
-                 "docs/RUNTIME.md", "docs/SOLVER.md", "docs/STORE.md",
-                 "docs/SUBSTRATE.md", "docs/WORKLOADS.md")
+                 "docs/RUNTIME.md", "docs/SERVE.md", "docs/SOLVER.md",
+                 "docs/STORE.md", "docs/SUBSTRATE.md",
+                 "docs/WORKLOADS.md")
 
     def test_registry_matches_counter_enum(self):
         from repro.core.counters import Counter
@@ -240,9 +297,18 @@ class TestCrossLinks:
     @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md",
                                      "docs/FAULTS.md",
                                      "docs/OBSERVABILITY.md",
+                                     "docs/SERVE.md",
                                      "docs/SOLVER.md", "docs/STORE.md"])
     def test_readme_links_docs(self, doc):
         assert doc in read("README.md")
+
+    def test_serve_doc_is_cross_linked(self):
+        assert "SERVE.md" in read("docs/RUNTIME.md")
+        assert "SERVE.md" in read("docs/API.md")
+        assert "SERVE.md" in read("docs/FAULTS.md")
+        for doc in ("SOLVER.md", "STORE.md", "FAULTS.md",
+                    "OBSERVABILITY.md"):
+            assert doc in read("docs/SERVE.md")
 
     def test_runtime_and_api_docs_link_store_doc(self):
         assert "STORE.md" in read("docs/RUNTIME.md")

@@ -1,0 +1,196 @@
+"""Retry backoff jitter + the pool watchdog's per-task deadlines.
+
+Satellite coverage for two robustness fixes (docs/FAULTS.md):
+
+* :class:`RetryPolicy` draws AWS-style *full jitter* - each sleep is
+  uniform in ``[0, ceiling)``, keyed deterministically - and clamps the
+  cumulative sleep to ``max_total_s`` so a deep backoff curve cannot
+  stall a latency-sensitive caller.  The executor surfaces the total
+  slept as ``retry_delay_ms`` telemetry.
+* :class:`_TaskDeadlines` gives every pooled task its own execution
+  deadline starting when it enters the running window, so a hung
+  worker on a busy pool cannot ride its siblings' completions past its
+  timeout (the old since-last-completion timer allowed exactly that).
+"""
+
+import pytest
+
+from repro.runtime import executor as executor_mod
+from repro.runtime.errors import (RetryPolicy, TransientTaskError,
+                                  _jitter_fraction)
+from repro.runtime.executor import Executor, _TaskDeadlines
+from repro.runtime.spec import RunSpec
+from repro.uarch import Machine, Placement, SKX2S
+from repro.workloads import get_workload
+
+
+class FakeClock:
+    def __init__(self, now_s=100.0):
+        self.now_s = now_s
+
+    def __call__(self):
+        return self.now_s
+
+    def advance(self, delta_s):
+        self.now_s += delta_s
+
+
+class TestJitterFraction:
+    def test_uniform_range_and_determinism(self):
+        draws = [_jitter_fraction("key", attempt)
+                 for attempt in range(64)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        assert draws == [_jitter_fraction("key", attempt)
+                         for attempt in range(64)]
+        # Not degenerate: the stream actually spreads.
+        assert max(draws) - min(draws) > 0.5
+
+    def test_keys_decorrelate(self):
+        assert _jitter_fraction("a", 0) != _jitter_fraction("b", 0)
+        assert _jitter_fraction("a", 0) != _jitter_fraction("a", 1)
+
+
+class TestRetryPolicyJitter:
+    def test_delays_are_below_the_geometric_ceiling(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.05,
+                             multiplier=2.0)
+        ceilings = [0.05, 0.1, 0.2, 0.4]
+        for key in ("aa", "bb", "cc"):
+            delays = list(policy.delays(key=key))
+            assert len(delays) == 4
+            for delay, ceiling in zip(delays, ceilings):
+                assert 0.0 <= delay < ceiling
+
+    def test_same_key_replays_exactly(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert list(policy.delays(key="task")) == \
+            list(policy.delays(key="task"))
+
+    def test_distinct_keys_desynchronize(self):
+        # The whole point: coalesced twins of one failing task must
+        # not retry in lockstep.
+        policy = RetryPolicy(max_attempts=4)
+        assert list(policy.delays(key="twin-1")) != \
+            list(policy.delays(key="twin-2"))
+
+    def test_no_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.05,
+                             multiplier=2.0, jitter=False,
+                             max_total_s=10.0)
+        assert list(policy.delays()) == [0.05, 0.1, 0.2]
+
+    def test_cumulative_cap_clamps_then_zeroes(self):
+        policy = RetryPolicy(max_attempts=6, backoff_s=1.0,
+                             multiplier=2.0, jitter=False,
+                             max_total_s=2.5)
+        # 1.0 + 2.0 + 4.0 + ... would be 31 s; the cap pays 1.0, then
+        # the 1.5 s remainder, then nothing - but retries continue.
+        assert list(policy.delays()) == [1.0, 1.5, 0.0, 0.0, 0.0]
+
+    def test_cap_bounds_jittered_totals_too(self):
+        policy = RetryPolicy(max_attempts=12, backoff_s=0.5,
+                             multiplier=3.0, max_total_s=1.25)
+        for key in ("x", "y", "z"):
+            assert sum(policy.delays(key=key)) <= 1.25
+
+    def test_rejects_negative_total_cap(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_total_s=-1.0)
+
+
+class TestRetryDelayTelemetry:
+    @pytest.fixture()
+    def spec(self):
+        machine = Machine(SKX2S)
+        return RunSpec.from_machine(machine, get_workload("557.xz"),
+                                    Placement.dram_only())
+
+    def test_total_sleep_is_surfaced_in_ms(self, spec, monkeypatch):
+        def always_transient(_spec):
+            raise TransientTaskError("permanently flaky")
+
+        monkeypatch.setattr(executor_mod, "execute_run_spec",
+                            always_transient)
+        executor = Executor(retry=RetryPolicy(max_attempts=3,
+                                              backoff_s=0.005,
+                                              jitter=False,
+                                              max_total_s=1.0))
+        with pytest.raises(TransientTaskError):
+            executor.run([spec])
+        assert executor.telemetry.counters["retries"] == 2
+        # Slept 5 ms then 10 ms before the budget ran out.
+        assert executor.telemetry.counters["retry_delay_ms"] == 15
+
+    def test_no_retries_books_no_delay(self, spec):
+        executor = Executor()
+        executor.run([spec])
+        assert "retry_delay_ms" not in executor.telemetry.counters
+
+
+class TestTaskDeadlines:
+    def ladder(self, timeout_s=10.0, workers=2, clock=None):
+        clock = clock or FakeClock()
+        return _TaskDeadlines(timeout_s, workers, clock=clock), clock
+
+    def test_deadline_starts_at_running_window_entry(self):
+        ladder, clock = self.ladder()
+        ladder.submit("f1")
+        ladder.submit("f2")
+        clock.advance(4.0)
+        ladder.submit("f3")      # queued: both worker slots are busy
+        assert ladder.next_timeout_s() == pytest.approx(6.0)
+        clock.advance(2.0)
+        ladder.complete("f2")    # promotes f3 with a *fresh* deadline
+        # f1's own deadline is 4 s out; f3's is a full 10 s.
+        assert ladder.next_timeout_s() == pytest.approx(4.0)
+        clock.advance(4.0)
+        assert ladder.expired() == ["f1"]
+
+    def test_sibling_completions_never_extend_a_hung_task(self):
+        # The regression: with a since-last-completion timer, a stream
+        # of fast siblings resets the clock and the hung task evades
+        # detection forever.  Per-task deadlines do not reset.
+        ladder, clock = self.ladder(timeout_s=10.0, workers=2)
+        ladder.submit("hung")
+        for index in range(20):
+            name = f"fast-{index}"
+            ladder.submit(name)
+            clock.advance(1.0)
+            ladder.complete(name)
+            if clock() >= 110.0:
+                break
+        assert "hung" in ladder.expired()
+
+    def test_queued_task_completing_early_is_forgotten(self):
+        ladder, clock = self.ladder(workers=1)
+        ladder.submit("f1")
+        ladder.submit("f2")
+        ladder.complete("f2")    # cancelled while still queued
+        ladder.complete("f1")
+        assert ladder.next_timeout_s() is None
+        clock.advance(1000.0)
+        assert ladder.expired() == []
+
+    def test_expiry_boundary_is_inclusive(self):
+        ladder, clock = self.ladder(timeout_s=5.0, workers=1)
+        ladder.submit("f1")
+        clock.advance(5.0)
+        assert ladder.next_timeout_s() == 0.0
+        assert ladder.expired() == ["f1"]
+
+    def test_disabled_timeout_never_expires(self):
+        ladder, clock = self.ladder(timeout_s=None)
+        ladder.submit("f1")
+        clock.advance(1e9)
+        assert ladder.next_timeout_s() is None
+        assert ladder.expired() == []
+
+    def test_fifo_promotion_order(self):
+        ladder, clock = self.ladder(timeout_s=10.0, workers=1)
+        for name in ("a", "b", "c"):
+            ladder.submit(name)
+        ladder.complete("a")
+        clock.advance(10.0)
+        # Only "b" entered the window when "a" finished; "c" still
+        # waits and must not be reported hung.
+        assert ladder.expired() == ["b"]

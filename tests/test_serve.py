@@ -1,0 +1,521 @@
+"""The online prediction service: protocol, breaker, coalescer, server.
+
+The degradation contract under test (docs/SERVE.md): every request
+terminates in exactly one explicit outcome - solved, shed (429),
+deadline-expired (504), draining (503), or bad-request (400) - and an
+expired or shed query is never solved.  Store failures trip the
+circuit breaker and degrade to solve-without-cache; accelerated
+(small-batch) answers are never persisted to the byte-identity store.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.slowdown import SlowdownPredictor
+from repro.runtime.errors import StoreError, TransientTaskError
+from repro.runtime.executor import MIN_BATCH_GROUP
+from repro.runtime.spec import RunSpec
+from repro.runtime.store import ResultStore
+from repro.serve import (CircuitBreaker, BreakerOpenError, SLOReport,
+                         ServerThread)
+from repro.serve.coalescer import QueryCoalescer
+from repro.serve.loadgen import request_body, run_loadgen
+from repro.serve.protocol import (DEFAULT_DEADLINE_MS, ProtocolError,
+                                  RunQuery, encode_http_request,
+                                  parse_predict_request,
+                                  read_http_response)
+from repro.serve.slo import LatencyRecorder, percentile_ms
+from repro.uarch import Placement
+from repro.workloads import get_workload
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ---------------------------------------------------------------------------
+# Protocol.
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_parse_query_request(self):
+        request = parse_predict_request({
+            "kind": "query", "workload": "xsbench",
+            "placement": {"dram_fraction": 0.5, "device": "cxl-a"},
+            "deadline_ms": 500})
+        assert request.kind == "query"
+        assert request.deadline_ms == 500
+        assert request.query.workload == "xsbench"
+        assert request.query.placement["device"] == "cxl-a"
+
+    def test_parse_signature_request(self):
+        request = parse_predict_request({
+            "kind": "signature",
+            "counters": {"cycles": 1e9, "instructions": 8e8},
+            "platform_family": "skx", "frequency_ghz": 2.1})
+        assert request.kind == "signature"
+        assert request.deadline_ms == DEFAULT_DEADLINE_MS
+        assert request.signature.counters["cycles"] == 1e9
+
+    @pytest.mark.parametrize("body", [
+        [],
+        {},
+        {"kind": "nope"},
+        {"kind": "query"},
+        {"kind": "query", "workload": ""},
+        {"kind": "query", "workload": "xsbench", "deadline_ms": -1},
+        {"kind": "query", "workload": "xsbench", "placement": 7},
+        {"kind": "query", "workload": "xsbench", "threads": 0},
+        {"kind": "signature", "counters": {}},
+        {"kind": "signature", "counters": {"cycles": 1},
+         "platform_family": "skx", "frequency_ghz": 0},
+    ])
+    def test_malformed_bodies_raise_protocol_error(self, body):
+        with pytest.raises(ProtocolError):
+            parse_predict_request(body)
+
+    def test_http_frame_roundtrip(self):
+        async def roundtrip():
+            frame = encode_http_request(
+                "POST", "/v1/predict", {"kind": "query"})
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                b"HTTP/1.1 429 Too Many Requests\r\n"
+                b"Content-Length: 17\r\n\r\n"
+                b'{"status":"shed"}')
+            reader.feed_eof()
+            assert b"Content-Type: application/json" in frame
+            return await read_http_response(reader)
+
+        status, body = asyncio.run(roundtrip())
+        assert status == 429
+        assert body == {"status": "shed"}
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker.
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=5.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.snapshot()["opens"] == 1
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()          # the probe
+        assert not breaker.allow()      # everyone else waits
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(4.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half-open"
+
+    def test_call_converts_oserror_and_raises_when_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        with pytest.raises(StoreError):
+            breaker.call(lambda: (_ for _ in ()).throw(OSError("io")))
+        with pytest.raises(BreakerOpenError):
+            breaker.call(lambda: "never reached")
+        assert breaker.snapshot()["rejections"] == 1
+
+
+# ---------------------------------------------------------------------------
+# SLO accounting.
+# ---------------------------------------------------------------------------
+
+class TestSlo:
+    def test_percentiles_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert percentile_ms(samples, 0.50) in (50.0, 51.0)
+        assert percentile_ms(samples, 0.99) == 99.0
+        assert percentile_ms(samples, 1.0) == 100.0
+        assert percentile_ms([], 0.99) == 0.0
+
+    def test_recorder_only_ok_latencies_enter_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.record("ok", 10.0)
+        recorder.record("shed", 99999.0)
+        summary = recorder.latency_summary_ms()
+        assert summary["max"] == 10.0
+        assert recorder.counts() == {"ok": 1, "shed": 1}
+        with pytest.raises(ValueError):
+            recorder.record("mystery", 1.0)
+
+    def test_report_roundtrip_and_derived_rates(self):
+        report = SLOReport(
+            rate_rps=50.0, duration_s=2.0, sent=100,
+            outcomes={"ok": 90, "shed": 8, "deadline": 2},
+            latency_ms={"p50": 5.0, "p99": 20.0, "p999": 30.0,
+                        "max": 31.0, "samples": 90.0},
+            server={"lanes_solved": 30, "batches_solved": 10})
+        assert report.shed_fraction == pytest.approx(0.08)
+        assert report.coalesce_factor == pytest.approx(3.0)
+        assert report.failure_count == 0
+        clone = SLOReport.from_dict(json.loads(report.to_json()))
+        assert clone.outcomes == report.outcomes
+        assert "p99" in report.render()
+        with pytest.raises(ValueError):
+            SLOReport.from_dict({"schema": "elsewhere/9"})
+
+
+# ---------------------------------------------------------------------------
+# Coalescer.
+# ---------------------------------------------------------------------------
+
+def query(name="xsbench", placement=None):
+    return RunQuery(workload=name, placement=placement)
+
+
+async def submit_and_wait(coalescer, queries, deadline_ms=5000.0):
+    coalescer.start()
+    futures = [coalescer.submit(q, deadline_ms) for q in queries]
+    outcomes = await asyncio.gather(*futures)
+    await coalescer.drain()
+    return outcomes
+
+
+class TestCoalescer:
+    def test_full_queue_sheds_explicitly(self, skx_machine):
+        async def scenario():
+            # No batch task running: the queue can only fill.
+            coalescer = QueryCoalescer(skx_machine, queue_bound=2,
+                                       coalesce_window_ms=1.0)
+            first = coalescer.submit(query(), 1000.0)
+            second = coalescer.submit(query("gpt-2"), 1000.0)
+            third = coalescer.submit(query("dlrm"), 1000.0)
+            assert third.done()
+            shed = third.result()
+            assert shed.kind == "shed"
+            assert shed.payload == {"queued": 2, "bound": 2}
+            assert not first.done() and not second.done()
+            coalescer.start()
+            results = await asyncio.gather(first, second)
+            await coalescer.drain()
+            return results
+
+        outcomes = asyncio.run(scenario())
+        assert [outcome.kind for outcome in outcomes] == ["ok", "ok"]
+
+    def test_identical_queries_share_one_lane(self, skx_machine):
+        async def scenario():
+            coalescer = QueryCoalescer(skx_machine,
+                                       coalesce_window_ms=50.0)
+            outcomes = await submit_and_wait(
+                coalescer, [query() for _ in range(5)])
+            return coalescer, outcomes
+
+        coalescer, outcomes = asyncio.run(scenario())
+        assert all(outcome.kind == "ok" for outcome in outcomes)
+        fingerprints = {outcome.payload["fingerprint"]
+                        for outcome in outcomes}
+        assert len(fingerprints) == 1
+        assert coalescer.counters["coalesced_twins"] == 4
+        assert coalescer.counters["lanes_solved"] == 1
+        assert coalescer.counters["batches_solved"] == 1
+
+    def test_expired_query_answered_never_solved(self, skx_machine):
+        async def scenario():
+            coalescer = QueryCoalescer(skx_machine,
+                                       coalesce_window_ms=1.0)
+            # The deadline passes while the request sits queued
+            # (the batch task is not running yet).
+            future = coalescer.submit(query(), 0.001)
+            await asyncio.sleep(0.01)
+            coalescer.start()
+            outcome = await future
+            await coalescer.drain()
+            return coalescer, outcome
+
+        coalescer, outcome = asyncio.run(scenario())
+        assert outcome.kind == "deadline"
+        assert outcome.payload["waited_ms"] >= 0.001
+        assert coalescer.counters["deadline_expired"] == 1
+        assert coalescer.counters["batches_solved"] == 0
+
+    def test_unknown_workload_is_an_error_outcome(self, skx_machine):
+        async def scenario():
+            coalescer = QueryCoalescer(skx_machine)
+            return await coalescer.submit(query("no-such-load"), 1000.0)
+
+        outcome = asyncio.run(scenario())
+        assert outcome.kind == "error"
+        assert "no-such-load" in outcome.payload["error"]
+
+    def test_small_batch_not_persisted_but_memoized(self, skx_machine,
+                                                    tmp_path):
+        store = ResultStore(tmp_path / "serve")
+
+        async def scenario():
+            coalescer = QueryCoalescer(skx_machine, store,
+                                       coalesce_window_ms=1.0)
+            coalescer.start()
+            first = await coalescer.submit(query(), 5000.0)
+            second = await coalescer.submit(query(), 5000.0)
+            await coalescer.drain()
+            return coalescer, [first, second]
+
+        coalescer, outcomes = asyncio.run(scenario())
+        assert [outcome.kind for outcome in outcomes] == ["ok", "ok"]
+        key = outcomes[0].payload["fingerprint"]
+        assert key not in store          # accelerated: memo only
+        assert coalescer.counters["memo_hits"] == 1
+        assert coalescer.counters["store_writes"] == 0
+
+    def test_replay_batch_persists_machine_identical_results(
+            self, skx_machine, tmp_path):
+        store = ResultStore(tmp_path / "serve")
+        names = ("xsbench", "gpt-2", "dlrm", "605.mcf", "557.xz",
+                 "619.lbm", "bc-kron", "pr-twitter", "redis-ycsb",
+                 "resnet50", "603.bwaves", "spark-terasort",
+                 "llama-7b", "wmt20", "integerSort", "suffixArray")
+        assert len(names) >= MIN_BATCH_GROUP
+
+        async def scenario():
+            coalescer = QueryCoalescer(skx_machine, store,
+                                       coalesce_window_ms=50.0)
+            # Enqueue before starting so one window sees all lanes.
+            futures = [coalescer.submit(query(name), 30000.0)
+                       for name in names]
+            coalescer.start()
+            outcomes = await asyncio.gather(*futures)
+            await coalescer.drain()
+            return coalescer, outcomes
+
+        coalescer, outcomes = asyncio.run(scenario())
+        assert all(outcome.kind == "ok" for outcome in outcomes)
+        assert coalescer.counters["batches_solved"] == 1
+        assert coalescer.counters["store_writes"] == len(names)
+        # Replay-mode lanes are bit-identical to scalar Machine.run:
+        # what the store now holds must equal a direct execution.
+        from repro.runtime import serde
+        spec = RunSpec.from_machine(skx_machine, get_workload(names[0]),
+                                    Placement.dram_only())
+        direct = skx_machine.run(spec.workload, spec.placement)
+        assert store.get(spec.fingerprint()) == \
+            serde.run_result_to_dict(direct)
+
+    def test_store_failures_trip_breaker_and_degrade(self, skx_machine):
+        class DeadStore:
+            def get(self, key):
+                raise StoreError("unreachable")
+
+            def put(self, key, payload):
+                raise StoreError("unreachable")
+
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+
+        async def scenario():
+            coalescer = QueryCoalescer(
+                skx_machine, DeadStore(), breaker=breaker,
+                coalesce_window_ms=1.0)
+            coalescer.start()
+            outcomes = []
+            for name in ("xsbench", "gpt-2", "dlrm"):
+                outcomes.append(await coalescer.submit(query(name),
+                                                       5000.0))
+            await coalescer.drain()
+            return coalescer, outcomes
+
+        coalescer, outcomes = asyncio.run(scenario())
+        # Service degraded to solve-without-cache: all answered.
+        assert [outcome.kind for outcome in outcomes] == ["ok"] * 3
+        assert breaker.state == "open"
+        assert coalescer.counters["store_errors"] >= 2
+
+    def test_transient_solve_fault_retried_attempt0_only(self,
+                                                         skx_machine):
+        attempts = []
+
+        def hook(batch_index, attempt):
+            attempts.append((batch_index, attempt))
+            if attempt == 0:
+                raise TransientTaskError("injected")
+
+        async def scenario():
+            coalescer = QueryCoalescer(skx_machine, solve_hook=hook,
+                                       coalesce_window_ms=1.0)
+            return coalescer, await submit_and_wait(coalescer, [query()])
+
+        coalescer, outcomes = asyncio.run(scenario())
+        assert outcomes[0].kind == "ok"
+        assert attempts == [(1, 0), (1, 1)]
+        assert coalescer.counters["solve_retries"] == 1
+
+    def test_draining_refuses_new_work(self, skx_machine):
+        async def scenario():
+            coalescer = QueryCoalescer(skx_machine,
+                                       coalesce_window_ms=1.0)
+            coalescer.start()
+            await coalescer.drain()
+            return await coalescer.submit(query(), 1000.0)
+
+        outcome = asyncio.run(scenario())
+        assert outcome.kind == "draining"
+
+
+# ---------------------------------------------------------------------------
+# The live server.
+# ---------------------------------------------------------------------------
+
+async def _post(host, port, body, path="/v1/predict", method="POST"):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(encode_http_request(method, path, body,
+                                     keep_alive=False))
+    await writer.drain()
+    status, payload = await read_http_response(reader)
+    writer.close()
+    return status, payload
+
+
+class TestPredictionServer:
+    def test_query_shed_deadline_and_stats_roundtrip(self, skx_machine,
+                                                     tmp_path):
+        store = ResultStore(tmp_path / "serve")
+        with ServerThread(skx_machine, store=store) as (host, port):
+            async def scenario():
+                ok = await _post(host, port, {
+                    "kind": "query", "workload": "xsbench",
+                    "placement": {"dram_fraction": 0.5,
+                                  "device": "cxl-a"}})
+                bad = await _post(host, port, {"kind": "query"})
+                expired = await _post(host, port, {
+                    "kind": "query", "workload": "gpt-2",
+                    "deadline_ms": 0.001})
+                missing = await _post(host, port, {}, path="/nowhere",
+                                      method="GET")
+                health = await _post(host, port, None, path="/healthz",
+                                     method="GET")
+                stats = await _post(host, port, None, path="/stats",
+                                    method="GET")
+                return ok, bad, expired, missing, health, stats
+
+            (ok, bad, expired, missing, health,
+             stats) = asyncio.run(scenario())
+        assert ok == (200, ok[1])
+        assert ok[1]["status"] == "ok"
+        assert ok[1]["result"]["converged"] is True
+        assert bad[0] == 400 and bad[1]["status"] == "bad_request"
+        assert expired[0] == 504 and expired[1]["status"] == "deadline"
+        assert missing[0] == 404
+        assert health == (200, {"status": "ok"})
+        assert stats[0] == 200
+        assert stats[1]["stats"]["admitted"] >= 2
+
+    def test_signature_request_answered_inline(self, skx_machine,
+                                               skx_cxla_calibration):
+        predictor = SlowdownPredictor(skx_cxla_calibration)
+        profile = skx_machine.profile(get_workload("xsbench"))
+        counters = {counter.value: value
+                    for counter, value in profile.sample.items()}
+        with ServerThread(skx_machine,
+                          predictor=predictor) as (host, port):
+            status, payload = asyncio.run(_post(host, port, {
+                "kind": "signature", "counters": counters,
+                "platform_family": profile.platform_family,
+                "frequency_ghz": profile.frequency_ghz}))
+        assert status == 200
+        assert payload["status"] == "ok"
+        expected = predictor.predict(profile)
+        assert payload["prediction"]["total"] == pytest.approx(
+            expected.total)
+        assert payload["degraded"] is False
+
+    def test_signature_without_calibration_is_bad_request(
+            self, skx_machine):
+        with ServerThread(skx_machine) as (host, port):
+            status, payload = asyncio.run(_post(host, port, {
+                "kind": "signature", "counters": {"cycles": 1e9},
+                "platform_family": "skx", "frequency_ghz": 2.1}))
+        assert status == 400
+        assert "calibration" in payload["error"]
+
+    def test_malformed_http_framing_gets_400_not_a_hang(
+            self, skx_machine):
+        with ServerThread(skx_machine) as (host, port):
+            async def scenario():
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                writer.write(b"NOT-EVEN-HTTP\r\n\r\n")
+                await writer.drain()
+                status, payload = await read_http_response(reader)
+                writer.close()
+                return status, payload
+
+            status, payload = asyncio.run(scenario())
+        assert status == 400
+        assert payload["status"] == "bad_request"
+
+    def test_loadgen_reports_all_requests_and_coalescing(
+            self, skx_machine):
+        with ServerThread(skx_machine) as (host, port):
+            report = asyncio.run(run_loadgen(
+                host, port, rate_rps=40.0, duration_s=1.5,
+                deadline_ms=30000.0, seed=7))
+        assert report.sent == 60
+        assert sum(report.outcomes.values()) == report.sent
+        assert report.failure_count == 0
+        assert report.outcomes.get("transport_error", 0) == 0
+        assert report.latency_ms["samples"] == report.ok
+        # Server-side counters made it into the report.
+        assert report.server["batches_solved"] >= 1
+
+    def test_drain_leaves_nothing_queued(self, skx_machine):
+        thread = ServerThread(skx_machine)
+        host, port = thread.start()
+        asyncio.run(_post(host, port, {"kind": "query",
+                                       "workload": "xsbench"}))
+        thread.stop()
+        stats = thread.stats()
+        assert stats["draining"] is True
+        assert stats["queued"] == 0
+
+    def test_deterministic_request_mix(self):
+        first = [request_body(i, seed=3) for i in range(20)]
+        second = [request_body(i, seed=3) for i in range(20)]
+        assert first == second
+        assert any(body != first[0] for body in first)

@@ -1,0 +1,170 @@
+"""Live-service chaos: FlakyStore, the serve schedule, the harness.
+
+``repro chaos --target serve`` must prove graceful degradation on a
+*running* server: every request answered from the explicit outcome
+vocabulary, the breaker opening under store disconnects, injected
+solver crashes absorbed by retry, and a clean drain.  These tests
+exercise the injector and harness pieces separately, then one real
+(short) end-to-end run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.faults import (FaultPlan, StoreFault, WorkerFault,
+                          named_plan, run_serve_chaos)
+from repro.faults.chaos_serve import ServeChaosReport, _solve_hook
+from repro.faults.injectors import FlakyStore
+from repro.runtime.errors import StoreError, TransientTaskError
+from repro.runtime.store import ResultStore
+from repro.serve.slo import SLOReport
+
+
+def payload(tag):
+    return {"tag": tag, "value": 1.0}
+
+
+class TestFlakyStore:
+    def plan(self, probability=0.5, seed=0):
+        return FaultPlan(
+            seed=seed,
+            store_faults=(StoreFault("disconnect", probability),))
+
+    def test_disconnects_come_in_whole_blocks(self, tmp_path):
+        store = FlakyStore(tmp_path / "s", self.plan(0.5), burst=4)
+        verdicts = []
+        for index in range(40):
+            try:
+                store.put(f"{index:040x}", payload(index))
+                verdicts.append(True)
+            except StoreError:
+                verdicts.append(False)
+        # Outages are drawn per block of 4 operations, so the verdict
+        # sequence is constant within each block.
+        for start in range(0, 40, 4):
+            block = verdicts[start:start + 4]
+            assert len(set(block)) == 1, (start, block)
+        assert not all(verdicts), "some block should disconnect"
+        assert any(verdicts), "some block should succeed"
+        assert store.injected["store_disconnect"] == \
+            verdicts.count(False)
+
+    def test_deterministic_in_the_seed(self, tmp_path):
+        def outcomes(root, seed):
+            store = FlakyStore(root, self.plan(0.5, seed), burst=3)
+            result = []
+            for index in range(12):
+                try:
+                    store.get(f"{index:040x}")
+                    result.append(True)
+                except StoreError:
+                    result.append(False)
+            return result
+
+        assert outcomes(tmp_path / "a", 7) == outcomes(tmp_path / "b", 7)
+        assert outcomes(tmp_path / "c", 7) != outcomes(tmp_path / "d", 8)
+
+    def test_surviving_writes_are_real_and_readable(self, tmp_path):
+        store = FlakyStore(tmp_path / "s", self.plan(0.5), burst=4)
+        written = []
+        for index in range(24):
+            key = f"{index:040x}"
+            try:
+                store.put(key, payload(index))
+                written.append((key, payload(index)))
+            except StoreError:
+                pass
+        assert written
+        # A fresh, non-flaky reader sees exactly what got through.
+        reader = ResultStore(tmp_path / "s")
+        for key, expected in written:
+            assert reader.get(key) == expected
+
+    def test_no_disconnect_faults_means_transparent(self, tmp_path):
+        plan = FaultPlan(seed=0)
+        store = FlakyStore(tmp_path / "s", plan)
+        store.put("ab12", payload(0))
+        assert store.get("ab12") == payload(0)
+        assert store.injected == {}
+
+
+class TestSolveHook:
+    def test_crash_raises_transient_on_attempt0_only(self):
+        plan = FaultPlan(seed=0, worker_faults=(
+            WorkerFault("crash", 1.0),))
+        hook = _solve_hook(plan)
+        with pytest.raises(TransientTaskError):
+            hook(1, 0)
+        hook(1, 1)   # retry attempt is clean by construction
+        assert hook.counts == {"worker_crash": 1}
+
+    def test_hang_sleeps_bounded(self):
+        import time
+        plan = FaultPlan(seed=0, worker_faults=(
+            WorkerFault("hang", 1.0, hang_s=30.0),))
+        hook = _solve_hook(plan)
+        started = time.monotonic()
+        hook(1, 0)
+        assert time.monotonic() - started < 2.0
+        assert hook.counts == {"worker_hang": 1}
+
+
+class TestServeSchedule:
+    def test_registered_and_has_all_three_seams(self):
+        plan = named_plan("serve", seed=3)
+        assert plan.name == "serve"
+        assert any(fault.mode == "disconnect"
+                   for fault in plan.store_faults)
+        assert any(fault.mode == "crash"
+                   for fault in plan.worker_faults)
+        assert plan.tier_faults
+
+    def test_disconnect_is_a_valid_mode(self):
+        StoreFault("disconnect", 0.5)
+        with pytest.raises(ValueError):
+            StoreFault("unplug", 0.5)
+
+
+class TestServeChaosReport:
+    def report(self, invariants):
+        slo = SLOReport(rate_rps=10, duration_s=1, sent=10,
+                        outcomes={"ok": 10},
+                        latency_ms={"p50": 1.0, "p99": 2.0,
+                                    "p999": 2.0, "max": 2.0,
+                                    "samples": 10.0},
+                        server={"lanes_solved": 4,
+                                "batches_solved": 2})
+        return ServeChaosReport(schedule="serve", seed=0, slo=slo,
+                                injected={"store_disconnect": 2},
+                                invariants=invariants)
+
+    def test_ok_requires_every_invariant(self):
+        assert self.report({"a": True, "b": True}).ok
+        assert not self.report({"a": True, "b": False}).ok
+
+    def test_render_names_verdicts_and_faults(self):
+        text = self.report({"every_request_answered": True,
+                            "clean_drain": False}).render()
+        assert "FAIL" in text
+        assert "[pass] every_request_answered" in text
+        assert "[FAIL] clean_drain" in text
+        assert "store_disconnect" in text
+        assert "coalesce factor" in text
+
+
+class TestEndToEnd:
+    def test_short_run_holds_every_invariant(self):
+        report = run_serve_chaos(rate_rps=50.0, duration_s=2.5,
+                                 deadline_ms=5000.0)
+        assert report.invariants, "no invariants evaluated"
+        assert set(report.invariants) >= {
+            "every_request_answered", "no_internal_errors",
+            "deadlines_explicit", "coalesce_factor_above_one",
+            "clean_drain", "breaker_opened_on_disconnects",
+            "solver_crashes_retried"}
+        assert report.ok, report.render()
+        assert report.slo.sent == 125
+        assert sum(report.slo.outcomes.values()) == report.slo.sent
+        assert report.slo.failure_count == 0
+        assert report.total_injected > 0
