@@ -138,6 +138,14 @@ def _call(item: Tuple[Callable[[T], R], T]) -> R:
     return fn(arg)
 
 
+#: Extra seconds granted before the pool's first completion: a cold
+#: ``ProcessPoolExecutor`` pays process spawn plus import cost before
+#: any task truly starts running, and that startup must not count
+#: against the first window's per-task budgets (a small
+#: ``task_timeout`` would otherwise declare a merely-cold pool hung).
+POOL_WARMUP_GRACE_S = 10.0
+
+
 class _TaskDeadlines:
     """Per-task execution deadlines for the pool watchdog.
 
@@ -151,15 +159,28 @@ class _TaskDeadlines:
     FIFO), not when it was merely queued.  A completion elsewhere
     promotes the next queued task into the window; it never extends a
     running task's deadline.
+
+    The pool is only *plausibly* running anything once it has
+    completed something: until the first completion the workers may
+    still be forking and importing, so first-window tasks share one
+    warm-up backstop deadline (``timeout_s + warmup_grace_s``, which
+    still catches a pool that never produces a result) and their
+    individual clocks start at the first completion.
     """
 
     def __init__(self, timeout_s: Optional[float], workers: int,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 warmup_grace_s: float = POOL_WARMUP_GRACE_S):
         self._timeout_s = timeout_s
         self._workers = workers
         self._clock = clock
+        self._warmup_grace_s = warmup_grace_s
         self._queued: List[Any] = []
-        self._running: Dict[Any, float] = {}
+        #: deadline per running task; ``None`` = armed at first
+        #: completion (covered by the warm-up backstop until then).
+        self._running: Dict[Any, Optional[float]] = {}
+        self._warm = False
+        self._warmup_deadline: Optional[float] = None
 
     def submit(self, future: Any) -> None:
         self._queued.append(future)
@@ -168,26 +189,49 @@ class _TaskDeadlines:
     def _fill(self) -> None:
         while self._queued and len(self._running) < self._workers:
             future = self._queued.pop(0)
-            if self._timeout_s is not None:
+            if self._timeout_s is None:
+                continue
+            if self._warm:
                 self._running[future] = self._clock() + self._timeout_s
+            else:
+                self._running[future] = None
+                if self._warmup_deadline is None:
+                    self._warmup_deadline = (
+                        self._clock() + self._timeout_s
+                        + self._warmup_grace_s)
 
     def complete(self, future: Any) -> None:
         self._running.pop(future, None)
         if future in self._queued:
             self._queued.remove(future)
+        if not self._warm:
+            # First completion: the pool is demonstrably warm; the
+            # still-running first-window tasks' own clocks start now.
+            self._warm = True
+            if self._timeout_s is not None:
+                deadline = self._clock() + self._timeout_s
+                for pending, armed in self._running.items():
+                    if armed is None:
+                        self._running[pending] = deadline
         self._fill()
 
     def next_timeout_s(self) -> Optional[float]:
         """Seconds until the earliest running-task deadline (>= 0)."""
         if self._timeout_s is None or not self._running:
             return None
+        if not self._warm:
+            return max(0.0, self._warmup_deadline - self._clock())
         return max(0.0, min(self._running.values()) - self._clock())
 
     def expired(self) -> List[Any]:
         """Running tasks whose own deadline has passed."""
-        if self._timeout_s is None:
+        if self._timeout_s is None or not self._running:
             return []
         now = self._clock()
+        if not self._warm:
+            if self._warmup_deadline <= now:
+                return list(self._running)
+            return []
         return [future for future, deadline in self._running.items()
                 if deadline <= now]
 
@@ -211,9 +255,15 @@ class Executor:
         Per-task execution budget in seconds, measured from the moment
         the task enters the pool's running window (not from batch
         start, and not reset by sibling completions - see
-        :class:`_TaskDeadlines`).  A task exceeding it declares the
-        pool hung and the batch remainder re-runs serially.  ``None``
-        (the default) waits forever.
+        :class:`_TaskDeadlines`).  Until the pool's first completion
+        the budget is widened by ``pool_warmup_grace_s`` so cold
+        process spawn/import cost is not mistaken for a hang.  A task
+        exceeding it declares the pool hung and the batch remainder
+        re-runs serially.  ``None`` (the default) waits forever.
+    pool_warmup_grace_s:
+        Extra seconds added to first-window budgets before the pool's
+        first completion (default :data:`POOL_WARMUP_GRACE_S`); ``0``
+        restores strict submission-time deadlines.
     retry:
         Backoff policy for :class:`TransientTaskError` failures in the
         serial path.
@@ -229,17 +279,21 @@ class Executor:
                  telemetry: Optional[Telemetry] = None,
                  progress: bool = False,
                  task_timeout: Optional[float] = None,
+                 pool_warmup_grace_s: float = POOL_WARMUP_GRACE_S,
                  retry: Optional[RetryPolicy] = None,
                  fault_plan: Optional["FaultPlan"] = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
+        if pool_warmup_grace_s < 0:
+            raise ValueError("pool_warmup_grace_s must be >= 0")
         self.jobs = jobs
         self.store = store
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.progress = progress
         self.task_timeout = task_timeout
+        self.pool_warmup_grace_s = pool_warmup_grace_s
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self._memo: Dict[str, Dict[str, Any]] = {}
@@ -544,7 +598,8 @@ class Executor:
             raise WorkerCrashError(
                 f"could not start worker pool: {exc}") from exc
         completed = False
-        deadlines = _TaskDeadlines(self.task_timeout, workers)
+        deadlines = _TaskDeadlines(self.task_timeout, workers,
+                                   warmup_grace_s=self.pool_warmup_grace_s)
         try:
             try:
                 futures = set()

@@ -43,7 +43,7 @@ from ..runtime.spec import RunSpec
 from ..runtime.store import ResultStore
 from ..uarch.machine import Machine, WarmStartCache
 from ..workloads.suites import get_workload
-from .breaker import CircuitBreaker
+from .breaker import BreakerOpenError, CircuitBreaker
 from .protocol import (DEFAULT_COALESCE_WINDOW_MS, DEFAULT_QUEUE_BOUND,
                        MAX_COALESCE_LANES, RunQuery)
 
@@ -59,7 +59,7 @@ MAX_MEMO_ENTRIES = 4096
 class Outcome:
     """How one admitted query terminated (the closed vocabulary)."""
 
-    kind: str  # "ok" | "shed" | "deadline" | "draining" | "error"
+    kind: str  # "ok"|"shed"|"deadline"|"draining"|"bad_request"|"error"
     payload: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -128,6 +128,10 @@ class QueryCoalescer:
         self._draining = False
         self._task: Optional["asyncio.Task[None]"] = None
         self._batch_counter = 0
+        # Counters are bumped from both the event loop (admission) and
+        # the solver thread (batch processing); '+=' alone would lose
+        # increments across the two.
+        self._counters_lock = threading.Lock()
         #: Counters surfaced through /stats and the SLO report.
         self.counters: Dict[str, int] = {
             "admitted": 0, "shed": 0, "deadline_expired": 0,
@@ -163,8 +167,13 @@ class QueryCoalescer:
     def draining(self) -> bool:
         return self._draining
 
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._counters_lock:
+            self.counters[name] += delta
+
     def stats(self) -> Dict[str, Any]:
-        snapshot: Dict[str, Any] = dict(self.counters)
+        with self._counters_lock:
+            snapshot: Dict[str, Any] = dict(self.counters)
         snapshot["queued"] = self._queue.qsize()
         snapshot["queue_bound"] = self.queue_bound
         snapshot["breaker"] = self.breaker.snapshot()
@@ -187,17 +196,21 @@ class QueryCoalescer:
             return future
         queued = self._queue.qsize()
         if queued >= self.queue_bound:
-            self.counters["shed"] += 1
+            self._count("shed")
             future.set_result(Outcome(
                 "shed", {"queued": queued, "bound": self.queue_bound}))
             return future
         try:
             spec, key = self._resolve_spec(query)
         except (KeyError, TypeError, ValueError) as exc:
-            future.set_result(Outcome("error", {"error": str(exc)}))
+            # Client input the parser could not reject (unknown
+            # workload, bad placement shape): a 400, not an internal
+            # fault - chaos asserts zero "error" outcomes.
+            future.set_result(Outcome("bad_request",
+                                      {"error": str(exc)}))
             return future
         now = self.clock()
-        self.counters["admitted"] += 1
+        self._count("admitted")
         self._queue.put_nowait(_Pending(
             query=query, spec=spec, key=key,
             deadline_at=now + deadline_ms / 1000.0,
@@ -243,7 +256,7 @@ class QueryCoalescer:
             outcomes = await loop.run_in_executor(
                 None, self._process_batch, batch)
         except Exception as exc:  # the service must outlive any solve
-            self.counters["errors"] += len(batch)
+            self._count("errors", len(batch))
             outcomes = [Outcome("error", {"error": str(exc)})] * len(batch)
         for pending, outcome in zip(batch, outcomes):
             if not pending.future.done():
@@ -258,7 +271,7 @@ class QueryCoalescer:
         live: List[int] = []
         for index, pending in enumerate(batch):
             if pending.expired(now):
-                self.counters["deadline_expired"] += 1
+                self._count("deadline_expired")
                 outcomes[index] = Outcome("deadline", {
                     "deadline_ms": pending.deadline_ms(),
                     "waited_ms": pending.waited_ms(now)})
@@ -269,7 +282,7 @@ class QueryCoalescer:
         lanes: Dict[str, List[int]] = {}
         for index in live:
             lanes.setdefault(batch[index].key, []).append(index)
-        self.counters["coalesced_twins"] += len(live) - len(lanes)
+        self._count("coalesced_twins", len(live) - len(lanes))
 
         unsolved: List[str] = []
         answers: Dict[str, Dict[str, Any]] = {}
@@ -285,8 +298,8 @@ class QueryCoalescer:
                 answers.update(self._solve_lanes(
                     [(key, batch[lanes[key][0]].spec) for key in unsolved]))
             except Exception as exc:
-                self.counters["errors"] += sum(
-                    len(lanes[key]) for key in unsolved)
+                self._count("errors", sum(
+                    len(lanes[key]) for key in unsolved))
                 for key in unsolved:
                     failure = Outcome("error", {"error": str(exc)})
                     for index in lanes[key]:
@@ -307,17 +320,22 @@ class QueryCoalescer:
         with self._memo_lock:
             memo = self._memo.get(key)
         if memo is not None:
-            self.counters["memo_hits"] += 1
+            self._count("memo_hits")
             return memo
-        if self.store is None or not self.breaker.allow():
+        if self.store is None:
             return None
+        # One breaker consultation per operation: call() runs its own
+        # admission check, so a pre-check here would consume the
+        # half-open probe slot and leave the breaker wedged open.
         try:
             payload = self.breaker.call(lambda: self.store.get(key))
+        except BreakerOpenError:
+            return None  # local rejection, not a store fault
         except StoreError:
-            self.counters["store_errors"] += 1
+            self._count("store_errors")
             return None
         if payload is not None:
-            self.counters["store_hits"] += 1
+            self._count("store_hits")
         return payload
 
     def _solve_lanes(self, lanes: List[Tuple[str, RunSpec]]
@@ -333,7 +351,7 @@ class QueryCoalescer:
                 try:
                     self.solve_hook(batch_index, attempt)
                 except TransientTaskError as exc:
-                    self.counters["solve_retries"] += 1
+                    self._count("solve_retries")
                     last_error = exc
                     continue
             results = self.machine.run_batch(
@@ -345,8 +363,8 @@ class QueryCoalescer:
                 f"batch {batch_index} failed all {SOLVE_MAX_ATTEMPTS} "
                 f"attempts") from last_error
 
-        self.counters["batches_solved"] += 1
-        self.counters["lanes_solved"] += len(lanes)
+        self._count("batches_solved")
+        self._count("lanes_solved", len(lanes))
         answers: Dict[str, Dict[str, Any]] = {}
         for (key, _spec), result in zip(lanes, results):
             payload = serde.run_result_to_dict(result)
@@ -362,10 +380,12 @@ class QueryCoalescer:
         return answers
 
     def _persist(self, key: str, payload: Dict[str, Any]) -> None:
-        if self.store is None or not self.breaker.allow():
+        if self.store is None:
             return
         try:
             self.breaker.call(lambda: self.store.put(key, payload))
-            self.counters["store_writes"] += 1
+            self._count("store_writes")
+        except BreakerOpenError:
+            pass  # local rejection, not a store fault
         except StoreError:
-            self.counters["store_errors"] += 1
+            self._count("store_errors")

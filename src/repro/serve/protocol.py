@@ -58,6 +58,10 @@ MAX_COALESCE_LANES = 64
 #: Largest request body the server will read.
 MAX_BODY_BYTES = 1 << 20
 
+#: Most header lines one request may carry; beyond this the frame is
+#: rejected with a 400 instead of growing the header dict unboundedly.
+MAX_HEADER_LINES = 64
+
 _STATUS_REASON = {
     200: "OK",
     400: "Bad Request",
@@ -204,19 +208,35 @@ def error_response(error: str) -> Tuple[int, Dict[str, Any]]:
 # Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
 # ---------------------------------------------------------------------------
 
+async def _read_frame_line(reader: asyncio.StreamReader,
+                           what: str) -> Optional[bytes]:
+    """One framing line; ``None`` when the peer went away.
+
+    A line exceeding the stream's buffer limit surfaces from
+    ``readline`` as ``ValueError``/``LimitOverrunError``; both become
+    :class:`ProtocolError` so the server answers 400 and closes
+    instead of killing the connection task with an unhandled error.
+    """
+    try:
+        return await reader.readline()
+    except ConnectionError:
+        return None
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise ProtocolError(f"over-long {what}: {exc}") from None
+
+
 async def read_http_request(reader: asyncio.StreamReader
                             ) -> Optional[Tuple[str, str,
                                                 Dict[str, str], bytes]]:
     """Read one request; ``None`` on a cleanly closed connection.
 
-    Raises :class:`ProtocolError` on malformed framing (the caller
-    answers 400 and closes).
+    Raises :class:`ProtocolError` on malformed framing - an
+    unparseable request line, an over-long line, or more than
+    :data:`MAX_HEADER_LINES` headers (the caller answers 400 and
+    closes).
     """
-    try:
-        request_line = await reader.readline()
-    except (ConnectionError, asyncio.LimitOverrunError):
-        return None
-    if not request_line:
+    request_line = await _read_frame_line(reader, "request line")
+    if request_line is None or not request_line:
         return None
     parts = request_line.decode("latin-1").split()
     if len(parts) != 3:
@@ -224,14 +244,19 @@ async def read_http_request(reader: asyncio.StreamReader
     method, path, _version = parts
 
     headers: Dict[str, str] = {}
-    while True:
-        line = await reader.readline()
+    for _ in range(MAX_HEADER_LINES):
+        line = await _read_frame_line(reader, "header line")
+        if line is None:
+            return None
         if line in (b"\r\n", b"\n", b""):
             break
         if b":" not in line:
             raise ProtocolError(f"malformed header line: {line!r}")
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError(
+            f"more than {MAX_HEADER_LINES} header lines")
 
     body = b""
     length = headers.get("content-length")

@@ -255,6 +255,9 @@ def _outcome_to_response(request: PredictRequest,
             outcome.payload.get("waited_ms", 0.0))
     if outcome.kind == "draining":
         return draining_response()
+    if outcome.kind == "bad_request":
+        return bad_request_response(
+            outcome.payload.get("error", "bad request"))
     return error_response(outcome.payload.get("error", "internal error"))
 
 

@@ -221,16 +221,18 @@ class TestServeDoc:
         from repro.serve.protocol import (DEFAULT_COALESCE_WINDOW_MS,
                                           DEFAULT_DEADLINE_MS,
                                           DEFAULT_QUEUE_BOUND,
-                                          MAX_COALESCE_LANES)
+                                          MAX_COALESCE_LANES,
+                                          MAX_HEADER_LINES)
         serve = read("docs/SERVE.md")
         assert DEFAULT_QUEUE_BOUND == 128
         assert DEFAULT_DEADLINE_MS == 2000.0
         assert DEFAULT_COALESCE_WINDOW_MS == 20.0
         assert MAX_COALESCE_LANES == 64
+        assert MAX_HEADER_LINES == 64
         assert BREAKER_FAILURE_THRESHOLD == 3
         assert BREAKER_COOLDOWN_S == 5.0
         for snippet in ("(128)", "(2000 ms)", "(20 ms", "(64)",
-                        "(3)", "(5.0 s"):
+                        "`MAX_HEADER_LINES` (64)", "(3)", "(5.0 s"):
             assert snippet in serve, f"{snippet!r} missing from SERVE.md"
 
     def test_documents_every_outcome_status(self):

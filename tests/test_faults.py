@@ -340,7 +340,10 @@ class TestResilientExecutor:
         specs = specs_for(machine, ("557.xz",))
         plan = FaultPlan(worker_faults=(
             WorkerFault("hang", 1.0, hang_s=1.0),))
-        chaotic = Executor(jobs=2, fault_plan=plan, task_timeout=0.2)
+        # Zero warm-up grace: the injected hang (1 s) must trip the
+        # 0.2 s deadline even on a cold pool.
+        chaotic = Executor(jobs=2, fault_plan=plan, task_timeout=0.2,
+                           pool_warmup_grace_s=0.0)
         results = chaotic.run(specs)
         assert snapshot(results) == snapshot(Executor().run(specs))
         assert chaotic.telemetry.counters["pool_fallbacks"] == 1

@@ -128,12 +128,21 @@ class TestRetryDelayTelemetry:
 
 
 class TestTaskDeadlines:
-    def ladder(self, timeout_s=10.0, workers=2, clock=None):
+    def ladder(self, timeout_s=10.0, workers=2, clock=None, **kwargs):
         clock = clock or FakeClock()
-        return _TaskDeadlines(timeout_s, workers, clock=clock), clock
+        return (_TaskDeadlines(timeout_s, workers, clock=clock,
+                               **kwargs), clock)
+
+    def warm_ladder(self, timeout_s=10.0, workers=2, clock=None):
+        """A ladder whose pool has already completed something, so
+        per-task deadlines arm at window entry (the steady state)."""
+        ladder, clock = self.ladder(timeout_s, workers, clock)
+        ladder.submit("warmup")
+        ladder.complete("warmup")
+        return ladder, clock
 
     def test_deadline_starts_at_running_window_entry(self):
-        ladder, clock = self.ladder()
+        ladder, clock = self.warm_ladder()
         ladder.submit("f1")
         ladder.submit("f2")
         clock.advance(4.0)
@@ -150,19 +159,45 @@ class TestTaskDeadlines:
         # The regression: with a since-last-completion timer, a stream
         # of fast siblings resets the clock and the hung task evades
         # detection forever.  Per-task deadlines do not reset.
-        ladder, clock = self.ladder(timeout_s=10.0, workers=2)
+        ladder, clock = self.warm_ladder(timeout_s=10.0, workers=2)
         ladder.submit("hung")
         for index in range(20):
             name = f"fast-{index}"
             ladder.submit(name)
             clock.advance(1.0)
             ladder.complete(name)
-            if clock() >= 110.0:
+            if clock() >= 115.0:
                 break
         assert "hung" in ladder.expired()
 
+    def test_cold_pool_gets_warmup_grace(self):
+        # Submission-time deadlines on a cold pool expired the first
+        # tasks while workers were still forking; the warm-up backstop
+        # widens the first window's budget instead.
+        ladder, clock = self.ladder(timeout_s=5.0, workers=2,
+                                    warmup_grace_s=10.0)
+        ladder.submit("f1")
+        assert ladder.next_timeout_s() == pytest.approx(15.0)
+        clock.advance(5.0)       # past timeout_s alone: still cold
+        assert ladder.expired() == []
+        clock.advance(10.0)      # past the backstop: genuinely hung
+        assert ladder.expired() == ["f1"]
+
+    def test_first_completion_arms_first_window_deadlines(self):
+        ladder, clock = self.ladder(timeout_s=10.0, workers=2,
+                                    warmup_grace_s=30.0)
+        ladder.submit("f1")
+        ladder.submit("f2")
+        clock.advance(12.0)      # slow cold start, within the grace
+        ladder.complete("f2")    # pool is warm now; f1's clock starts
+        assert ladder.next_timeout_s() == pytest.approx(10.0)
+        clock.advance(9.9)
+        assert ladder.expired() == []
+        clock.advance(0.2)
+        assert ladder.expired() == ["f1"]
+
     def test_queued_task_completing_early_is_forgotten(self):
-        ladder, clock = self.ladder(workers=1)
+        ladder, clock = self.warm_ladder(workers=1)
         ladder.submit("f1")
         ladder.submit("f2")
         ladder.complete("f2")    # cancelled while still queued
@@ -172,7 +207,7 @@ class TestTaskDeadlines:
         assert ladder.expired() == []
 
     def test_expiry_boundary_is_inclusive(self):
-        ladder, clock = self.ladder(timeout_s=5.0, workers=1)
+        ladder, clock = self.warm_ladder(timeout_s=5.0, workers=1)
         ladder.submit("f1")
         clock.advance(5.0)
         assert ladder.next_timeout_s() == 0.0
@@ -186,7 +221,7 @@ class TestTaskDeadlines:
         assert ladder.expired() == []
 
     def test_fifo_promotion_order(self):
-        ladder, clock = self.ladder(timeout_s=10.0, workers=1)
+        ladder, clock = self.warm_ladder(timeout_s=10.0, workers=1)
         for name in ("a", "b", "c"):
             ladder.submit(name)
         ladder.complete("a")

@@ -22,10 +22,11 @@ from repro.serve import (CircuitBreaker, BreakerOpenError, SLOReport,
                          ServerThread)
 from repro.serve.coalescer import QueryCoalescer
 from repro.serve.loadgen import request_body, run_loadgen
-from repro.serve.protocol import (DEFAULT_DEADLINE_MS, ProtocolError,
-                                  RunQuery, encode_http_request,
+from repro.serve.protocol import (DEFAULT_DEADLINE_MS, MAX_HEADER_LINES,
+                                  ProtocolError, RunQuery,
+                                  encode_http_request,
                                   parse_predict_request,
-                                  read_http_response)
+                                  read_http_request, read_http_response)
 from repro.serve.slo import LatencyRecorder, percentile_ms
 from repro.uarch import Placement
 from repro.workloads import get_workload
@@ -99,6 +100,33 @@ class TestProtocol:
         status, body = asyncio.run(roundtrip())
         assert status == 429
         assert body == {"status": "shed"}
+
+    def test_header_flood_is_a_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"POST /v1/predict HTTP/1.1\r\n")
+            for index in range(MAX_HEADER_LINES + 1):
+                reader.feed_data(f"x-flood-{index}: v\r\n".encode())
+            reader.feed_data(b"\r\n")
+            reader.feed_eof()
+            with pytest.raises(ProtocolError):
+                await read_http_request(reader)
+
+        asyncio.run(scenario())
+
+    def test_overlong_header_line_is_a_protocol_error(self):
+        # An over-limit readline raises ValueError inside asyncio;
+        # the framing layer must convert it so the server answers 400
+        # instead of dying with an unhandled connection-task error.
+        async def scenario():
+            reader = asyncio.StreamReader(limit=256)
+            reader.feed_data(b"POST /v1/predict HTTP/1.1\r\n")
+            reader.feed_data(b"x-big: " + b"a" * 1024 + b"\r\n\r\n")
+            reader.feed_eof()
+            with pytest.raises(ProtocolError):
+                await read_http_request(reader)
+
+        asyncio.run(scenario())
 
 
 # ---------------------------------------------------------------------------
@@ -277,13 +305,16 @@ class TestCoalescer:
         assert coalescer.counters["deadline_expired"] == 1
         assert coalescer.counters["batches_solved"] == 0
 
-    def test_unknown_workload_is_an_error_outcome(self, skx_machine):
+    def test_unknown_workload_is_a_bad_request_outcome(self,
+                                                       skx_machine):
+        # A client typo is a 400, not an internal fault: chaos and any
+        # error==0 monitoring contract count only genuine bugs.
         async def scenario():
             coalescer = QueryCoalescer(skx_machine)
             return await coalescer.submit(query("no-such-load"), 1000.0)
 
         outcome = asyncio.run(scenario())
-        assert outcome.kind == "error"
+        assert outcome.kind == "bad_request"
         assert "no-such-load" in outcome.payload["error"]
 
     def test_small_batch_not_persisted_but_memoized(self, skx_machine,
@@ -367,6 +398,56 @@ class TestCoalescer:
         assert breaker.state == "open"
         assert coalescer.counters["store_errors"] >= 2
 
+    def test_breaker_recovers_through_the_coalescer(self, skx_machine):
+        # Regression: a pre-check allow() before breaker.call()
+        # consumed the half-open probe slot, call()'s own check then
+        # rejected, and _probe_inflight never reset - the breaker
+        # stayed wedged and the store was never consulted again.  The
+        # lookup path must complete the open -> half-open -> closed
+        # cycle once the store recovers.
+        class FlakyStore:
+            def __init__(self):
+                self.dead = True
+                self.gets = 0
+
+            def get(self, key):
+                self.gets += 1
+                if self.dead:
+                    raise StoreError("unreachable")
+                return None
+
+            def put(self, key, payload):
+                if self.dead:
+                    raise StoreError("unreachable")
+
+        clock = FakeClock()
+        store = FlakyStore()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+
+        async def scenario():
+            coalescer = QueryCoalescer(
+                skx_machine, store, breaker=breaker,
+                coalesce_window_ms=1.0)
+            coalescer.start()
+            tripped = await coalescer.submit(query("xsbench"), 5000.0)
+            assert breaker.state == "open"
+            gets_while_open = store.gets
+            rejected = await coalescer.submit(query("gpt-2"), 5000.0)
+            assert store.gets == gets_while_open  # open: no traffic
+            store.dead = False
+            clock.advance(5.0)  # cooldown elapses -> half-open probe
+            probed = await coalescer.submit(query("dlrm"), 5000.0)
+            recovered = await coalescer.submit(query("557.xz"), 5000.0)
+            await coalescer.drain()
+            return tripped, rejected, probed, recovered
+
+        outcomes = asyncio.run(scenario())
+        assert [outcome.kind for outcome in outcomes] == ["ok"] * 4
+        # The probe went through and closed the breaker for good.
+        assert breaker.state == "closed"
+        assert store.gets >= 3
+
     def test_transient_solve_fault_retried_attempt0_only(self,
                                                          skx_machine):
         attempts = []
@@ -423,6 +504,8 @@ class TestPredictionServer:
                     "placement": {"dram_fraction": 0.5,
                                   "device": "cxl-a"}})
                 bad = await _post(host, port, {"kind": "query"})
+                unknown = await _post(host, port, {
+                    "kind": "query", "workload": "no-such-load"})
                 expired = await _post(host, port, {
                     "kind": "query", "workload": "gpt-2",
                     "deadline_ms": 0.001})
@@ -432,14 +515,16 @@ class TestPredictionServer:
                                      method="GET")
                 stats = await _post(host, port, None, path="/stats",
                                     method="GET")
-                return ok, bad, expired, missing, health, stats
+                return ok, bad, unknown, expired, missing, health, stats
 
-            (ok, bad, expired, missing, health,
+            (ok, bad, unknown, expired, missing, health,
              stats) = asyncio.run(scenario())
         assert ok == (200, ok[1])
         assert ok[1]["status"] == "ok"
         assert ok[1]["result"]["converged"] is True
         assert bad[0] == 400 and bad[1]["status"] == "bad_request"
+        assert unknown[0] == 400
+        assert unknown[1]["status"] == "bad_request"
         assert expired[0] == 504 and expired[1]["status"] == "deadline"
         assert missing[0] == 404
         assert health == (200, {"status": "ok"})
