@@ -522,13 +522,32 @@ def cmd_lint(args) -> int:
     Exit codes: 0 clean (fixed or baselined), 1 active findings,
     2 usage / malformed baseline.
     """
-    from .lint import (BASELINE_NAME, Baseline, BaselineError,
-                       render_json, render_text, run_lint)
+    from .lint import (ALL_RULES, BASELINE_NAME, Baseline,
+                       BaselineError, default_cache, default_root,
+                       render_json, render_sarif, render_text,
+                       run_lint)
     root = pathlib.Path(args.root) if args.root else None
-    run = run_lint(root=root,
-                   paths=[pathlib.Path(p) for p in args.paths] or None)
 
-    from .lint import default_root
+    if args.repin_schema:
+        import ast as ast_mod
+
+        from .lint.rules.schema import compute_schema_digest, write_pin
+        spec_path = ((root or default_root()) / "src" / "repro" /
+                     "runtime" / "spec.py")
+        version, digest = compute_schema_digest(
+            ast_mod.parse(spec_path.read_text(encoding="utf-8")))
+        pin_path = write_pin(root or default_root(), version, digest)
+        print(f"pinned key_material digest {digest[:12]} "
+              f"(CACHE_SCHEMA_VERSION={version}) in {pin_path}")
+        return 0
+
+    cache = (None if args.no_cache else
+             default_cache(root or default_root(),
+                           [rule.id for rule in ALL_RULES]))
+    run = run_lint(root=root,
+                   paths=[pathlib.Path(p) for p in args.paths] or None,
+                   jobs=args.jobs, cache=cache)
+
     baseline_path = (pathlib.Path(args.baseline) if args.baseline
                      else (root or default_root()) / BASELINE_NAME)
     if args.write_baseline:
@@ -546,8 +565,30 @@ def cmd_lint(args) -> int:
     active, baselined, stale = baseline.partition(run.findings)
     if args.paths:
         stale = []   # a narrowed run never visits most baselined files
+
+    if args.prune_baseline:
+        if args.paths:
+            print("camp-lint: --prune-baseline needs a full run "
+                  "(drop the path arguments)", file=sys.stderr)
+            return 2
+        for entry in stale:
+            print(f"stale: {entry.rule} {entry.path}: {entry.snippet}")
+        if args.write and stale:
+            stale_keys = {entry.key() for entry in stale}
+            kept = [entry for entry in baseline.entries
+                    if entry.key() not in stale_keys]
+            Baseline(kept).save(baseline_path)
+            print(f"pruned {len(stale)} stale entry(ies) from "
+                  f"{baseline_path}; {len(kept)} kept")
+        elif not stale:
+            print("baseline is tight: every entry still matches a "
+                  "finding")
+        return 0
+
     if args.format == "json":
         print(render_json(active, baselined, stale, run.files_checked))
+    elif args.format == "sarif":
+        print(render_sarif(active, rules=ALL_RULES))
     else:
         print(render_text(active, baselined, stale, run.files_checked,
                           baseline))
@@ -916,8 +957,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*",
                    help="files or directories to lint (default: "
                         "src/repro plus the docs)")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="report format (default: text)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="report format (default: text; sarif emits "
+                        "SARIF 2.1.0 for code-scanning upload)")
     p.add_argument("--baseline", metavar="FILE",
                    help="baseline file of grandfathered findings "
                         "(default: <root>/lint-baseline.json)")
@@ -926,6 +969,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-baseline", action="store_true",
                    help="grandfather the current findings into the "
                         "baseline file (keeps existing justifications)")
+    p.add_argument("--prune-baseline", action="store_true",
+                   help="report baseline entries no finding matches "
+                        "any more; with --write, delete them from the "
+                        "baseline file")
+    p.add_argument("--write", action="store_true",
+                   help="with --prune-baseline: rewrite the baseline "
+                        "file without the stale entries")
+    p.add_argument("--repin-schema", action="store_true",
+                   help="recompute the SCHEMA01 key_material digest "
+                        "and rewrite lint-schema-pin.json (run after "
+                        "an intentional CACHE_SCHEMA_VERSION bump)")
+    p.add_argument("-j", "--jobs", type=_jobs_arg, default=1,
+                   metavar="N",
+                   help="analyze files with N worker processes "
+                        "('auto' = one per CPU; default: 1, "
+                        "in-process)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not update the lint result "
+                        "cache (.repro-cache/lint-cache.json)")
     p.add_argument("--root", metavar="DIR",
                    help="repo root for scoping and default paths "
                         "(default: auto-detected)")

@@ -1,12 +1,18 @@
 """camp-lint - static invariant checking for the CAMP reproduction.
 
 The test suite samples behaviours; camp-lint proves structural
-invariants on every commit: determinism of sim paths (DET01), purity
-of the content-addressed cache key (CACHE01), the closed Table 5
-counter vocabulary (PMU01), the runtime error taxonomy (ERR01),
-process-pool worker purity (PURE01) and unit-suffixed quantity names
-(UNITS01).  Rule catalogue, suppression syntax and baseline workflow:
-``docs/LINT.md``.  CLI: ``python -m repro lint [--format json]``.
+invariants on every commit.  Per-file rules: determinism of sim paths
+(DET01), purity of the content-addressed cache key (CACHE01), the
+closed Table 5 counter vocabulary (PMU01), the runtime error taxonomy
+(ERR01), process-pool worker purity (PURE01) and unit-suffixed
+quantity names (UNITS01).  Whole-program rules over the shared call
+graph and execution-context inference (:mod:`repro.lint.graph`,
+:mod:`repro.lint.contexts`): cross-context races (RACE01), blocking
+calls on the event loop (ASYNC01), lock discipline and breaker
+double-consultation (LOCK01), and cache-schema drift against the
+pinned digest (SCHEMA01).  Rule catalogue, suppression syntax and
+baseline workflow: ``docs/LINT.md``.  CLI: ``python -m repro lint
+[--format json|sarif] [-j N]``.
 
 Programmatic use::
 
@@ -17,15 +23,21 @@ Programmatic use::
 
 from .baseline import (BASELINE_NAME, Baseline, BaselineEntry,
                        BaselineError, TODO_JUSTIFICATION)
+from .cache import LintCache, default_cache, rules_token
+from .contexts import infer_contexts
 from .engine import (Finding, FileContext, LintRun, Rule, default_root,
                      discover_files, lint_file, lint_source, run_lint)
-from .report import JSON_SCHEMA_VERSION, render_json, render_text
+from .graph import ProgramGraph, build_program
+from .report import (JSON_SCHEMA_VERSION, render_json, render_sarif,
+                     render_text)
 from .rules import ALL_RULES, RULES_BY_ID
 
 __all__ = [
     "ALL_RULES", "BASELINE_NAME", "Baseline", "BaselineEntry",
     "BaselineError", "FileContext", "Finding", "JSON_SCHEMA_VERSION",
-    "LintRun", "Rule", "RULES_BY_ID", "TODO_JUSTIFICATION",
-    "default_root", "discover_files", "lint_file", "lint_source",
-    "render_json", "render_text", "run_lint",
+    "LintCache", "LintRun", "ProgramGraph", "Rule", "RULES_BY_ID",
+    "TODO_JUSTIFICATION", "build_program", "default_cache",
+    "default_root", "discover_files", "infer_contexts", "lint_file",
+    "lint_source", "render_json", "render_sarif", "render_text",
+    "rules_token", "run_lint",
 ]

@@ -1,0 +1,128 @@
+"""Content-hash result cache for whole-repo lint runs.
+
+The v2 graph passes parse every file and run a fixed point over the
+call graph; doing that from scratch on every ``repro lint`` (and every
+CI push) would make the linter the slowest gate in the repo.  The
+cache keys each file's findings so an unchanged tree re-lints without
+parsing a single AST:
+
+- **local key** - ``sha256(file bytes)`` plus the *rules token*: a
+  digest of the lint package's own sources and the active rule ids.
+  Per-file rules depend on nothing else, so a hit is exact.
+- **program key** - the local key plus the *program digest*: a digest
+  over every Python file's content hash and the SCHEMA01 pin file.
+  Whole-program findings for a file can change when any *other* file
+  changes (a new caller flips a context label), so one edited file
+  invalidates every program-rule entry - but the far more common
+  no-change run hits everything.
+
+Entries not touched by a run are dropped on save, so the cache file
+tracks the working set instead of growing without bound.  Any decode
+problem or token mismatch degrades to an empty cache - correctness
+never depends on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from .engine import Finding
+
+_CACHE_VERSION = 1
+#: Default location, inside the ignored scratch dir the runtime uses.
+DEFAULT_CACHE_RELPATH = ".repro-cache/lint-cache.json"
+
+_FINDING_FIELDS = ("rule", "path", "line", "col", "message", "snippet",
+                   "severity")
+
+
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def rules_token(rule_ids: Sequence[str]) -> str:
+    """Digest of the lint package's sources plus the active rules.
+
+    Editing any rule, the engine, or the graph layer invalidates every
+    cached entry - the cache can never serve findings computed by old
+    rule code.
+    """
+    digest = hashlib.sha256()
+    package_dir = pathlib.Path(__file__).resolve().parent
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    digest.update(",".join(sorted(rule_ids)).encode())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """One cache file: load, query, refresh, atomically persist."""
+
+    def __init__(self, path: pathlib.Path, token: str):
+        self.path = pathlib.Path(path)
+        self.token = token
+        self._entries: Dict[str, List[Dict[str, object]]] = {}
+        self._touched: Dict[str, List[Dict[str, object]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or \
+                payload.get("version") != _CACHE_VERSION or \
+                payload.get("token") != self.token:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        raw = self._entries.get(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(**{field: entry[field]
+                                   for field in _FINDING_FIELDS})
+                        for entry in raw]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touched[key] = raw
+        return findings
+
+    def put(self, key: str, findings: Sequence[Finding]) -> None:
+        raw = [finding.to_dict() for finding in findings]
+        self._entries[key] = raw
+        self._touched[key] = raw
+
+    def save(self) -> None:
+        """Write entries touched by this run; atomic via rename."""
+        payload = {"version": _CACHE_VERSION, "tool": "camp-lint",
+                   "token": self.token, "entries": self._touched}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), suffix=".tmp")
+            with os.fdopen(handle, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass    # a cache that cannot persist is just a cold cache
+
+
+def default_cache(root: pathlib.Path,
+                  rule_ids: Sequence[str]) -> LintCache:
+    return LintCache(root / DEFAULT_CACHE_RELPATH,
+                     rules_token(rule_ids))

@@ -1,0 +1,129 @@
+"""Execution-context inference over the program graph.
+
+Every function in the program is labelled with the set of execution
+contexts it can run in:
+
+- ``event-loop`` - an asyncio coroutine (or a sync function called
+  from one without an executor hop).  Seeded by every ``async def``
+  and by ``create_task``/``ensure_future``/``asyncio.run`` targets.
+- ``thread`` - a dedicated thread: ``threading.Thread(target=...)``
+  targets, ``loop.run_in_executor`` offloads, ``ThreadPoolExecutor``
+  submissions.  This is where the coalescer's solver batches and the
+  ``ServerThread`` event-loop host run.
+- ``pool-worker`` - a worker *process*: ``ProcessPoolExecutor`` /
+  ``repro`` Executor ``submit``/``map`` targets.  Workers share no
+  memory with the parent, so RACE01 excludes this context from
+  shared-state pairs (PURE01 owns worker purity instead).
+- ``signal`` - ``signal.signal`` handler targets.
+- ``main`` - seeded at call-graph **roots** (sync functions nothing
+  in the program calls or dispatches to - the CLI ``cmd_*`` handlers,
+  test-facing helpers, context managers driven from user code), which
+  for a CLI tool means the main thread.
+
+Labels propagate **forward** along plain call edges to a fixed point:
+if ``f`` runs on the event loop and calls ``g`` directly, ``g`` runs
+on the event loop too.  Dispatch edges instead *replace* the caller's
+context with the dispatched one - ``run_in_executor(None,
+self._process_batch, ...)`` gives ``_process_batch`` the ``thread``
+label, not ``event-loop``.
+
+A function carrying two or more labels is exactly the interesting
+case: the coalescer's ``_count`` is called from ``submit`` (event
+loop, admission) and from ``_process_batch`` (solver thread), so it
+gets ``{event-loop, thread}`` - any unlocked attribute it writes is a
+RACE01 candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from .graph import (CTX_EVENT_LOOP, CTX_MAIN, CTX_POOL, CTX_SIGNAL,
+                    CTX_THREAD, ProgramGraph)
+
+__all__ = ["infer_contexts", "CTX_EVENT_LOOP", "CTX_MAIN", "CTX_POOL",
+           "CTX_SIGNAL", "CTX_THREAD"]
+
+#: Contexts that share the parent process's memory.  ``pool-worker``
+#: is excluded: a worker is a separate process, so "shared" attribute
+#: access from it is PURE01's problem, not RACE01's.
+SHARED_MEMORY_CONTEXTS = frozenset(
+    {CTX_EVENT_LOOP, CTX_MAIN, CTX_THREAD, CTX_SIGNAL})
+
+
+def infer_contexts(program: ProgramGraph
+                   ) -> Dict[str, FrozenSet[str]]:
+    """Qualified function name -> execution-context label set.
+
+    Every function in the program appears in the result; functions
+    with no inferred label get ``{"main"}``.
+    """
+    labels: Dict[str, Set[str]] = {qname: set()
+                                   for qname in program.functions}
+
+    # Seeds: coroutines live on the event loop by construction.
+    for qname, fn in program.functions.items():
+        if fn.is_async:
+            labels[qname].add(CTX_EVENT_LOOP)
+
+    # Seeds: dispatch targets get the dispatched context.
+    reached: Set[str] = set()
+    for fn in program.functions.values():
+        for site in fn.calls:
+            if site.callee is not None:
+                reached.add(site.callee)
+            if site.dispatch is not None and site.callee is not None \
+                    and site.callee in labels:
+                labels[site.callee].add(site.dispatch)
+
+    # Seeds: call-graph roots run on the main thread.  A root is a
+    # sync function no resolvable edge reaches - entry points the CLI
+    # or user code invokes directly.  Dunder protocol methods stay
+    # unseeded: the runtime calls them wherever their object lives.
+    for qname, fn in program.functions.items():
+        if fn.is_async or qname in reached:
+            continue
+        name = fn.name
+        if name.startswith("__") and name.endswith("__") and \
+                name not in ("__enter__", "__exit__", "__call__"):
+            continue
+        labels[qname].add(CTX_MAIN)
+
+    # Forward propagation along plain call edges to a fixed point.
+    changed = True
+    while changed:
+        changed = False
+        for fn in program.functions.values():
+            src = labels[fn.qname]
+            if not src:
+                continue
+            for site in fn.calls:
+                if site.dispatch is not None or site.callee is None:
+                    continue
+                callee = program.functions.get(site.callee)
+                if callee is None:
+                    continue
+                if callee.is_async:
+                    # Calling an ``async def`` builds a coroutine; it
+                    # runs on the event loop regardless of the caller.
+                    continue
+                dst = labels[site.callee]
+                before = len(dst)
+                dst |= src
+                if len(dst) != before:
+                    changed = True
+
+    out: Dict[str, FrozenSet[str]] = {}
+    for qname, found in labels.items():
+        out[qname] = frozenset(found) if found else frozenset(
+            {CTX_MAIN})
+    return out
+
+
+def contexts_for(program: ProgramGraph) -> Dict[str, FrozenSet[str]]:
+    """Memoized :func:`infer_contexts` keyed on the program object."""
+    cached = program.rule_cache.get("__contexts__")
+    if cached is None:
+        cached = infer_contexts(program)
+        program.rule_cache["__contexts__"] = cached
+    return cached  # type: ignore[return-value]

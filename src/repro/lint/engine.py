@@ -131,6 +131,11 @@ class Rule:
     #: Repo-relative path prefixes the rule is limited to (empty = all
     #: files of the matching kind under the scan roots).
     scopes: Tuple[str, ...] = ()
+    #: Whole-program rules see the full :class:`~repro.lint.graph.
+    #: ProgramGraph`; their findings for one file can change when any
+    #: *other* file changes, so the result cache keys them on the
+    #: whole-tree digest instead of the single file's hash.
+    whole_program: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         if ctx.is_python:
@@ -144,7 +149,14 @@ class Rule:
                    ctx.relpath.startswith(scope.rstrip("/") + "/")
                    for scope in self.scopes)
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
+    def check(self, ctx: FileContext, program) -> Iterator[Finding]:
+        """Yield findings for one file.
+
+        ``program`` is the shared :class:`~repro.lint.graph.
+        ProgramGraph` over every Python file in the run (a single-file
+        graph under ``lint_source``).  Per-file rules are free to
+        ignore it.
+        """
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, node, message: str) -> Finding:
@@ -188,21 +200,33 @@ def _suppressed(finding: Finding, ctx: FileContext,
     return finding.rule in disabled or "ALL" in disabled
 
 
-def lint_file(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
-    """Run every applicable rule over one file, minus suppressions."""
+def lint_file(ctx: FileContext, rules: Sequence[Rule],
+              program=None, emit_syntax: bool = True) -> List[Finding]:
+    """Run every applicable rule over one file, minus suppressions.
+
+    Without an explicit ``program``, a single-file graph is built on
+    the fly - enough for every per-file rule, and exactly what the
+    fixture tests want for the flow-aware rules (the fixture *is* the
+    program).
+    """
     findings: List[Finding] = []
     if ctx.is_python and ctx.syntax_error is not None:
-        err = ctx.syntax_error
-        findings.append(Finding(
-            rule="SYNTAX", path=ctx.relpath, line=err.lineno or 0,
-            col=err.offset or 0, message=f"cannot parse file: {err.msg}",
-            snippet=ctx.line(err.lineno or 0)))
+        if emit_syntax:
+            err = ctx.syntax_error
+            findings.append(Finding(
+                rule="SYNTAX", path=ctx.relpath, line=err.lineno or 0,
+                col=err.offset or 0,
+                message=f"cannot parse file: {err.msg}",
+                snippet=ctx.line(err.lineno or 0)))
         return findings
+    if program is None:
+        from .graph import build_program
+        program = build_program([ctx] if ctx.is_python else [])
     file_disabled = file_suppressions(ctx)
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
-        for finding in rule.check(ctx):
+        for finding in rule.check(ctx, program):
             if not _suppressed(finding, ctx, file_disabled):
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
@@ -214,7 +238,8 @@ def lint_source(source: str, relpath: str,
     """Lint an in-memory source blob as if it lived at ``relpath``.
 
     The fixture-test entry point: scoped rules see ``relpath`` exactly
-    as they would a real repo file.
+    as they would a real repo file, and the flow-aware rules see the
+    blob as a complete single-module program.
     """
     return lint_file(FileContext(None, relpath, source), rules)
 
@@ -289,18 +314,152 @@ class LintRun:
         return not self.findings
 
 
+def _worker_lint(payload: Tuple[str, str, Tuple[str, ...]]
+                 ) -> List[Dict[str, object]]:
+    """Process-pool worker: per-file rules over one in-memory file.
+
+    Module-level and dict-in/dict-out so it pickles; whole-program
+    rules never run here (a worker only sees one file).
+    """
+    relpath, source, rule_ids = payload
+    from .rules import RULES_BY_ID
+    rules = [RULES_BY_ID[rule_id] for rule_id in rule_ids]
+    ctx = FileContext(None, relpath, source)
+    return [finding.to_dict()
+            for finding in lint_file(ctx, rules)]
+
+
+def _run_local_rules(contexts: Sequence[FileContext],
+                     rules: Sequence[Rule], program,
+                     jobs: int) -> Dict[str, List[Finding]]:
+    """Per-file rules over ``contexts``; fans out to processes when
+    ``jobs`` > 1 and every rule is registry-known (picklable by id)."""
+    from .rules import RULES_BY_ID
+    parallelizable = (jobs > 1 and len(contexts) > 1 and
+                      all(RULES_BY_ID.get(rule.id) is rule
+                          for rule in rules))
+    if parallelizable:
+        import concurrent.futures
+        rule_ids = tuple(rule.id for rule in rules)
+        payloads = [(ctx.relpath, ctx.source, rule_ids)
+                    for ctx in contexts]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=jobs) as pool:
+                raw = list(pool.map(_worker_lint, payloads,
+                                    chunksize=4))
+            return {ctx.relpath:
+                    [Finding(**entry)      # type: ignore[arg-type]
+                     for entry in entries]
+                    for ctx, entries in zip(contexts, raw)}
+        except (OSError, ValueError, ImportError,
+                concurrent.futures.process.BrokenProcessPool):
+            pass    # no usable pool (sandbox, low fd limit): serial
+    return {ctx.relpath: lint_file(ctx, rules, program)
+            for ctx in contexts}
+
+
 def run_lint(root: Optional[pathlib.Path] = None,
              paths: Optional[Sequence[pathlib.Path]] = None,
-             rules: Optional[Sequence[Rule]] = None) -> LintRun:
-    """Lint ``paths`` (default: the standard roots) under ``root``."""
+             rules: Optional[Sequence[Rule]] = None, *,
+             jobs: int = 1, cache=None) -> LintRun:
+    """Lint ``paths`` (default: the standard roots) under ``root``.
+
+    ``jobs`` > 1 fans per-file rules out to worker processes; the
+    whole-program passes always run in-process over the shared graph.
+    ``cache`` is a :class:`repro.lint.cache.LintCache`; hits skip both
+    parsing and rule execution for unchanged files (per-file rules are
+    keyed on the file hash alone, whole-program rules additionally on
+    a digest of every Python file in the run).
+    """
     if root is None:
         root = default_root()
     if rules is None:
         from .rules import ALL_RULES
         rules = ALL_RULES
-    findings: List[Finding] = []
+    from .graph import build_program
     files = discover_files(root, paths)
-    for path in files:
-        findings.extend(lint_file(make_context(path, root), rules))
+    contexts = [make_context(path, root) for path in files]
+    local_rules = [rule for rule in rules if not rule.whole_program]
+    program_rules = [rule for rule in rules if rule.whole_program]
+
+    findings: List[Finding] = []
+    if cache is None:
+        program = build_program(
+            [ctx for ctx in contexts if ctx.is_python], root=root)
+        local = _run_local_rules(contexts, local_rules, program, jobs)
+        for ctx in contexts:
+            findings.extend(local[ctx.relpath])
+            if ctx.is_python and ctx.syntax_error is None:
+                findings.extend(lint_file(ctx, program_rules, program,
+                                          emit_syntax=False))
+    else:
+        from .cache import content_hash
+        hashes = {ctx.relpath: content_hash(ctx.source)
+                  for ctx in contexts}
+        program_digest = _program_digest(root, contexts, hashes)
+        local_hit: Dict[str, List[Finding]] = {}
+        program_hit: Dict[str, List[Finding]] = {}
+        local_miss: List[FileContext] = []
+        program_miss: List[FileContext] = []
+        for ctx in contexts:
+            local_key = f"{ctx.relpath}|{hashes[ctx.relpath]}|local"
+            cached = cache.get(local_key)
+            if cached is None:
+                local_miss.append(ctx)
+            else:
+                local_hit[ctx.relpath] = cached
+            if not ctx.is_python:
+                program_hit[ctx.relpath] = []
+                continue
+            program_key = (f"{ctx.relpath}|{hashes[ctx.relpath]}"
+                           f"|program|{program_digest}")
+            cached = cache.get(program_key)
+            if cached is None:
+                program_miss.append(ctx)
+            else:
+                program_hit[ctx.relpath] = cached
+
+        program = None
+        if local_miss or program_miss:
+            program = build_program(
+                [ctx for ctx in contexts if ctx.is_python], root=root)
+        if local_miss:
+            computed = _run_local_rules(local_miss, local_rules,
+                                        program, jobs)
+            for ctx in local_miss:
+                result = computed[ctx.relpath]
+                local_hit[ctx.relpath] = result
+                cache.put(
+                    f"{ctx.relpath}|{hashes[ctx.relpath]}|local",
+                    result)
+        for ctx in program_miss:
+            result = ([] if ctx.syntax_error is not None else
+                      lint_file(ctx, program_rules, program,
+                                emit_syntax=False))
+            program_hit[ctx.relpath] = result
+            cache.put(f"{ctx.relpath}|{hashes[ctx.relpath]}"
+                      f"|program|{program_digest}", result)
+        for ctx in contexts:
+            findings.extend(local_hit[ctx.relpath])
+            findings.extend(program_hit[ctx.relpath])
+        cache.save()
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return LintRun(findings=findings, files_checked=len(files))
+
+
+def _program_digest(root: pathlib.Path,
+                    contexts: Sequence[FileContext],
+                    hashes: Dict[str, str]) -> str:
+    """Digest of everything the whole-program passes can observe."""
+    import hashlib
+    digest = hashlib.sha256()
+    for ctx in contexts:
+        if ctx.is_python:
+            digest.update(ctx.relpath.encode())
+            digest.update(hashes[ctx.relpath].encode())
+    from .rules.schema import PIN_FILENAME
+    pin = root / PIN_FILENAME
+    if pin.is_file():
+        digest.update(pin.read_bytes())
+    return digest.hexdigest()

@@ -54,6 +54,64 @@ def render_json(active: Sequence[Finding], baselined: Sequence[Finding],
     return json.dumps(payload, indent=2)
 
 
+def render_sarif(active: Sequence[Finding],
+                 rules: Sequence = ()) -> str:
+    """SARIF 2.1.0 for code-scanning upload (``--format sarif``).
+
+    Only *active* findings are emitted - baselined and stale entries
+    are camp-lint bookkeeping the scanning UI should not re-surface.
+    """
+    rule_meta = {}
+    for rule in rules:
+        rule_meta[rule.id] = {
+            "id": rule.id,
+            "shortDescription": {"text": rule.description or rule.id},
+            "help": {"text": rule.rationale or rule.description
+                     or rule.id},
+        }
+    for finding in active:
+        rule_meta.setdefault(finding.rule, {
+            "id": finding.rule,
+            "shortDescription": {"text": finding.rule},
+        })
+    results = []
+    for finding in active:
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity == "error"
+                     else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                },
+            }],
+        })
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0"
+                    ".json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "camp-lint",
+                "informationUri": "docs/LINT.md",
+                "rules": [rule_meta[key]
+                          for key in sorted(rule_meta)],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2)
+
+
 def render_text(active: Sequence[Finding], baselined: Sequence[Finding],
                 stale: Sequence[BaselineEntry], files_checked: int,
                 baseline: Baseline = None) -> str:

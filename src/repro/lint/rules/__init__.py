@@ -1,5 +1,7 @@
 """The camp-lint rule catalogue (``docs/LINT.md``).
 
+Per-file rules (each reads one file's AST or lines):
+
 ========  ==========================================================
 DET01     no unseeded RNG / wall-clock reads in sim paths
 CACHE01   spec dataclasses frozen + every field in the cache key
@@ -8,6 +10,17 @@ ERR01     runtime/faults error handling uses the errors.py taxonomy
 PURE01    pool workers don't close over / mutate module state
 UNITS01   latency/bandwidth identifiers carry unit suffixes
 ========  ==========================================================
+
+Whole-program rules (flow-aware, over the shared
+:class:`~repro.lint.graph.ProgramGraph`):
+
+========  ==========================================================
+RACE01    shared state crossing execution contexts without a lock
+ASYNC01   blocking calls reachable from the event loop
+LOCK01    bare acquire / lock-order inversion / breaker
+          double-consultation
+SCHEMA01  key_material drift without a CACHE_SCHEMA_VERSION bump
+========  ==========================================================
 """
 
 from __future__ import annotations
@@ -15,11 +28,15 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from ..engine import Rule
+from .blocking import BlockingInAsyncRule
 from .cache_key import CacheKeyRule
 from .determinism import DeterminismRule
 from .errors import ErrorTaxonomyRule
+from .locks import LockDisciplineRule
 from .pmu import PmuRegistryRule
 from .purity import WorkerPurityRule
+from .race import RaceRule
+from .schema import SchemaPinRule
 from .units import UnitSuffixRule
 
 #: Every rule, in catalogue order.
@@ -30,11 +47,16 @@ ALL_RULES: Tuple[Rule, ...] = (
     ErrorTaxonomyRule(),
     WorkerPurityRule(),
     UnitSuffixRule(),
+    RaceRule(),
+    BlockingInAsyncRule(),
+    LockDisciplineRule(),
+    SchemaPinRule(),
 )
 
 #: id -> rule instance.
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
 
-__all__ = ["ALL_RULES", "RULES_BY_ID", "CacheKeyRule", "DeterminismRule",
-           "ErrorTaxonomyRule", "PmuRegistryRule", "WorkerPurityRule",
-           "UnitSuffixRule"]
+__all__ = ["ALL_RULES", "RULES_BY_ID", "BlockingInAsyncRule",
+           "CacheKeyRule", "DeterminismRule", "ErrorTaxonomyRule",
+           "LockDisciplineRule", "PmuRegistryRule", "RaceRule",
+           "SchemaPinRule", "UnitSuffixRule", "WorkerPurityRule"]

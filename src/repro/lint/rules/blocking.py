@@ -1,0 +1,148 @@
+"""ASYNC01: blocking calls reachable from the event loop.
+
+One blocking call inside a coroutine stalls *every* in-flight request
+on the loop - admission, health checks, the drain path.  The serving
+stack's contract (``docs/SERVE.md``) is that anything slow crosses to
+the solver thread via ``run_in_executor``; this rule proves it.
+
+A function is "on the event loop" when context inference
+(:mod:`repro.lint.contexts`) gives it the ``event-loop`` label -
+every ``async def``, plus every *sync* helper such code calls without
+an executor hop.  Inside those functions the rule flags direct calls
+to:
+
+- known-blocking stdlib entry points: ``time.sleep``, ``open``,
+  ``subprocess.*``, ``socket`` connect/accept, ``os.system``,
+  ``urllib.request.urlopen``;
+- the project's own blocking surfaces: :class:`ResultStore` I/O,
+  ``Machine.run``/``run_batch``, and the batch ``Executor`` - each a
+  disk read, a full simulation, or a process-pool round trip.
+
+Function references handed to ``run_in_executor``/``to_thread`` are
+dispatch edges, not calls - the offload pattern is exactly what
+passes.  Known false-negatives (indirection through ``functools.
+partial`` or a callable argument, e.g. ``breaker.call(store.get,
+...)``) are catalogued in ``docs/LINT.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator, List, Set
+
+from ..contexts import CTX_EVENT_LOOP, contexts_for
+from ..engine import FileContext, Finding, Rule
+from ..graph import ProgramGraph, dotted_name, shallow_walk
+
+#: Canonical stdlib names that block the calling thread.
+_STDLIB_BLOCKING = {
+    "time.sleep": "time.sleep() stalls the event loop",
+    "os.system": "os.system() blocks on a subprocess",
+    "subprocess.run": "subprocess.run() blocks on a subprocess",
+    "subprocess.call": "subprocess.call() blocks on a subprocess",
+    "subprocess.check_call": "subprocess.check_call() blocks",
+    "subprocess.check_output": "subprocess.check_output() blocks",
+    "socket.create_connection": "socket connect blocks",
+    "urllib.request.urlopen": "urlopen() blocks on network I/O",
+    "shutil.rmtree": "shutil.rmtree() blocks on disk I/O",
+}
+
+#: Project methods (class, method) that do disk I/O or run the
+#: simulator; resolved call-graph edges are matched by qname suffix.
+_PROJECT_BLOCKING = {
+    ("ResultStore", "get"), ("ResultStore", "put"),
+    ("ResultStore", "get_many"), ("ResultStore", "put_many"),
+    ("ResultStore", "compact"), ("ResultStore", "close"),
+    ("ResultStore", "flush"),
+    ("Machine", "run"), ("Machine", "run_batch"),
+    ("Executor", "run"), ("Executor", "map"),
+    ("Executor", "run_one"), ("Executor", "calibration"),
+    ("Executor", "profile"),
+}
+
+
+def _blocking_edge(callee: str) -> bool:
+    parts = callee.rsplit(".", 2)
+    if len(parts) >= 2:
+        return (parts[-2], parts[-1]) in _PROJECT_BLOCKING
+    return False
+
+
+class BlockingInAsyncRule(Rule):
+    id = "ASYNC01"
+    severity = "error"
+    whole_program = True
+    description = ("blocking call (sleep, file/socket I/O, store or "
+                   "simulator entry point) reachable from the event "
+                   "loop without an executor offload")
+    rationale = ("A single blocking call in a coroutine freezes every "
+                 "in-flight request; slow work must hop to the solver "
+                 "thread via run_in_executor.")
+    kind = "python"
+
+    def check(self, ctx: FileContext,
+              program: ProgramGraph) -> Iterator[Finding]:
+        findings = program.rule_cache.get(self.id)
+        if findings is None:
+            findings = self._analyze(program)
+            program.rule_cache[self.id] = findings
+        for finding in findings:
+            if finding.path == ctx.relpath:
+                yield dataclasses.replace(
+                    finding, snippet=ctx.line(finding.line))
+
+    def _analyze(self, program: ProgramGraph) -> List[Finding]:
+        contexts = contexts_for(program)
+        findings: List[Finding] = []
+        for qname, fn in program.functions.items():
+            if CTX_EVENT_LOOP not in contexts.get(qname, frozenset()):
+                continue
+            module = program.modules.get(fn.module)
+            if module is None:
+                continue
+            flagged: Set[int] = set()
+
+            # Project blocking surfaces via resolved call edges.
+            for site in fn.calls:
+                if site.dispatch is not None or site.callee is None:
+                    continue
+                if _blocking_edge(site.callee) and \
+                        id(site.node) not in flagged:
+                    flagged.add(id(site.node))
+                    findings.append(self._finding(
+                        fn, site.node,
+                        f"{site.callee.rsplit('.', 2)[-2]}."
+                        f"{site.callee.rsplit('.', 1)[-1]}() does "
+                        f"blocking work"))
+
+            # Stdlib blocking calls via canonical dotted names.
+            for node in shallow_walk(fn.node):
+                if not isinstance(node, ast.Call) or \
+                        id(node) in flagged:
+                    continue
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                canonical = module.imports.canonical(dotted)
+                reason = _STDLIB_BLOCKING.get(canonical)
+                if reason is None and canonical == "open":
+                    reason = "open() blocks on disk I/O"
+                if reason is None and \
+                        canonical.startswith("subprocess.Popen"):
+                    reason = "Popen() blocks on process startup"
+                if reason is not None:
+                    flagged.add(id(node))
+                    findings.append(self._finding(fn, node, reason))
+        findings.sort(key=lambda f: (f.path, f.line, f.col))
+        return findings
+
+    def _finding(self, fn, node: ast.AST, reason: str) -> Finding:
+        return Finding(
+            rule=self.id, path=fn.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", -1) + 1,
+            message=(f"{reason} but {fn.name} runs on the event loop; "
+                     f"offload with loop.run_in_executor or move it "
+                     f"off the async path"),
+            snippet="", severity=self.severity)

@@ -81,7 +81,7 @@ class CacheKeyRule(Rule):
     kind = "python"
     scopes = ("src/repro/runtime/spec.py",)
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
+    def check(self, ctx: FileContext, program) -> Iterator[Finding]:
         tree = ctx.tree
         if tree is None:
             return

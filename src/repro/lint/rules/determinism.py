@@ -96,7 +96,7 @@ class DeterminismRule(Rule):
     scopes = ("src/repro/uarch", "src/repro/core", "src/repro/workloads",
               "src/repro/policies")
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
+    def check(self, ctx: FileContext, program) -> Iterator[Finding]:
         tree = ctx.tree
         if tree is None:
             return

@@ -38,7 +38,7 @@ class ErrorTaxonomyRule(Rule):
     kind = "python"
     scopes = ("src/repro/runtime", "src/repro/faults")
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
+    def check(self, ctx: FileContext, program) -> Iterator[Finding]:
         tree = ctx.tree
         if tree is None:
             return

@@ -1,0 +1,289 @@
+"""LOCK01: lock discipline across the call graph.
+
+Three shapes, all drawn from real serving-stack incidents:
+
+1. **Bare acquire** - ``lock.acquire()`` outside a ``with`` statement
+   leaks the lock on any exception between acquire and release.  Every
+   known lock (a ``threading.Lock``/``RLock``/``Condition`` bound to
+   ``self.<attr>`` or a module global) must be held via ``with``.
+2. **Lock-order inversion** - if one code path takes lock A then lock
+   B (possibly through a callee) while another takes B then A, the two
+   paths can deadlock.  The rule collects pairwise acquisition order
+   through resolved call edges and flags any pair observed in both
+   orders.
+3. **Breaker double-consultation** - the PR 7 bug: checking
+   ``breaker.allow()`` and then separately invoking ``breaker.call``
+   consumes *two* half-open probe slots for one operation, wedging
+   recovery.  ``call()`` already consults ``allow()``; a function that
+   guards a ``.call(...)`` on the same receiver behind an explicit
+   ``.allow()`` check is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import FileContext, Finding, Rule
+from ..graph import (FunctionInfo, ModuleInfo, ProgramGraph,
+                     dotted_name, shallow_walk)
+
+
+class _LockScan(ast.NodeVisitor):
+    """Per-function lock usage: with-acquisitions, nesting, bare calls.
+
+    Lock identities are program-unique strings:
+    ``<ClassQname>.<attr>`` for ``self.<attr>`` locks and
+    ``<module>.<NAME>`` for module-global locks.
+    """
+
+    def __init__(self, fn: FunctionInfo, cls_locks: Set[str],
+                 module: ModuleInfo):
+        self.fn = fn
+        self.cls_locks = cls_locks
+        self.module = module
+        self.held: List[str] = []
+        #: (outer, inner, with-node) for every nested acquisition.
+        self.ordered_pairs: List[Tuple[str, str, ast.AST]] = []
+        #: Lock ids this function acquires directly.
+        self.acquired: Set[str] = set()
+        #: Call sites with the lock set held around them.
+        self.calls_under_locks: List[Tuple[ast.Call,
+                                           Tuple[str, ...]]] = []
+        #: Bare ``.acquire()`` nodes on known locks.
+        self.bare_acquires: List[ast.AST] = []
+        for stmt in fn.node.body:
+            self.visit(stmt)
+
+    def _lock_id(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Attribute) and \
+                isinstance(expr.value, ast.Name) and \
+                expr.value.id == "self" and self.fn.cls is not None \
+                and expr.attr in self.cls_locks:
+            return f"{self.fn.cls}.{expr.attr}"
+        if isinstance(expr, ast.Name) and \
+                expr.id in self.module.lock_globals:
+            return f"{self.module.name}.{expr.id}"
+        return None
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock = self._lock_id(item.context_expr)
+            if lock is None:
+                self.visit(item.context_expr)
+                continue
+            self.acquired.add(lock)
+            for outer in self.held + acquired:
+                if outer != lock:
+                    self.ordered_pairs.append((outer, lock, node))
+            acquired.append(lock)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        del self.held[len(self.held) - len(acquired):]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in ("acquire", "release"):
+            lock = self._lock_id(func.value)
+            if lock is not None and func.attr == "acquire":
+                self.bare_acquires.append(node)
+                self.acquired.add(lock)
+        self.calls_under_locks.append((node, tuple(self.held)))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node) -> None:   # nested scopes
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+class LockDisciplineRule(Rule):
+    id = "LOCK01"
+    severity = "error"
+    whole_program = True
+    description = ("lock acquired outside `with`, inconsistent "
+                   "pairwise lock order across the call graph, or a "
+                   "breaker allow()/call() double consultation")
+    rationale = ("Leaked acquires deadlock on the first exception; "
+                 "inverted lock order deadlocks under load; a double-"
+                 "consulted breaker burns two half-open probes per "
+                 "operation and wedges recovery.")
+    kind = "python"
+
+    def check(self, ctx: FileContext,
+              program: ProgramGraph) -> Iterator[Finding]:
+        findings = program.rule_cache.get(self.id)
+        if findings is None:
+            findings = self._analyze(program)
+            program.rule_cache[self.id] = findings
+        for finding in findings:
+            if finding.path == ctx.relpath:
+                yield dataclasses.replace(
+                    finding, snippet=ctx.line(finding.line))
+
+    # -- analysis ------------------------------------------------------------
+    def _analyze(self, program: ProgramGraph) -> List[Finding]:
+        scans: Dict[str, _LockScan] = {}
+        for qname, fn in program.functions.items():
+            module = program.modules.get(fn.module)
+            if module is None:
+                continue
+            cls_locks: Set[str] = set()
+            if fn.cls is not None:
+                cls = program.classes.get(fn.cls)
+                if cls is not None:
+                    cls_locks = cls.lock_attrs
+            scans[qname] = _LockScan(fn, cls_locks, module)
+
+        findings: List[Finding] = []
+        findings.extend(self._bare_acquires(scans))
+        findings.extend(self._order_inversions(program, scans))
+        findings.extend(self._double_consultation(program))
+        findings.sort(key=lambda f: (f.path, f.line, f.col))
+        return findings
+
+    def _bare_acquires(self, scans: Dict[str, _LockScan]
+                       ) -> List[Finding]:
+        findings = []
+        for scan in scans.values():
+            for node in scan.bare_acquires:
+                findings.append(Finding(
+                    rule=self.id, path=scan.fn.relpath,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", -1) + 1,
+                    message=(f"{scan.fn.name} calls .acquire() "
+                             f"directly; hold locks via `with` so "
+                             f"exceptions cannot leak them"),
+                    snippet="", severity=self.severity))
+        return findings
+
+    def _transitive_locks(self, program: ProgramGraph,
+                          scans: Dict[str, _LockScan]
+                          ) -> Dict[str, Set[str]]:
+        """Locks each function may acquire, through resolved callees."""
+        result = {qname: set(scan.acquired)
+                  for qname, scan in scans.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qname, fn in program.functions.items():
+                mine = result.get(qname)
+                if mine is None:
+                    continue
+                for site in fn.calls:
+                    if site.dispatch is not None or \
+                            site.callee not in result:
+                        continue
+                    extra = result[site.callee] - mine
+                    if extra:
+                        mine |= extra
+                        changed = True
+        return result
+
+    def _order_inversions(self, program: ProgramGraph,
+                          scans: Dict[str, _LockScan]
+                          ) -> List[Finding]:
+        transitive = self._transitive_locks(program, scans)
+        #: (outer, inner) -> first site it was observed at.
+        observed: Dict[Tuple[str, str],
+                       Tuple[FunctionInfo, ast.AST]] = {}
+        for qname, scan in scans.items():
+            for outer, inner, node in scan.ordered_pairs:
+                observed.setdefault((outer, inner), (scan.fn, node))
+            for call, held in scan.calls_under_locks:
+                if not held:
+                    continue
+                # A call made under lock A reaching code that takes
+                # lock B orders A before B.
+                site = next((s for s in scan.fn.calls
+                             if s.node is call and s.callee), None)
+                if site is None or site.dispatch is not None:
+                    continue
+                for inner in transitive.get(site.callee, ()):  # type: ignore[arg-type]
+                    for outer in held:
+                        if outer != inner:
+                            observed.setdefault((outer, inner),
+                                                (scan.fn, call))
+        findings = []
+        reported: Set[Tuple[str, str]] = set()
+        for (outer, inner), (fn, node) in sorted(
+                observed.items(),
+                key=lambda kv: (kv[1][0].relpath,
+                                getattr(kv[1][1], "lineno", 0))):
+            if (inner, outer) not in observed:
+                continue
+            pair = tuple(sorted((outer, inner)))
+            if pair in reported:
+                continue
+            reported.add(pair)   # one finding per unordered pair
+            other_fn, other_node = observed[(inner, outer)]
+            findings.append(Finding(
+                rule=self.id, path=fn.relpath,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", -1) + 1,
+                message=(
+                    f"inconsistent lock order: {fn.name} takes "
+                    f"{_short(outer)} then {_short(inner)}, but "
+                    f"{other_fn.name} "
+                    f"({other_fn.relpath}:"
+                    f"{getattr(other_node, 'lineno', 0)}) takes them "
+                    f"in the opposite order; pick one global order"),
+                snippet="", severity=self.severity))
+        return findings
+
+    def _double_consultation(self, program: ProgramGraph
+                             ) -> List[Finding]:
+        findings = []
+        for fn in program.functions.values():
+            for node in shallow_walk(fn.node):
+                if not isinstance(node, ast.If):
+                    continue
+                receiver = _allow_receiver(node.test)
+                if receiver is None:
+                    continue
+                for call in shallow_walk(fn.node):
+                    if isinstance(call, ast.Call) and \
+                            isinstance(call.func, ast.Attribute) and \
+                            call.func.attr == "call" and \
+                            dotted_name(call.func.value) == receiver:
+                        findings.append(Finding(
+                            rule=self.id, path=fn.relpath,
+                            line=getattr(node, "lineno", 0),
+                            col=getattr(node, "col_offset", -1) + 1,
+                            message=(
+                                f"{fn.name} consults "
+                                f"{receiver}.allow() and then invokes "
+                                f"{receiver}.call(); call() performs "
+                                f"its own admission check, so this "
+                                f"burns two half-open probe slots per "
+                                f"operation - drop the explicit "
+                                f"allow()"),
+                            snippet="", severity=self.severity))
+                        break
+        return findings
+
+
+def _short(lock_id: str) -> str:
+    parts = lock_id.rsplit(".", 2)
+    return ".".join(parts[-2:])
+
+
+def _allow_receiver(test: ast.AST) -> Optional[str]:
+    """The dotted receiver of an ``x.allow()`` call in an if-test."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "allow" and not node.args:
+            return dotted_name(node.func.value)
+    return None

@@ -32,7 +32,7 @@ class PmuRegistryRule(Rule):
     kind = "any"
     scopes = ()   # everywhere the engine scans: src/repro plus docs
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
+    def check(self, ctx: FileContext, program) -> Iterator[Finding]:
         from ...uarch.pmu import KNOWN_COUNTER_IDS
         for lineno, text in enumerate(ctx.lines, 1):
             for match in _P_TOKEN.finditer(text):

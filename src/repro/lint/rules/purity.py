@@ -101,7 +101,7 @@ class WorkerPurityRule(Rule):
     kind = "python"
     scopes = ("src/repro",)
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
+    def check(self, ctx: FileContext, program) -> Iterator[Finding]:
         tree = ctx.tree
         if tree is None:
             return

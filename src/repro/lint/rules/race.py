@@ -1,0 +1,382 @@
+"""RACE01: shared state crossing execution contexts without a lock.
+
+The defect class that motivated camp-lint v2: the PR 7 review found
+``QueryCoalescer`` bumping its ``counters`` dict from both the asyncio
+admission path (event loop) and the solver thread with no lock - a
+torn-read window every ``/stats`` scrape could hit.  The fix was a
+dedicated ``_counters_lock``; this rule keeps the class of bug from
+coming back.
+
+Analysis (whole-program):
+
+1. :mod:`repro.lint.contexts` labels every function with the
+   execution contexts it can run in.
+2. The rule scopes itself to **concurrency-owning classes** - classes
+   with at least one ``async def`` method or a method dispatched onto
+   a thread or signal handler.  An instance of such a class lives
+   inside a concurrent component, so its methods' differing context
+   labels really can interleave on the *same object*.  (Classes that
+   are merely *called from* concurrent code - ``Machine``, the solver
+   - are out of scope: the static analysis cannot tell their
+   instances are never shared, so flagging them would be noise;
+   ``docs/LINT.md`` records this as the rule's main false-negative.)
+3. For each such class, every ``self.<attr>`` access in every method
+   (outside ``__init__``) is classified read/write, tagged with the
+   method's context labels and the set of class lock attributes
+   lexically held (``with self._lock:``) around it.
+4. Two accesses to the same attribute conflict when at least one is a
+   write, their context labels allow two *different* contexts, and
+   they hold no lock in common.  Module-level globals written under a
+   ``global`` declaration get the same treatment with module-level
+   ``threading.Lock()`` names as the lock universe.
+
+Writes include augmented assignment, ``del``, item assignment rooted
+at the attribute (``self.counters[k] += 1``) and known mutator method
+calls (``self.pending.append(...)``).  Attributes holding
+synchronization primitives or thread-safe containers are exempt - a
+``queue.Queue`` is the fix, not the bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..contexts import SHARED_MEMORY_CONTEXTS, contexts_for
+from ..engine import FileContext, Finding, Rule
+from ..graph import (CTX_SIGNAL, CTX_THREAD, ClassInfo, FunctionInfo,
+                     ModuleInfo, ProgramGraph, shallow_walk)
+from .purity import _MUTATORS
+
+#: Methods where accesses never race: the object is not yet (or no
+#: longer) shared with another context.
+_CONSTRUCTION_METHODS = {"__init__", "__new__", "__post_init__",
+                         "__del__"}
+
+
+@dataclasses.dataclass
+class _Access:
+    attr: str
+    write: bool
+    method: str                  # unqualified method/function name
+    contexts: FrozenSet[str]
+    locks: FrozenSet[str]
+    node: ast.AST
+    relpath: str
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Collect ``self.<attr>`` accesses with lexically-held locks."""
+
+    def __init__(self, lock_attrs: Set[str], skip_attrs: Set[str]):
+        self.lock_attrs = lock_attrs
+        self.skip_attrs = skip_attrs
+        self.held: List[str] = []
+        self.accesses: List[Tuple[str, bool, FrozenSet[str],
+                                  ast.AST]] = []
+
+    # -- lock scopes ---------------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock = self._lock_name(item.context_expr)
+            if lock is not None:
+                acquired.append(lock)
+            else:
+                self.visit(item.context_expr)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def _lock_name(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Attribute) and \
+                isinstance(expr.value, ast.Name) and \
+                expr.value.id == "self" and expr.attr in self.lock_attrs:
+            return expr.attr
+        return None
+
+    # -- accesses ------------------------------------------------------------
+    def _record(self, attr: str, write: bool, node: ast.AST) -> None:
+        if attr in self.skip_attrs or attr in self.lock_attrs:
+            return
+        self.accesses.append((attr, write, frozenset(self.held), node))
+
+    def _self_attr(self, node: ast.AST) -> Optional[ast.Attribute]:
+        """The ``self.<attr>`` node rooting an access chain, if any."""
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id == "self":
+                return node
+            node = node.value
+        return None
+
+    def _visit_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._visit_target(element)
+            return
+        rooted = self._self_attr(target)
+        if rooted is not None:
+            self._record(rooted.attr, True, rooted)
+            # An item write also *reads* the container; same access.
+            return
+        self.visit(target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._visit_target(target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._visit_target(node.target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._visit_target(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._visit_target(target)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in _MUTATORS:
+            rooted = self._self_attr(func.value)
+            if rooted is not None:
+                self._record(rooted.attr, True, rooted)
+                for arg in node.args:
+                    self.visit(arg)
+                for keyword in node.keywords:
+                    self.visit(keyword.value)
+                return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            self._record(node.attr, False, node)
+            return
+        self.generic_visit(node)
+
+    # Nested defs/lambdas: their bodies run in an unknowable context.
+    def visit_FunctionDef(self, node) -> None:   # noqa: D102
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+class RaceRule(Rule):
+    id = "RACE01"
+    severity = "error"
+    whole_program = True
+    description = ("shared attribute/global written in one execution "
+                   "context and accessed in another without a common "
+                   "lock")
+    rationale = ("The PR 7 coalescer counter race: state touched by "
+                 "both the event loop and the solver thread corrupts "
+                 "silently unless every cross-context access shares a "
+                 "lock.")
+    kind = "python"
+
+    def check(self, ctx: FileContext,
+              program: ProgramGraph) -> Iterator[Finding]:
+        findings = program.rule_cache.get(self.id)
+        if findings is None:
+            findings = self._analyze(program)
+            program.rule_cache[self.id] = findings
+        for finding in findings:
+            if finding.path == ctx.relpath:
+                # Fill the baseline-identity snippet from the file
+                # context (the analysis pass only has the AST).
+                yield dataclasses.replace(
+                    finding, snippet=ctx.line(finding.line))
+
+    # -- whole-program analysis ----------------------------------------------
+    def _analyze(self, program: ProgramGraph) -> List[Finding]:
+        contexts = contexts_for(program)
+        dispatched = self._dispatch_targets(program)
+        findings: List[Finding] = []
+        for cls in program.classes.values():
+            if not self._owns_concurrency(cls, dispatched):
+                continue
+            findings.extend(
+                self._check_class(cls, program, contexts))
+        for module in program.modules.values():
+            findings.extend(
+                self._check_globals(module, program, contexts))
+        findings.sort(key=lambda f: (f.path, f.line, f.col))
+        return findings
+
+    @staticmethod
+    def _dispatch_targets(program: ProgramGraph) -> Set[str]:
+        targets: Set[str] = set()
+        for fn in program.functions.values():
+            for site in fn.calls:
+                if site.dispatch in (CTX_THREAD, CTX_SIGNAL) and \
+                        site.callee is not None:
+                    targets.add(site.callee)
+        return targets
+
+    @staticmethod
+    def _owns_concurrency(cls: ClassInfo,
+                          dispatched: Set[str]) -> bool:
+        return any(fn.is_async or fn.qname in dispatched
+                   for fn in cls.methods.values())
+
+    def _check_class(self, cls: ClassInfo, program: ProgramGraph,
+                     contexts) -> List[Finding]:
+        accesses: List[_Access] = []
+        for name, fn in cls.methods.items():
+            if name in _CONSTRUCTION_METHODS:
+                continue
+            labels = frozenset(contexts.get(fn.qname, frozenset()) &
+                               SHARED_MEMORY_CONTEXTS)
+            if not labels:
+                continue
+            collector = _AccessCollector(
+                cls.lock_attrs,
+                skip_attrs=cls.threadsafe_attrs | set(cls.methods))
+            for stmt in fn.node.body:
+                collector.visit(stmt)
+            for attr, write, locks, node in collector.accesses:
+                accesses.append(_Access(
+                    attr=attr, write=write, method=name,
+                    contexts=labels, locks=locks, node=node,
+                    relpath=cls.relpath))
+        return self._conflicts(accesses, owner=cls.qname)
+
+    def _check_globals(self, module: ModuleInfo,
+                       program: ProgramGraph, contexts
+                       ) -> List[Finding]:
+        """Module globals written under a ``global`` declaration."""
+        declared_by_fn: Dict[str, Set[str]] = {}
+        mutated: Set[str] = set()
+        for fn in module.functions.values():
+            declared: Set[str] = set()
+            for node in shallow_walk(fn.node):
+                if isinstance(node, ast.Global):
+                    declared.update(node.names)
+            declared_by_fn[fn.qname] = declared
+            for node in shallow_walk(fn.node):
+                if isinstance(node, ast.Name) and node.id in declared \
+                        and isinstance(node.ctx, (ast.Store, ast.Del)):
+                    mutated.add(node.id)
+        if not mutated:
+            return []
+
+        accesses: List[_Access] = []
+        for fn in module.functions.values():
+            labels = frozenset(contexts.get(fn.qname, frozenset()) &
+                               SHARED_MEMORY_CONTEXTS)
+            if not labels:
+                continue
+            declared = declared_by_fn[fn.qname]
+            # Names bound locally (without a ``global``) shadow the
+            # module global; their loads are not global accesses.
+            shadowed: Set[str] = {
+                arg.arg for group in (fn.node.args.posonlyargs,
+                                      fn.node.args.args,
+                                      fn.node.args.kwonlyargs)
+                for arg in group}
+            for node in shallow_walk(fn.node):
+                if isinstance(node, ast.Name) and \
+                        isinstance(node.ctx, ast.Store) and \
+                        node.id not in declared:
+                    shadowed.add(node.id)
+            for node in shallow_walk(fn.node):
+                if not isinstance(node, ast.Name) or \
+                        node.id not in mutated:
+                    continue
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    if node.id not in declared:
+                        continue
+                    write = True
+                elif node.id not in shadowed:
+                    write = False
+                else:
+                    continue
+                accesses.append(_Access(
+                    attr=node.id, write=write,
+                    method=fn.qname.rsplit(".", 1)[1],
+                    contexts=labels,
+                    locks=self._held_module_locks(fn, node, module),
+                    node=node, relpath=module.relpath))
+        return self._conflicts(accesses, owner=module.name)
+
+    @staticmethod
+    def _held_module_locks(fn: FunctionInfo, node: ast.AST,
+                           module: ModuleInfo) -> FrozenSet[str]:
+        """Module-lock names held around ``node`` (lexical scan)."""
+        held: Set[str] = set()
+        for candidate in ast.walk(fn.node):
+            if not isinstance(candidate, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(descendant is node
+                       for descendant in ast.walk(candidate)):
+                continue
+            for item in candidate.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and \
+                        expr.id in module.lock_globals:
+                    held.add(expr.id)
+        return frozenset(held)
+
+    def _conflicts(self, accesses: List[_Access],
+                   owner: str) -> List[Finding]:
+        findings: List[Finding] = []
+        by_attr: Dict[str, List[_Access]] = {}
+        for access in accesses:
+            by_attr.setdefault(access.attr, []).append(access)
+        for attr, group in sorted(by_attr.items()):
+            conflict = self._find_conflict(group)
+            if conflict is None:
+                continue
+            first, second = conflict
+            anchor = first if first.write else second
+            other = second if anchor is first else first
+            message = (
+                f"'{attr}' of {owner.rsplit('.', 1)[-1]} is "
+                f"{'written' if anchor.write else 'read'} in "
+                f"{anchor.method} (contexts: "
+                f"{', '.join(sorted(anchor.contexts))}) and "
+                f"{'written' if other.write else 'read'} in "
+                f"{other.method} (contexts: "
+                f"{', '.join(sorted(other.contexts))}) with no common "
+                f"lock; guard both with one lock or confine the state "
+                f"to a single context")
+            findings.append(Finding(
+                rule=self.id, path=anchor.relpath,
+                line=getattr(anchor.node, "lineno", 0),
+                col=getattr(anchor.node, "col_offset", -1) + 1,
+                message=message, snippet="", severity=self.severity))
+        return findings
+
+    @staticmethod
+    def _find_conflict(group: List[_Access]
+                       ) -> Optional[Tuple[_Access, _Access]]:
+        writes = [a for a in group if a.write]
+        if not writes:
+            return None
+        for write in writes:
+            for other in group:
+                if write.locks & other.locks:
+                    continue
+                # Two *different* contexts must be reachable.  A
+                # single multi-context access (the coalescer's
+                # ``_count`` bump) conflicts with itself.
+                if len(write.contexts | other.contexts) >= 2:
+                    return (write, other)
+        return None

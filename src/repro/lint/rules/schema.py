@@ -1,0 +1,199 @@
+"""SCHEMA01: cache-key drift against the pinned schema digest.
+
+The content-addressed result cache derives its keys from the frozen
+spec dataclasses' ``key_material()`` (``src/repro/runtime/spec.py``).
+Changing what goes into ``key_material`` - adding a field, renaming
+one, reordering the derivation - silently changes every cache key: old
+entries become unreachable garbage and, worse, a *partial* change can
+alias new results onto stale keys.  The repo's contract is that any
+such change bumps :data:`CACHE_SCHEMA_VERSION`.
+
+CACHE01 proves each spec file is internally consistent (frozen, every
+field in the key).  SCHEMA01 proves the *history* contract: a digest
+of the schema-bearing surface - each frozen ``key_material`` class's
+fields, annotations, defaults, and the ``key_material`` body itself -
+is pinned in ``lint-schema-pin.json`` at the repo root, next to the
+lint baseline.  The rule recomputes the digest on every run:
+
+- digest unchanged, version unchanged: clean;
+- digest changed, version unchanged: **the red case** - key material
+  drifted without a schema bump;
+- anything else out of sync with the pin (including a version bump,
+  which legitimately obsoletes it): re-pin with
+  ``python -m repro lint --repin-schema``.
+
+The digest is computed over ``ast.dump`` output, so comments,
+whitespace and docstrings never trip it - only structural change does.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pathlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine import FileContext, Finding, Rule
+from ..graph import ProgramGraph
+
+#: Pin file, committed at the repo root like ``lint-baseline.json``.
+PIN_FILENAME = "lint-schema-pin.json"
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = decorator.func
+        dotted = []
+        while isinstance(name, ast.Attribute):
+            dotted.append(name.attr)
+            name = name.value
+        if isinstance(name, ast.Name):
+            dotted.append(name.id)
+        if "dataclass" not in dotted:
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen" and \
+                    isinstance(keyword.value, ast.Constant) and \
+                    keyword.value.value is True:
+                return True
+    return False
+
+
+def compute_schema_digest(tree: ast.Module
+                          ) -> Tuple[Optional[int], str]:
+    """(CACHE_SCHEMA_VERSION, digest) for one spec module's AST.
+
+    The digest covers every frozen dataclass that defines
+    ``key_material``: field names, annotations, defaults, and the
+    ``key_material`` function body, all via ``ast.dump`` so only
+    structural changes register.
+    """
+    version: Optional[int] = None
+    material: List[str] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "CACHE_SCHEMA_VERSION" and \
+                        isinstance(node.value, ast.Constant) and \
+                        isinstance(node.value.value, int):
+                    version = node.value.value
+        if not isinstance(node, ast.ClassDef) or \
+                not _is_frozen_dataclass(node):
+            continue
+        key_material = next(
+            (stmt for stmt in node.body
+             if isinstance(stmt, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)) and
+             stmt.name == "key_material"), None)
+        if key_material is None:
+            continue
+        parts = [f"class {node.name}"]
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                parts.append(
+                    f"field {stmt.target.id}: "
+                    f"{ast.dump(stmt.annotation)} = "
+                    f"{ast.dump(stmt.value) if stmt.value else '-'}")
+        parts.append(ast.dump(key_material))
+        material.append("\n".join(parts))
+    blob = "\n\n".join(sorted(material)).encode()
+    return version, hashlib.sha256(blob).hexdigest()
+
+
+def load_pin(root: pathlib.Path) -> Optional[Dict[str, object]]:
+    path = root / PIN_FILENAME
+    if not path.is_file():
+        return None
+    try:
+        pin = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        return None
+    if not isinstance(pin, dict):
+        return None
+    return pin
+
+
+def write_pin(root: pathlib.Path, version: Optional[int],
+              digest: str) -> pathlib.Path:
+    """(Re-)pin the schema digest; used by ``--repin-schema``."""
+    path = root / PIN_FILENAME
+    payload = {
+        "_comment": ("SCHEMA01 pin: digest of the frozen spec "
+                     "classes' key_material surface. Refresh with "
+                     "`python -m repro lint --repin-schema` whenever "
+                     "CACHE_SCHEMA_VERSION is bumped."),
+        "cache_schema_version": version,
+        "digest": digest,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+class SchemaPinRule(Rule):
+    id = "SCHEMA01"
+    severity = "error"
+    whole_program = True
+    description = ("key_material surface of the frozen spec classes "
+                   "changed without a CACHE_SCHEMA_VERSION bump "
+                   "(digest pinned in lint-schema-pin.json)")
+    rationale = ("Cache keys derive from key_material; changing it "
+                 "without a schema bump strands or aliases every "
+                 "persisted result.")
+    kind = "python"
+    scopes = ("src/repro/runtime/spec.py",)
+
+    def __init__(self, pin: Optional[Dict[str, object]] = None):
+        #: Explicit pin for fixture tests; ``None`` reads the file.
+        self.pin_override = pin
+
+    def check(self, ctx: FileContext,
+              program: ProgramGraph) -> Iterator[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        version, digest = compute_schema_digest(tree)
+        pin = self.pin_override
+        if pin is None:
+            if program.root is None:
+                return      # in-memory blob with no pin to honor
+            pin = load_pin(pathlib.Path(program.root))
+        if pin is None:
+            yield self.finding(
+                ctx, 0,
+                f"no {PIN_FILENAME} found; pin the key_material "
+                f"digest with `python -m repro lint --repin-schema`")
+            return
+        pinned_digest = pin.get("digest")
+        pinned_version = pin.get("cache_schema_version")
+        if digest == pinned_digest and version == pinned_version:
+            return
+        if digest != pinned_digest and version == pinned_version:
+            yield self.finding(
+                ctx, self._version_line(ctx, tree),
+                f"key_material surface changed (digest "
+                f"{str(pinned_digest)[:12]} -> {digest[:12]}) but "
+                f"CACHE_SCHEMA_VERSION is still {version}; bump the "
+                f"version, then re-pin with `python -m repro lint "
+                f"--repin-schema`")
+            return
+        yield self.finding(
+            ctx, self._version_line(ctx, tree),
+            f"{PIN_FILENAME} is out of date (pinned version "
+            f"{pinned_version}, current {version}); refresh it with "
+            f"`python -m repro lint --repin-schema`")
+
+    @staticmethod
+    def _version_line(ctx: FileContext, tree: ast.Module) -> int:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and \
+                            target.id == "CACHE_SCHEMA_VERSION":
+                        return node.lineno
+        return 0

@@ -65,7 +65,7 @@ class UnitSuffixRule(Rule):
     kind = "python"
     scopes = ("src/repro",)
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
+    def check(self, ctx: FileContext, program) -> Iterator[Finding]:
         tree = ctx.tree
         if tree is None:
             return

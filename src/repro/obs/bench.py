@@ -57,7 +57,10 @@ from typing import Any, Callable, Dict, List, Optional
 #: 2: solver section (five ``solver_*`` cases + the ``solver`` block).
 #: 3: store section (``store`` block + the two ``--scale`` cases) for
 #: the segment-backed ResultStore.
-BENCH_SCHEMA = "repro-bench/3"
+#: 4: lint section (``lint_cold``/``lint_warm`` cases + the ``lint``
+#: block) tracking the camp-lint v2 whole-program passes and their
+#: content-hash cache.
+BENCH_SCHEMA = "repro-bench/4"
 
 #: Machine seed for every benched simulation (pinned => comparable).
 BENCH_SEED = 0
@@ -370,6 +373,41 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
                        workloads=len(suite_specs),
                        pairs=len(suite_pairs)))
 
+    # -- lint_cold / lint_warm: camp-lint whole-repo, cache off/on ---------
+    # Cold rebuilds the program graph and runs every rule from a fresh
+    # cache file each call; warm re-uses one cache so an unchanged tree
+    # is pure hash-and-load.  (The harness's untimed warm-up call is
+    # what fills the warm case's cache.)
+    from ..lint import ALL_RULES, LintCache, default_root, run_lint
+    from ..lint.cache import rules_token
+
+    lint_root = default_root()
+    lint_token = rules_token([rule.id for rule in ALL_RULES])
+    lint_repeats = max(1, min(repeats, 3))   # ~1.5 s per cold pass
+    lint_files = [0]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-lint-") as tmp:
+        lint_tmp = pathlib.Path(tmp)
+        cold_round = [0]
+
+        def lint_cold() -> None:
+            cold_round[0] += 1
+            cache = LintCache(
+                lint_tmp / f"cold-{cold_round[0]}.json", lint_token)
+            lint_files[0] = run_lint(
+                root=lint_root, cache=cache).files_checked
+
+        cases.append(_case("lint_cold", lint_cold, lint_repeats))
+
+        def lint_warm() -> None:
+            cache = LintCache(lint_tmp / "warm.json", lint_token)
+            run_lint(root=lint_root, cache=cache)
+
+        cases.append(_case("lint_warm", lint_warm, lint_repeats))
+    for case_name in ("lint_cold", "lint_warm"):
+        next(case for case in cases
+             if case.name == case_name).meta.update(
+            files=lint_files[0], rules=len(ALL_RULES))
+
     by_name = {case.name: case for case in cases}
 
     def _speedup(loop_name: str, batch_name: str) -> float:
@@ -424,6 +462,14 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
         store_block["scan_us_per_entry"] = _us_per_entry(
             "store_scan_1m", STORE_SCAN_ENTRIES)
 
+    lint_block = {
+        "files": lint_files[0],
+        "rules": len(ALL_RULES),
+        "warm_speedup": _speedup("lint_cold", "lint_warm"),
+    }
+    by_name["lint_warm"].meta["speedup_vs_cold"] = \
+        lint_block["warm_speedup"]
+
     result = {
         "schema": BENCH_SCHEMA,
         "seed": BENCH_SEED,
@@ -434,6 +480,7 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
         "benches": [case.as_dict() for case in cases],
         "solver": solver,
         "store": store_block,
+        "lint": lint_block,
     }
     if out is not None:
         pathlib.Path(out).write_text(
@@ -466,6 +513,12 @@ def render_bench(result: Dict[str, Any]) -> str:
                      f"{store['scale_us_per_entry']:.1f} us/entry, "
                      f"{store['scale_speedup_vs_json']:.0f}x")
         lines.append(line + ")")
+    lint = result.get("lint")
+    if lint:
+        lines.append(
+            f"  lint: {lint['files']} file(s), {lint['rules']} rules, "
+            f"warm cache {lint['warm_speedup']:.1f}x faster than cold "
+            f"(target >= 2x)")
     return "\n".join(lines)
 
 

@@ -86,7 +86,10 @@ class PredictionServer:
         self.recorder = LatencyRecorder()
         self._server: Optional[asyncio.base_events.Server] = None
         self._draining = False
-        self.requests_served = 0
+        # Bumped on the event loop, read by cross-thread stats()
+        # scrapes (ServerThread.stats); RACE01 caught the bare int.
+        self._served_lock = threading.Lock()
+        self._requests_served = 0
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
@@ -110,6 +113,11 @@ class PredictionServer:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    @property
+    def requests_served(self) -> int:
+        with self._served_lock:
+            return self._requests_served
 
     def stats(self) -> Dict[str, Any]:
         snapshot = self.coalescer.stats()
@@ -153,7 +161,8 @@ class PredictionServer:
 
     async def _route(self, method: str, path: str,
                      body: bytes) -> Tuple[int, Dict[str, Any]]:
-        self.requests_served += 1
+        with self._served_lock:
+            self._requests_served += 1
         if path == "/healthz" and method == "GET":
             return 200, {"status": "draining" if self._draining else "ok"}
         if path == "/stats" and method == "GET":

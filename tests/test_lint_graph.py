@@ -1,0 +1,912 @@
+"""camp-lint v2: program graph, contexts, flow rules, cache, SARIF.
+
+The whole-program layer (``docs/LINT.md``): call-graph construction
+and execution-context inference get direct unit tests; each flow rule
+(RACE01 / ASYNC01 / LOCK01 / SCHEMA01) gets good/bad fixture pairs;
+the PR-7 coalescer counter race and the breaker double-consultation
+bug are reproduced literally so the rules that were built to catch
+them provably do; and the result cache, ``--prune-baseline``, and the
+SARIF reporter are exercised end to end through the CLI.
+"""
+
+import ast
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+import repro.cli as cli
+from repro.lint import (
+    ALL_RULES, BASELINE_NAME, Baseline, LintCache, RULES_BY_ID,
+    build_program, infer_contexts, lint_source, render_sarif,
+    rules_token, run_lint,
+)
+from repro.lint.engine import FileContext
+from repro.lint.graph import (CTX_EVENT_LOOP, CTX_MAIN, CTX_POOL,
+                              CTX_SIGNAL, CTX_THREAD, module_name_for)
+from repro.lint.contexts import SHARED_MEMORY_CONTEXTS
+from repro.lint.rules.schema import (PIN_FILENAME, SchemaPinRule,
+                                     compute_schema_digest, load_pin,
+                                     write_pin)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def program_from(files):
+    """Build a ProgramGraph from ``{relpath: source}``."""
+    contexts = [FileContext(None, relpath, textwrap.dedent(source))
+                for relpath, source in files.items()]
+    return build_program(contexts), contexts
+
+
+def program_findings(files, rule_id):
+    """Run one whole-program rule over a multi-file fixture."""
+    program, contexts = program_from(files)
+    rule = RULES_BY_ID[rule_id]
+    findings = []
+    for ctx in contexts:
+        findings.extend(rule.check(ctx, program))
+    return findings
+
+
+def findings_for(rule_id, source, relpath):
+    return lint_source(textwrap.dedent(source), relpath,
+                       [RULES_BY_ID[rule_id]])
+
+
+# ---------------------------------------------------------------------------
+# the registry itself
+
+
+class TestRegistry:
+    def test_catalogue_has_all_ten_rules(self):
+        assert {rule.id for rule in ALL_RULES} == {
+            "DET01", "CACHE01", "PMU01", "ERR01", "PURE01", "UNITS01",
+            "RACE01", "ASYNC01", "LOCK01", "SCHEMA01"}
+
+    def test_flow_rules_are_whole_program(self):
+        for rule_id in ("RACE01", "ASYNC01", "LOCK01", "SCHEMA01"):
+            assert RULES_BY_ID[rule_id].whole_program
+        for rule_id in ("DET01", "UNITS01"):
+            assert not RULES_BY_ID[rule_id].whole_program
+
+
+# ---------------------------------------------------------------------------
+# symbol table / call graph
+
+
+class TestModuleNames:
+    @pytest.mark.parametrize("relpath,expected", [
+        ("src/repro/serve/server.py", "repro.serve.server"),
+        ("src/repro/__init__.py", "repro"),
+        ("src/repro/lint/rules/__init__.py", "repro.lint.rules"),
+        ("tests/test_x.py", "tests.test_x"),
+    ])
+    def test_module_name_for(self, relpath, expected):
+        assert module_name_for(relpath) == expected
+
+
+class TestCallGraph:
+    def test_intra_module_call_edge(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            def helper():
+                return 1
+
+            def top():
+                return helper()
+            """})
+        calls = program.functions["repro.a.top"].calls
+        assert [site.callee for site in calls] == ["repro.a.helper"]
+        assert calls[0].dispatch is None
+
+    def test_self_method_edge(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            class Box:
+                def inner(self):
+                    return 1
+
+                def outer(self):
+                    return self.inner()
+            """})
+        calls = program.functions["repro.a.Box.outer"].calls
+        assert [site.callee for site in calls] == ["repro.a.Box.inner"]
+
+    def test_relative_import_edge(self):
+        program, _ = program_from({
+            "src/repro/pkg/a.py": """\
+                def helper():
+                    return 1
+                """,
+            "src/repro/pkg/b.py": """\
+                from .a import helper
+
+                def go():
+                    return helper()
+                """,
+        })
+        calls = program.functions["repro.pkg.b.go"].calls
+        assert [site.callee for site in calls] == ["repro.pkg.a.helper"]
+
+    def test_annotated_parameter_resolves_methods(self):
+        program, _ = program_from({
+            "src/repro/pkg/store.py": """\
+                class Store:
+                    def get(self, key):
+                        return key
+                """,
+            "src/repro/pkg/user.py": """\
+                from .store import Store
+
+                def use(store: Store):
+                    return store.get("k")
+                """,
+        })
+        calls = program.functions["repro.pkg.user.use"].calls
+        assert [site.callee for site in calls] == \
+            ["repro.pkg.store.Store.get"]
+
+    def test_thread_target_is_a_thread_dispatch(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            import threading
+
+            def _work():
+                return 1
+
+            def start():
+                threading.Thread(target=_work).start()
+            """})
+        sites = program.functions["repro.a.start"].calls
+        dispatched = [s for s in sites if s.dispatch is not None]
+        assert [(s.callee, s.dispatch) for s in dispatched] == \
+            [("repro.a._work", CTX_THREAD)]
+
+    def test_run_in_executor_is_a_thread_dispatch(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            import asyncio
+
+            class Poller:
+                def _work(self):
+                    return 1
+
+                async def tick(self):
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, self._work)
+            """})
+        sites = program.functions["repro.a.Poller.tick"].calls
+        dispatched = [s for s in sites if s.dispatch is not None]
+        assert [(s.callee, s.dispatch) for s in dispatched] == \
+            [("repro.a.Poller._work", CTX_THREAD)]
+
+    def test_signal_handler_dispatch(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            import signal
+
+            def handler(signum, frame):
+                return None
+
+            def install():
+                signal.signal(signal.SIGTERM, handler)
+            """})
+        sites = program.functions["repro.a.install"].calls
+        dispatched = [s for s in sites if s.dispatch is not None]
+        assert [(s.callee, s.dispatch) for s in dispatched] == \
+            [("repro.a.handler", CTX_SIGNAL)]
+
+
+# ---------------------------------------------------------------------------
+# execution-context inference
+
+
+class TestContexts:
+    def test_async_def_runs_on_the_event_loop(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            async def handler():
+                return 1
+            """})
+        contexts = infer_contexts(program)
+        assert CTX_EVENT_LOOP in contexts["repro.a.handler"]
+
+    def test_sync_helper_inherits_async_caller_context(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            def helper():
+                return 1
+
+            async def handler():
+                return helper()
+            """})
+        contexts = infer_contexts(program)
+        assert CTX_EVENT_LOOP in contexts["repro.a.helper"]
+
+    def test_thread_target_runs_in_thread_context(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            import threading
+
+            def _work():
+                return 1
+
+            def start():
+                threading.Thread(target=_work).start()
+            """})
+        contexts = infer_contexts(program)
+        assert CTX_THREAD in contexts["repro.a._work"]
+        assert CTX_MAIN in contexts["repro.a.start"]
+
+    def test_uncalled_sync_function_is_a_main_root(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            def entry():
+                return 1
+            """})
+        assert infer_contexts(program)["repro.a.entry"] == \
+            frozenset({CTX_MAIN})
+
+    def test_plain_call_into_async_does_not_leak_main(self):
+        # `asyncio.run(work())` builds a coroutine; `work` executes on
+        # the loop, never in the caller's context.
+        program, _ = program_from({"src/repro/a.py": """\
+            import asyncio
+
+            async def work():
+                return 1
+
+            def main():
+                asyncio.run(work())
+            """})
+        contexts = infer_contexts(program)
+        assert CTX_MAIN not in contexts["repro.a.work"]
+        assert CTX_EVENT_LOOP in contexts["repro.a.work"]
+
+    def test_function_reached_from_two_contexts_carries_both(self):
+        program, _ = program_from({"src/repro/a.py": """\
+            import threading
+
+            def shared():
+                return 1
+
+            async def handler():
+                return shared()
+
+            def start():
+                threading.Thread(target=shared).start()
+            """})
+        contexts = infer_contexts(program)
+        assert {CTX_EVENT_LOOP, CTX_THREAD} <= contexts["repro.a.shared"]
+
+    def test_pool_workers_do_not_share_memory(self):
+        assert CTX_POOL not in SHARED_MEMORY_CONTEXTS
+        assert {CTX_EVENT_LOOP, CTX_MAIN, CTX_THREAD,
+                CTX_SIGNAL} <= SHARED_MEMORY_CONTEXTS
+
+
+# ---------------------------------------------------------------------------
+# RACE01
+
+
+class TestRace01:
+    BAD_CROSS_CONTEXT = """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            async def bump(self):
+                self.value += 1
+
+            def start(self):
+                threading.Thread(target=self.scrape).start()
+
+            def scrape(self):
+                return self.value
+        """
+    GOOD_LOCKED = """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0
+
+            async def bump(self):
+                with self._lock:
+                    self.value += 1
+
+            def start(self):
+                threading.Thread(target=self.scrape).start()
+
+            def scrape(self):
+                with self._lock:
+                    return self.value
+        """
+    GOOD_THREADSAFE_TYPE = """\
+        import queue
+        import threading
+
+        class Feed:
+            def __init__(self):
+                self.jobs = queue.Queue()
+
+            async def push(self, item):
+                self.jobs.put(item)
+
+            def start(self):
+                threading.Thread(target=self.pull).start()
+
+            def pull(self):
+                return self.jobs.get()
+        """
+    GOOD_NO_CONCURRENCY = """\
+        class Plain:
+            def __init__(self):
+                self.value = 0
+
+            def bump(self):
+                self.value += 1
+
+            def read(self):
+                return self.value
+        """
+
+    def test_unlocked_cross_context_attr_is_flagged(self):
+        findings = findings_for("RACE01", self.BAD_CROSS_CONTEXT,
+                                "src/repro/serve/fake.py")
+        assert [f.rule for f in findings] == ["RACE01"]
+        assert "'value' of Counter" in findings[0].message
+
+    def test_common_lock_silences_it(self):
+        assert not findings_for("RACE01", self.GOOD_LOCKED,
+                                "src/repro/serve/fake.py")
+
+    def test_threadsafe_containers_are_exempt(self):
+        assert not findings_for("RACE01", self.GOOD_THREADSAFE_TYPE,
+                                "src/repro/serve/fake.py")
+
+    def test_single_context_classes_are_out_of_scope(self):
+        # No async method, no dispatch: not concurrency-owning.
+        assert not findings_for("RACE01", self.GOOD_NO_CONCURRENCY,
+                                "src/repro/serve/fake.py")
+
+    BAD_GLOBAL = """\
+        import threading
+
+        COUNT = 0
+
+        def _work():
+            global COUNT
+            COUNT += 1
+
+        def start():
+            threading.Thread(target=_work).start()
+
+        def read():
+            return COUNT
+        """
+    GOOD_GLOBAL = """\
+        import threading
+
+        COUNT = 0
+        _LOCK = threading.Lock()
+
+        def _work():
+            global COUNT
+            with _LOCK:
+                COUNT += 1
+
+        def start():
+            threading.Thread(target=_work).start()
+
+        def read():
+            with _LOCK:
+                return COUNT
+        """
+
+    def test_unlocked_module_global_is_flagged(self):
+        findings = findings_for("RACE01", self.BAD_GLOBAL,
+                                "src/repro/serve/fake.py")
+        assert findings and "COUNT" in findings[0].message
+
+    def test_locked_module_global_passes(self):
+        assert not findings_for("RACE01", self.GOOD_GLOBAL,
+                                "src/repro/serve/fake.py")
+
+
+class TestCoalescerRaceRegression:
+    """The acceptance fixture: deleting the PR-7 counters lock from the
+    real coalescer source must re-light RACE01."""
+
+    RELPATH = "src/repro/serve/coalescer.py"
+    SOURCE = (ROOT / RELPATH).read_text(encoding="utf-8")
+
+    def test_removing_the_counters_lock_is_caught(self):
+        assert "with self._counters_lock:" in self.SOURCE
+        racy = self.SOURCE.replace("with self._counters_lock:",
+                                   "if True:")
+        findings = lint_source(racy, self.RELPATH,
+                               [RULES_BY_ID["RACE01"]])
+        hits = [f for f in findings
+                if f.rule == "RACE01" and "'counters'" in f.message]
+        assert hits, [f.render() for f in findings]
+
+    def test_pristine_counters_pass(self):
+        findings = lint_source(self.SOURCE, self.RELPATH,
+                               [RULES_BY_ID["RACE01"]])
+        assert not [f for f in findings if "'counters'" in f.message]
+
+
+# ---------------------------------------------------------------------------
+# ASYNC01
+
+
+class TestAsync01:
+    BAD_SLEEP = """\
+        import time
+
+        class Poller:
+            async def tick(self):
+                time.sleep(0.1)
+        """
+    BAD_OPEN = """\
+        async def read_config(path):
+            with open(path) as fh:
+                return fh.read()
+        """
+    GOOD_OFFLOADED = """\
+        import asyncio
+        import time
+
+        class Poller:
+            async def tick(self):
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, self._work)
+
+            def _work(self):
+                time.sleep(0.1)
+        """
+    GOOD_SYNC_PATH = """\
+        import time
+
+        def retry_pause():
+            time.sleep(0.1)
+        """
+
+    def test_blocking_stdlib_call_in_async_is_flagged(self):
+        findings = findings_for("ASYNC01", self.BAD_SLEEP,
+                                "src/repro/serve/fake.py")
+        assert [f.rule for f in findings] == ["ASYNC01"]
+        assert "event loop" in findings[0].message
+
+    def test_bare_open_in_async_is_flagged(self):
+        assert [f.rule for f in findings_for(
+            "ASYNC01", self.BAD_OPEN,
+            "src/repro/serve/fake.py")] == ["ASYNC01"]
+
+    def test_executor_offload_passes(self):
+        assert not findings_for("ASYNC01", self.GOOD_OFFLOADED,
+                                "src/repro/serve/fake.py")
+
+    def test_sync_code_may_block(self):
+        assert not findings_for("ASYNC01", self.GOOD_SYNC_PATH,
+                                "src/repro/serve/fake.py")
+
+    def test_project_blocking_surface_via_call_edge(self):
+        # A store hit through an annotated attribute two files away.
+        findings = program_findings({
+            "src/repro/runtime/store.py": """\
+                class ResultStore:
+                    def get(self, key):
+                        return key
+                """,
+            "src/repro/serve/api.py": """\
+                from ..runtime.store import ResultStore
+
+                class Api:
+                    def __init__(self, store: ResultStore):
+                        self.store = store
+
+                    async def lookup(self, key):
+                        return self.store.get(key)
+                """,
+        }, "ASYNC01")
+        assert [f.rule for f in findings] == ["ASYNC01"]
+        assert "ResultStore.get()" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# LOCK01
+
+
+class TestLock01:
+    BAD_BARE_ACQUIRE = """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poke(self):
+                self._lock.acquire()
+                try:
+                    return 1
+                finally:
+                    self._lock.release()
+        """
+    GOOD_WITH = """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poke(self):
+                with self._lock:
+                    return 1
+        """
+    BAD_INVERSION = """\
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def fwd(self):
+                with self._a:
+                    with self._b:
+                        return 1
+
+            def rev(self):
+                with self._b:
+                    with self._a:
+                        return 2
+        """
+    GOOD_CONSISTENT = """\
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def fwd(self):
+                with self._a:
+                    with self._b:
+                        return 1
+
+            def also_fwd(self):
+                with self._a:
+                    with self._b:
+                        return 2
+        """
+    BAD_TRANSITIVE_INVERSION = """\
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def fwd(self):
+                with self._a:
+                    self._take_b()
+
+            def _take_b(self):
+                with self._b:
+                    return 1
+
+            def rev(self):
+                with self._b:
+                    with self._a:
+                        return 2
+        """
+
+    def test_bare_acquire_is_flagged(self):
+        findings = findings_for("LOCK01", self.BAD_BARE_ACQUIRE,
+                                "src/repro/serve/fake.py")
+        assert [f.rule for f in findings] == ["LOCK01"]
+        assert ".acquire() directly" in findings[0].message
+
+    def test_with_statement_passes(self):
+        assert not findings_for("LOCK01", self.GOOD_WITH,
+                                "src/repro/serve/fake.py")
+
+    def test_lock_order_inversion_is_flagged_once(self):
+        findings = findings_for("LOCK01", self.BAD_INVERSION,
+                                "src/repro/serve/fake.py")
+        assert len(findings) == 1
+        assert "inconsistent lock order" in findings[0].message
+
+    def test_consistent_order_passes(self):
+        assert not findings_for("LOCK01", self.GOOD_CONSISTENT,
+                                "src/repro/serve/fake.py")
+
+    def test_inversion_through_a_call_edge_is_flagged(self):
+        findings = findings_for("LOCK01", self.BAD_TRANSITIVE_INVERSION,
+                                "src/repro/serve/fake.py")
+        assert any("inconsistent lock order" in f.message
+                   for f in findings)
+
+    BAD_DOUBLE_CONSULT = """\
+        class Client:
+            def __init__(self, breaker):
+                self.breaker = breaker
+
+            def fetch(self, fn):
+                if self.breaker.allow():
+                    return self.breaker.call(fn)
+                return None
+        """
+    GOOD_SINGLE_CONSULT = """\
+        class Client:
+            def __init__(self, breaker):
+                self.breaker = breaker
+
+            def fetch(self, fn):
+                return self.breaker.call(fn)
+        """
+
+    def test_breaker_double_consultation_is_flagged(self):
+        # The literal PR-7 wedge: allow() then call() burns two
+        # half-open probe slots for one operation.
+        findings = findings_for("LOCK01", self.BAD_DOUBLE_CONSULT,
+                                "src/repro/serve/fake.py")
+        assert [f.rule for f in findings] == ["LOCK01"]
+        assert "two half-open probe slots" in findings[0].message
+
+    def test_call_alone_passes(self):
+        assert not findings_for("LOCK01", self.GOOD_SINGLE_CONSULT,
+                                "src/repro/serve/fake.py")
+
+
+# ---------------------------------------------------------------------------
+# SCHEMA01
+
+
+SPEC_RELPATH = "src/repro/runtime/spec.py"
+
+
+def spec_fixture(version=7, key="seed"):
+    return textwrap.dedent(f"""\
+        from dataclasses import dataclass
+
+        CACHE_SCHEMA_VERSION = {version}
+
+
+        @dataclass(frozen=True)
+        class Spec:
+            seed: int = 0
+
+            def key_material(self):
+                return {{"{key}": self.seed}}
+        """)
+
+
+class TestSchema01:
+    def test_real_spec_matches_the_committed_pin(self):
+        pin = load_pin(ROOT)
+        assert pin is not None
+        source = (ROOT / SPEC_RELPATH).read_text(encoding="utf-8")
+        version, digest = compute_schema_digest(ast.parse(source))
+        assert digest == pin["digest"]
+        assert version == pin["cache_schema_version"]
+
+    def test_key_material_edit_without_bump_goes_red(self):
+        # The acceptance case: renaming a key_material field on the
+        # *real* spec without bumping CACHE_SCHEMA_VERSION must fire.
+        pin = load_pin(ROOT)
+        source = (ROOT / SPEC_RELPATH).read_text(encoding="utf-8")
+        assert '"noise": self.noise,' in source
+        edited = source.replace('"noise": self.noise,',
+                                '"noise_sigma": self.noise,', 1)
+        findings = lint_source(edited, SPEC_RELPATH,
+                               [SchemaPinRule(pin=pin)])
+        assert [f.rule for f in findings] == ["SCHEMA01"]
+        assert "CACHE_SCHEMA_VERSION is still" in findings[0].message
+
+    def test_pristine_spec_passes_against_the_pin(self):
+        pin = load_pin(ROOT)
+        source = (ROOT / SPEC_RELPATH).read_text(encoding="utf-8")
+        assert not lint_source(source, SPEC_RELPATH,
+                               [SchemaPinRule(pin=pin)])
+
+    def test_version_bump_asks_for_a_repin(self):
+        findings = lint_source(
+            spec_fixture(version=8), SPEC_RELPATH,
+            [SchemaPinRule(pin={"digest": "stale",
+                                "cache_schema_version": 7})])
+        assert findings and "out of date" in findings[0].message
+
+    def test_digest_is_sensitive_to_key_material_only(self):
+        _, base = compute_schema_digest(ast.parse(spec_fixture()))
+        _, renamed = compute_schema_digest(
+            ast.parse(spec_fixture(key="rng_seed")))
+        assert base != renamed
+        # A non-key_material edit (a new method) leaves it alone.
+        with_helper = spec_fixture() + (
+            "\n    def describe(self):\n        return 'spec'\n")
+        _, same = compute_schema_digest(ast.parse(with_helper))
+        assert base == same
+
+    def test_pin_round_trip(self, tmp_path):
+        write_pin(tmp_path, 7, "abc123")
+        pin = load_pin(tmp_path)
+        assert pin["digest"] == "abc123"
+        assert pin["cache_schema_version"] == 7
+
+    def test_repin_cli_then_red_on_drift(self, tmp_path, capsys):
+        spec = tmp_path / "src" / "repro" / "runtime"
+        spec.mkdir(parents=True)
+        (spec / "spec.py").write_text(spec_fixture())
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "--repin-schema"]) == 0
+        assert "pinned key_material digest" in capsys.readouterr().out
+        assert (tmp_path / PIN_FILENAME).is_file()
+
+        rule = [SchemaPinRule()]
+        clean = run_lint(root=tmp_path, rules=rule)
+        assert not clean.findings
+        (spec / "spec.py").write_text(spec_fixture(key="rng_seed"))
+        red = run_lint(root=tmp_path, rules=rule)
+        assert [f.rule for f in red.findings] == ["SCHEMA01"]
+        assert "CACHE_SCHEMA_VERSION is still" in red.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# result cache / parallel runs
+
+
+def write_fixture_tree(root, bad=True):
+    pkg = root / "src" / "repro" / "uarch"
+    pkg.mkdir(parents=True)
+    body = ("import time\n\n\ndef sample():\n    return time.time()\n"
+            if bad else
+            "def sample(seed):\n    return seed\n")
+    (pkg / "fake.py").write_text(body)
+    return root
+
+
+def rendered(run):
+    return sorted(f.render() for f in run.findings)
+
+
+class TestLintCache:
+    def test_warm_run_hits_and_agrees_with_cold(self, tmp_path):
+        write_fixture_tree(tmp_path, bad=True)
+        token = rules_token([rule.id for rule in ALL_RULES])
+        path = tmp_path / "cache.json"
+        cold_cache = LintCache(path, token)
+        cold = run_lint(root=tmp_path, cache=cold_cache)
+        assert cold_cache.misses > 0
+        assert path.is_file()
+
+        warm_cache = LintCache(path, token)
+        warm = run_lint(root=tmp_path, cache=warm_cache)
+        assert warm_cache.hits > 0
+        assert warm_cache.misses == 0
+        assert rendered(warm) == rendered(cold)
+
+    def test_rules_token_mismatch_invalidates(self, tmp_path):
+        write_fixture_tree(tmp_path, bad=True)
+        path = tmp_path / "cache.json"
+        run_lint(root=tmp_path,
+                 cache=LintCache(path, "token-one"))
+        stale = LintCache(path, "token-two")
+        run_lint(root=tmp_path, cache=stale)
+        assert stale.hits == 0
+        assert stale.misses > 0
+
+    def test_content_edit_invalidates_only_that_file(self, tmp_path):
+        write_fixture_tree(tmp_path, bad=True)
+        extra = tmp_path / "src" / "repro" / "uarch" / "other.py"
+        extra.write_text("def stable(seed):\n    return seed\n")
+        token = rules_token([rule.id for rule in ALL_RULES])
+        path = tmp_path / "cache.json"
+        run_lint(root=tmp_path, cache=LintCache(path, token))
+
+        fake = tmp_path / "src" / "repro" / "uarch" / "fake.py"
+        fake.write_text("def sample(seed):\n    return seed\n")
+        warm = LintCache(path, token)
+        fixed = run_lint(root=tmp_path, cache=warm)
+        assert not fixed.findings
+        assert warm.hits > 0          # the untouched file still hits
+
+    def test_parallel_run_matches_serial(self, tmp_path):
+        write_fixture_tree(tmp_path, bad=True)
+        serial = run_lint(root=tmp_path, jobs=1)
+        parallel = run_lint(root=tmp_path, jobs=2)
+        assert rendered(parallel) == rendered(serial)
+
+
+# ---------------------------------------------------------------------------
+# --prune-baseline
+
+
+class TestPruneBaseline:
+    def test_report_then_write_round_trip(self, tmp_path, capsys):
+        write_fixture_tree(tmp_path, bad=True)
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "--write-baseline"]) == 0
+        capsys.readouterr()
+
+        # Fix the finding: its baseline entry is now stale.
+        fake = tmp_path / "src" / "repro" / "uarch" / "fake.py"
+        fake.write_text("def sample(seed):\n    return seed\n")
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "stale: DET01" in out
+        # Report-only: the baseline file is untouched.
+        assert Baseline.load(tmp_path / BASELINE_NAME).entries
+
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "--prune-baseline", "--write"]) == 0
+        assert "pruned 1 stale entry" in capsys.readouterr().out
+        assert not Baseline.load(tmp_path / BASELINE_NAME).entries
+        capsys.readouterr()
+        assert cli.main(["lint", "--root", str(tmp_path)]) == 0
+
+    def test_tight_baseline_reports_nothing_to_prune(self, tmp_path,
+                                                     capsys):
+        write_fixture_tree(tmp_path, bad=True)
+        cli.main(["lint", "--root", str(tmp_path), "--write-baseline"])
+        capsys.readouterr()
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "--prune-baseline"]) == 0
+        assert "baseline is tight" in capsys.readouterr().out
+
+    def test_prune_rejects_narrowed_runs(self, tmp_path, capsys):
+        write_fixture_tree(tmp_path, bad=False)
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "--prune-baseline",
+                         str(tmp_path / "src")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+
+
+class TestSarif:
+    def test_empty_run_is_valid_sarif(self):
+        doc = json.loads(render_sarif([], rules=ALL_RULES))
+        assert doc["version"] == "2.1.0"
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "camp-lint"
+        assert {rule["id"] for rule in driver["rules"]} >= \
+            {"RACE01", "ASYNC01", "LOCK01", "SCHEMA01"}
+        assert doc["runs"][0]["results"] == []
+
+    def test_findings_become_results(self):
+        findings = findings_for(
+            "DET01",
+            "import time\n\ndef sample():\n    return time.time()\n",
+            "src/repro/uarch/fake.py")
+        doc = json.loads(render_sarif(findings, rules=ALL_RULES))
+        result = doc["runs"][0]["results"][0]
+        assert result["ruleId"] == "DET01"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == \
+            "src/repro/uarch/fake.py"
+        assert location["region"]["startLine"] >= 1
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        write_fixture_tree(tmp_path, bad=True)
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == \
+            ["DET01"]
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+
+
+class TestJobsFlag:
+    def test_auto_is_accepted(self, tmp_path, capsys):
+        write_fixture_tree(tmp_path, bad=False)
+        assert cli.main(["lint", "--root", str(tmp_path),
+                         "-j", "auto"]) == 0
+
+    def test_zero_is_a_usage_error(self, tmp_path, capsys):
+        write_fixture_tree(tmp_path, bad=False)
+        with pytest.raises(SystemExit):
+            cli.main(["lint", "--root", str(tmp_path), "-j", "0"])

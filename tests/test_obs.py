@@ -307,7 +307,8 @@ class TestBench:
             "machine_simulate", "store_roundtrip", "executor_cold",
             "executor_warm", "suite_slice", "solver_sweep_loop",
             "solver_sweep_batch", "solver_sweep_warm",
-            "solver_suite_loop", "solver_suite_batch"]
+            "solver_suite_loop", "solver_suite_batch",
+            "lint_cold", "lint_warm"]
         for case in result["benches"]:
             assert case["repeats"] == 1
             assert 0 <= case["min_s"] <= case["median_s"] <= case["max_s"]
@@ -326,6 +327,15 @@ class TestBench:
         # Warm starts converge in fewer outer iterations than cold.
         assert solver["sweep_warm_outer_iterations"] < \
             solver["sweep_outer_iterations"]
+
+    def test_lint_section(self, payload):
+        result, _ = payload
+        lint = result["lint"]
+        assert lint["files"] > 50
+        assert lint["rules"] == 10
+        # The content-hash cache must make an unchanged tree cheap;
+        # the committed baseline pins the >=2x acceptance target.
+        assert lint["warm_speedup"] > 1.0
 
     def test_payload_has_no_wall_clock_timestamps(self, payload):
         result, out = payload
