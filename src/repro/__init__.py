@@ -27,7 +27,8 @@ Package map:
 - :mod:`repro.analysis` - per-figure experiment drivers;
 - :mod:`repro.runtime` - parallel executor + persistent result cache;
 - :mod:`repro.obs` - span tracing, trace exporters, bench harness;
-- :mod:`repro.faults` - fault injection + the chaos suite.
+- :mod:`repro.faults` - fault injection + the chaos suite;
+- :mod:`repro.fleet` - fleet-scale colocation policy tournaments.
 """
 
 from .core import (Calibration, Counter, CounterSample, ProfiledRun,
@@ -44,6 +45,8 @@ from .runtime import (Executor, ResultStore, RunSpec,  # noqa: E402
                       Telemetry)
 from .obs import Tracer, trace_session  # noqa: E402
 from .faults import FaultPlan, named_plan, run_chaos  # noqa: E402
+from .fleet import (FleetReport, TournamentConfig,  # noqa: E402
+                    run_tournament)
 
 __all__ = [
     "Calibration", "Counter", "CounterSample", "ProfiledRun",
@@ -53,5 +56,6 @@ __all__ = [
     "slowdown", "WorkloadSpec", "bandwidth_bound_eight",
     "evaluation_suite", "get_workload", "Executor", "ResultStore",
     "RunSpec", "Telemetry", "Tracer", "trace_session", "FaultPlan",
-    "named_plan", "run_chaos", "__version__",
+    "named_plan", "run_chaos", "FleetReport", "TournamentConfig",
+    "run_tournament", "__version__",
 ]

@@ -9,7 +9,10 @@ Drives the library end-to-end from a shell, the way an operator would:
 ``sweep``             synthesize (and optionally measure) an
                       interleaving curve; report the Best-shot ratio
 ``suite``             prediction-accuracy table over the 265 workloads
-``fleet``             CAMP-guided capacity plan for a job mix
+``fleet``             CAMP-guided capacity plan for a job mix; with
+                      ``--nodes`` run a fleet-scale colocation policy
+                      tournament and emit the ``repro-fleet/1`` report
+                      (docs/FLEET.md)
 ``dynamics``          simulate a reactive migration loop vs Best-shot
 ``chaos``             run the suite under fault injection and check the
                       graceful-degradation invariants; ``--target
@@ -347,6 +350,13 @@ def cmd_suite(args) -> int:
 
 
 def cmd_fleet(args) -> int:
+    if args.nodes is not None:
+        return _cmd_fleet_tournament(args)
+    if not args.workload:
+        print("fleet: name workloads to capacity-plan, or pass "
+              "--nodes N for a tournament (docs/FLEET.md)",
+              file=sys.stderr)
+        return 2
     machine = _machine(args)
     executor = _executor(args)
     calibration = _load_calibration(args, machine, executor)
@@ -384,6 +394,34 @@ def cmd_fleet(args) -> int:
     print(f"\nDRAM used: {plan.dram_used_gib:.1f} / "
           f"{plan.fast_capacity_gib:.1f} GiB; predicted fleet "
           f"throughput {plan.predicted_fleet_throughput:.3f}")
+    _finish(args, executor)
+    return 0
+
+
+def _cmd_fleet_tournament(args) -> int:
+    """``fleet --nodes N``: the sharded policy tournament."""
+    from .fleet import (TOURNAMENT_POLICIES, TournamentConfig,
+                        run_tournament)
+    machine = _machine(args)
+    executor = _executor(args)
+    calibration = _load_calibration(args, machine, executor)
+    policies = (tuple(name.strip() for name in
+                      args.policies.split(",") if name.strip())
+                if args.policies else TOURNAMENT_POLICIES)
+    try:
+        config = TournamentConfig(
+            nodes=args.nodes, seed=args.seed, device=args.device,
+            schedule=args.schedule, group_size=args.group_size,
+            shard_nodes=args.shard_nodes, policies=policies,
+            population_limit=args.population)
+    except ValueError as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+    report = run_tournament(machine, calibration, executor, config)
+    print(report.render())
+    if args.out:
+        pathlib.Path(args.out).write_text(report.to_json() + "\n")
+        print(f"\nwrote {args.out}")
     _finish(args, executor)
     return 0
 
@@ -833,14 +871,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("fleet",
-                       help="capacity-plan a job mix with CAMP")
+                       help="capacity-plan a job mix with CAMP, or "
+                            "run a fleet-scale policy tournament "
+                            "(--nodes; docs/FLEET.md)")
     common(p)
-    p.add_argument("workload", nargs="+")
+    from .fleet.population import ARRIVAL_SCHEDULES
+    from .fleet.tournament import DEFAULT_SHARD_NODES
+    p.add_argument("workload", nargs="*",
+                   help="workloads to capacity-plan (planner mode)")
     p.add_argument("--share", type=float, default=0.5,
                    help="fast capacity as a share of the fleet "
                         "footprint (default 0.5)")
     p.add_argument("--capacity-gib", type=float,
                    help="absolute fast capacity (overrides --share)")
+    tournament = p.add_argument_group(
+        "tournament", "simulated-fleet policy tournament "
+                      "(docs/FLEET.md)")
+    tournament.add_argument("--nodes", type=int, metavar="N",
+                            help="simulate N fleet nodes and rank the "
+                                 "colocation policies")
+    tournament.add_argument("--seed", type=int, default=2026,
+                            help="fleet draw + sampling seed "
+                                 "(default 2026)")
+    tournament.add_argument("--schedule", default="diurnal",
+                            choices=sorted(ARRIVAL_SCHEDULES),
+                            help="arrival schedule (default diurnal)")
+    tournament.add_argument("--policies",
+                            help="comma-separated policy lineup "
+                                 "(default: all six)")
+    tournament.add_argument("--group-size", type=int, default=2,
+                            help="workloads colocated per node "
+                                 "(default 2)")
+    tournament.add_argument("--shard-nodes", type=int,
+                            default=DEFAULT_SHARD_NODES,
+                            help="nodes per joint-solve shard "
+                                 f"(default {DEFAULT_SHARD_NODES})")
+    tournament.add_argument("--population", type=_workload_count_arg,
+                            metavar="N",
+                            help="draw from only the first N "
+                                 "population workloads (smoke runs)")
+    tournament.add_argument("--out",
+                            help="write the repro-fleet/1 report "
+                                 "JSON here")
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("dynamics",

@@ -1,0 +1,25 @@
+"""Fleet-scale colocation tournaments (``docs/FLEET.md``).
+
+- :mod:`~repro.fleet.population` - node draws and arrival schedules;
+- :mod:`~repro.fleet.tournament` - the sharded policy tournament;
+- :mod:`~repro.fleet.report` - the ``repro-fleet/1`` report artifact.
+"""
+
+from .population import (ARRIVAL_SCHEDULES, DEFAULT_FAST_SHARES,
+                         DEFAULT_GROUP_SIZE, FleetPhase, NodeConfig,
+                         draw_fleet, node_active, schedule_weights)
+from .report import (FLEET_SCHEMA, FleetReport, PolicyStanding,
+                     load_report)
+from .tournament import (DEFAULT_SHARD_NODES, POLICY_HOTNESS_BIAS,
+                         SHARD_JOINT_TOLERANCE, TOURNAMENT_POLICIES,
+                         TournamentConfig, run_tournament)
+
+__all__ = [
+    "ARRIVAL_SCHEDULES", "DEFAULT_FAST_SHARES", "DEFAULT_GROUP_SIZE",
+    "FleetPhase", "NodeConfig", "draw_fleet", "node_active",
+    "schedule_weights",
+    "FLEET_SCHEMA", "FleetReport", "PolicyStanding", "load_report",
+    "DEFAULT_SHARD_NODES", "POLICY_HOTNESS_BIAS",
+    "SHARD_JOINT_TOLERANCE", "TOURNAMENT_POLICIES",
+    "TournamentConfig", "run_tournament",
+]

@@ -1,0 +1,181 @@
+"""Fleet population: node configurations and arrival schedules.
+
+A *fleet* is thousands of nodes, each colocating a small group of
+workloads drawn from the 265-workload evaluation population, behind a
+fixed fast-tier capacity "SKU".  Demand is not constant: nodes go
+active and idle through a schedule of arrival phases - the diurnal /
+bursty load shapes that make tail slowdown, stranded fast capacity,
+and migration churn visible only at cluster scale ("Dissecting CXL
+Memory Performance at Scale", CXL-ClusterSim; see ``docs/FLEET.md``).
+
+The phase idiom mirrors :mod:`repro.workloads.phases`: a schedule is
+an ordered tuple of weighted phases, each contributing its weight
+share of the simulated horizon, exactly how a
+:class:`~repro.workloads.phases.PhasedWorkload` splits an instruction
+budget across behavior phases.  Here the per-phase knob is *arrival
+intensity* - the fraction of nodes active - instead of a per-phase
+:class:`~repro.workloads.spec.WorkloadSpec`.
+
+Everything is hash-seeded: the same ``(population, nodes, seed)``
+triple always draws byte-identical fleets and activity patterns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..workloads.spec import WorkloadSpec
+
+#: Fast-tier capacity SKUs: fraction of a node's group footprint that
+#: fits in local DRAM.  Drawn per node, like heterogeneous machine
+#: generations in a real fleet.
+DEFAULT_FAST_SHARES: Tuple[float, ...] = (0.35, 0.5, 0.65)
+
+#: Workloads colocated per node by default (the paper's pairwise
+#: scenario, section 6.3, scaled out).
+DEFAULT_GROUP_SIZE = 2
+
+
+def _fleet_draw(seed: int, tag: str, index: int, space: int) -> int:
+    """Deterministic uniform draw in ``[0, space)``.
+
+    sha256-keyed (like the load generator's mix draw) so draws are
+    independent across tags/indices and identical across runs and
+    platforms for the same seed.
+    """
+    digest = hashlib.sha256(
+        f"fleet:{seed}:{tag}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % space
+
+
+def _fleet_unit(seed: int, tag: str, index: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)``."""
+    digest = hashlib.sha256(
+        f"fleet:{seed}:{tag}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FleetPhase:
+    """One arrival phase: a named intensity holding for ``weight``.
+
+    ``intensity`` is the fraction of fleet nodes active during the
+    phase; ``weight`` is its share of the schedule's horizon (same
+    weight semantics as :class:`~repro.workloads.phases.Phase`).
+    """
+
+    name: str
+    intensity: float
+    weight: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("phase intensity must be within [0, 1]")
+        if self.weight <= 0:
+            raise ValueError("phase weight must be positive")
+
+
+#: Named arrival schedules.  ``diurnal`` is a day: overnight trough,
+#: morning ramp, sustained peak with a short full-load burst, evening
+#: tail.  ``bursty`` alternates a modest baseline with short
+#: full-intensity spikes.  ``flat`` pins one steady phase (fast CI
+#: smoke runs).
+ARRIVAL_SCHEDULES: Dict[str, Tuple[FleetPhase, ...]] = {
+    "diurnal": (
+        FleetPhase("night", 0.25, 2.0),
+        FleetPhase("morning", 0.60, 1.0),
+        FleetPhase("peak", 0.90, 2.0),
+        FleetPhase("burst", 1.00, 0.5),
+        FleetPhase("evening", 0.55, 1.0),
+    ),
+    "bursty": (
+        FleetPhase("baseline", 0.40, 2.0),
+        FleetPhase("spike", 1.00, 0.5),
+        FleetPhase("lull", 0.30, 1.0),
+        FleetPhase("spike-2", 1.00, 0.5),
+    ),
+    "flat": (
+        FleetPhase("steady", 0.80, 1.0),
+    ),
+}
+
+
+def schedule_weights(phases: Sequence[FleetPhase]) -> Tuple[float, ...]:
+    """Normalized phase weights (sum to 1), PhasedWorkload-style."""
+    total = sum(phase.weight for phase in phases)
+    return tuple(phase.weight / total for phase in phases)
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """One fleet node: its colocated group and fast-tier capacity."""
+
+    node_id: int
+    workloads: Tuple[str, ...]
+    fast_share: float
+    fast_capacity_gib: float
+
+    def __post_init__(self):
+        if not self.workloads:
+            raise ValueError("a node must colocate at least one workload")
+        if self.fast_capacity_gib <= 0:
+            raise ValueError("fast capacity must be positive")
+
+
+def draw_fleet(population: Sequence[WorkloadSpec], nodes: int,
+               seed: int,
+               group_size: int = DEFAULT_GROUP_SIZE,
+               fast_shares: Sequence[float] = DEFAULT_FAST_SHARES
+               ) -> Tuple[NodeConfig, ...]:
+    """Draw ``nodes`` node configurations from the population.
+
+    Each node draws ``group_size`` distinct workloads (uniformly, with
+    per-node rejection of duplicates) and one capacity SKU; its fast
+    capacity is that share of the group's total footprint.
+    Deterministic under ``seed``.
+    """
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    if group_size < 1:
+        raise ValueError("group size must be >= 1")
+    if len(population) < group_size:
+        raise ValueError(
+            f"population of {len(population)} cannot fill groups "
+            f"of {group_size}")
+    if not fast_shares:
+        raise ValueError("need at least one fast-capacity share")
+
+    configs = []
+    for node_id in range(nodes):
+        picks: list = []
+        attempt = 0
+        while len(picks) < group_size:
+            draw = _fleet_draw(seed, "member",
+                               node_id * 64 + attempt, len(population))
+            attempt += 1
+            if draw not in picks:
+                picks.append(draw)
+        members = tuple(population[i].name for i in picks)
+        share = fast_shares[_fleet_draw(seed, "sku", node_id,
+                                        len(fast_shares))]
+        total_gib = sum(population[i].footprint_gib for i in picks)
+        configs.append(NodeConfig(
+            node_id=node_id,
+            workloads=members,
+            fast_share=share,
+            fast_capacity_gib=share * total_gib,
+        ))
+    return tuple(configs)
+
+
+def node_active(seed: int, node_id: int, phase_index: int,
+                intensity: float) -> bool:
+    """Whether a node is active during one arrival phase.
+
+    A per-(node, phase) uniform draw against the phase intensity; the
+    same seed reproduces the same activity matrix.
+    """
+    return _fleet_unit(seed, f"active:{phase_index}",
+                       node_id) < intensity

@@ -1,0 +1,146 @@
+"""The schema-versioned fleet-tournament report (``docs/FLEET.md``).
+
+``repro fleet --nodes N`` emits one of these; the committed
+``FLEET_tournament.json`` at the repo root (like ``SLO_serve.json``)
+is the pinned reference artifact CI re-generates and uploads.  The
+payload ranks every policy on the fleet SLO metrics - p99 slowdown,
+migration churn, stranded fast-tier capacity, weighted speedup - and
+carries enough solver telemetry to audit how the numbers were made.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+#: Schema tag on every fleet payload; bump on layout changes.
+FLEET_SCHEMA = "repro-fleet/1"
+
+
+@dataclass(frozen=True)
+class PolicyStanding:
+    """One policy's fleet-level scorecard."""
+
+    policy: str
+    rank: int
+    #: Percentiles of per-(node, job, phase) slowdown samples, via the
+    #: seeded-reservoir recorder: p50/p99/p999/max/samples.
+    slowdown: Dict[str, float]
+    #: Slowdown samples represented only statistically (reservoir).
+    dropped_samples: int
+    #: Mean per-node weighted speedup (sum of solo/colocated cycles).
+    weighted_speedup: float
+    #: Total migration traffic over the schedule, GiB per node.
+    migration_gib_per_node: float
+    #: Phase-weighted mean fast-tier capacity left unused, GiB/node.
+    stranded_gib_per_node: float
+    #: Stranded GiB as a fraction of mean node capacity.
+    stranded_fraction: float
+    #: Summed shard-solver telemetry (shards, joint/outer iterations,
+    #: nonconverged lanes, replay resolves).
+    solver: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "rank": self.rank,
+            "slowdown": {k: round(float(v), 6)
+                         for k, v in self.slowdown.items()},
+            "dropped_samples": self.dropped_samples,
+            "weighted_speedup": round(self.weighted_speedup, 6),
+            "migration_gib_per_node":
+                round(self.migration_gib_per_node, 6),
+            "stranded_gib_per_node":
+                round(self.stranded_gib_per_node, 6),
+            "stranded_fraction": round(self.stranded_fraction, 6),
+            "solver": {k: int(v) for k, v in sorted(
+                self.solver.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicyStanding":
+        return cls(
+            policy=str(data["policy"]),
+            rank=int(data["rank"]),
+            slowdown=dict(data["slowdown"]),
+            dropped_samples=int(data.get("dropped_samples", 0)),
+            weighted_speedup=float(data["weighted_speedup"]),
+            migration_gib_per_node=float(data["migration_gib_per_node"]),
+            stranded_gib_per_node=float(data["stranded_gib_per_node"]),
+            stranded_fraction=float(data["stranded_fraction"]),
+            solver=dict(data.get("solver", {})),
+        )
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The committed/uploaded fleet-tournament artifact."""
+
+    config: Dict[str, Any]
+    policies: Tuple[PolicyStanding, ...]
+    schema: str = FLEET_SCHEMA
+
+    @property
+    def ranking(self) -> Tuple[str, ...]:
+        """Policy names, best (rank 1) first."""
+        return tuple(s.policy for s in
+                     sorted(self.policies, key=lambda s: s.rank))
+
+    def standing(self, policy: str) -> PolicyStanding:
+        for entry in self.policies:
+            if entry.policy == policy:
+                return entry
+        raise KeyError(f"no standing for policy {policy!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "config": dict(self.config),
+            "ranking": list(self.ranking),
+            "policies": [s.to_dict() for s in self.policies],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetReport":
+        if data.get("schema") != FLEET_SCHEMA:
+            raise ValueError(
+                f"unsupported fleet schema {data.get('schema')!r}; "
+                f"expected {FLEET_SCHEMA!r}")
+        return cls(
+            config=dict(data["config"]),
+            policies=tuple(PolicyStanding.from_dict(entry)
+                           for entry in data["policies"]),
+        )
+
+    def render(self) -> str:
+        """Deterministic multi-line report (what the CLI prints)."""
+        config = self.config
+        lines = [
+            f"fleet tournament: {config.get('nodes')} nodes x "
+            f"{config.get('group_size')} jobs, "
+            f"schedule={config.get('schedule')} "
+            f"seed={config.get('seed')} "
+            f"device={config.get('device')}",
+            "  rank  policy       p99 S    p50 S    w-speedup  "
+            "churn GiB/node  stranded",
+        ]
+        for standing in sorted(self.policies, key=lambda s: s.rank):
+            lines.append(
+                f"  {standing.rank:>4}  "
+                f"{standing.policy:<12} "
+                f"{standing.slowdown.get('p99', 0.0):>7.3f}  "
+                f"{standing.slowdown.get('p50', 0.0):>7.3f}  "
+                f"{standing.weighted_speedup:>9.3f}  "
+                f"{standing.migration_gib_per_node:>14.2f}  "
+                f"{standing.stranded_fraction:>7.1%}")
+        return "\n".join(lines)
+
+
+def load_report(path) -> FleetReport:
+    """Read a committed fleet payload back (CI checks, tests)."""
+    with open(path) as handle:
+        return FleetReport.from_dict(json.load(handle))

@@ -25,6 +25,9 @@ The pinned cases cover the layers a regression could hide in:
 ``solver_suite_batch``   the same pairs, one accelerated ``run_batch``
 ``store_roundtrip_100k`` ``put_many`` + ``get_many``, 100k entries [*]
 ``store_scan_1m``        ``get_many`` over a 1M-entry store [*]
+``fleet_pairwise_loop``  per-node ``run_colocated`` over a few nodes
+``fleet_shard``          one pack-once ``run_colocated_groups`` shard
+``fleet_tournament``     a tiny end-to-end two-policy tournament
 =======================  ================================================
 
 [*] scale cases: only with ``--scale`` (they build ~100 MB stores);
@@ -60,7 +63,11 @@ from typing import Any, Callable, Dict, List, Optional
 #: 4: lint section (``lint_cold``/``lint_warm`` cases + the ``lint``
 #: block) tracking the camp-lint v2 whole-program passes and their
 #: content-hash cache.
-BENCH_SCHEMA = "repro-bench/4"
+#: 5: fleet section (``fleet_pairwise_loop``/``fleet_shard``/
+#: ``fleet_tournament`` cases + the ``fleet`` block) tracking the
+#: grouped colocation solver and the tournament end-to-end
+#: (docs/FLEET.md).
+BENCH_SCHEMA = "repro-bench/5"
 
 #: Machine seed for every benched simulation (pinned => comparable).
 BENCH_SEED = 0
@@ -90,6 +97,13 @@ SOLVER_SWEEP_POINTS = 101
 SOLVER_SUITE_WORKLOADS = 16
 SOLVER_SWEEP_WORKLOAD = "603.bwaves"
 SOLVER_SWEEP_DEVICE = "cxl-a"
+
+#: Fleet section shapes: one pinned shard (pack-once grouped solve)
+#: against a small per-node loop, plus a tiny end-to-end tournament.
+FLEET_SHARD_NODES = 50
+FLEET_LOOP_NODES = 6
+FLEET_TOURNAMENT_NODES = 16
+FLEET_BENCH_POPULATION = 12
 
 
 @dataclass
@@ -408,6 +422,57 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
              if case.name == case_name).meta.update(
             files=lint_files[0], rules=len(ALL_RULES))
 
+    # -- fleet: the grouped colocation solver and the tournament -----------
+    from ..fleet import TournamentConfig, draw_fleet, run_tournament
+    from ..workloads.suites import evaluation_suite
+
+    fleet_population = list(evaluation_suite(
+        seed=2026))[:FLEET_BENCH_POPULATION]
+    fleet_by_name = {spec.name: spec for spec in fleet_population}
+    fleet_nodes = draw_fleet(fleet_population, FLEET_SHARD_NODES,
+                             seed=BENCH_SEED)
+
+    def fleet_jobs(node):
+        return [(fleet_by_name[name],
+                 Placement.interleaved(0.5, SOLVER_SWEEP_DEVICE))
+                for name in node.workloads]
+
+    loop_nodes = fleet_nodes[:FLEET_LOOP_NODES]
+
+    def fleet_pairwise_loop() -> None:
+        for node in loop_nodes:
+            machine.run_colocated(fleet_jobs(node), tolerance=1e-4)
+    cases.append(_case("fleet_pairwise_loop", fleet_pairwise_loop,
+                       repeats, nodes=FLEET_LOOP_NODES))
+
+    shard_jobs: List[Any] = []
+    shard_groups = []
+    for node in fleet_nodes:
+        base = len(shard_jobs)
+        shard_jobs.extend(fleet_jobs(node))
+        shard_groups.append(tuple(range(base, len(shard_jobs))))
+
+    def fleet_shard() -> None:
+        machine.run_colocated_groups(shard_jobs, shard_groups,
+                                     tolerance=1e-4)
+    cases.append(_case("fleet_shard", fleet_shard, repeats,
+                       nodes=FLEET_SHARD_NODES, lanes=len(shard_jobs)))
+
+    fleet_config = TournamentConfig(
+        nodes=FLEET_TOURNAMENT_NODES, seed=BENCH_SEED,
+        schedule="flat", shard_nodes=FLEET_TOURNAMENT_NODES // 2,
+        policies=("best-shot", "static"),
+        population_limit=FLEET_BENCH_POPULATION)
+    fleet_executor = Executor(jobs=1)
+
+    def fleet_tournament() -> None:
+        run_tournament(machine, calibration, fleet_executor,
+                       fleet_config)
+    cases.append(_case("fleet_tournament", fleet_tournament,
+                       max(1, min(repeats, 3)),
+                       nodes=FLEET_TOURNAMENT_NODES,
+                       policies=len(fleet_config.policies)))
+
     by_name = {case.name: case for case in cases}
 
     def _speedup(loop_name: str, batch_name: str) -> float:
@@ -470,6 +535,25 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
     by_name["lint_warm"].meta["speedup_vs_cold"] = \
         lint_block["warm_speedup"]
 
+    fleet_block = {
+        "shard_nodes": FLEET_SHARD_NODES,
+        "shard_lanes": len(shard_jobs),
+        "loop_nodes": FLEET_LOOP_NODES,
+        "loop_ms_per_node": round(
+            by_name["fleet_pairwise_loop"].median_s
+            / FLEET_LOOP_NODES * 1e3, 3),
+        "shard_ms_per_node": round(
+            by_name["fleet_shard"].median_s
+            / FLEET_SHARD_NODES * 1e3, 3),
+        "tournament_nodes": FLEET_TOURNAMENT_NODES,
+        "tournament_policies": len(fleet_config.policies),
+    }
+    fleet_block["shard_speedup_per_node"] = round(
+        fleet_block["loop_ms_per_node"] /
+        max(fleet_block["shard_ms_per_node"], 1e-9), 1)
+    by_name["fleet_shard"].meta["speedup_per_node_vs_loop"] = \
+        fleet_block["shard_speedup_per_node"]
+
     result = {
         "schema": BENCH_SCHEMA,
         "seed": BENCH_SEED,
@@ -481,6 +565,7 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
         "solver": solver,
         "store": store_block,
         "lint": lint_block,
+        "fleet": fleet_block,
     }
     if out is not None:
         pathlib.Path(out).write_text(
@@ -519,6 +604,14 @@ def render_bench(result: Dict[str, Any]) -> str:
             f"  lint: {lint['files']} file(s), {lint['rules']} rules, "
             f"warm cache {lint['warm_speedup']:.1f}x faster than cold "
             f"(target >= 2x)")
+    fleet = result.get("fleet")
+    if fleet:
+        lines.append(
+            f"  fleet: shard {fleet['shard_ms_per_node']:.2f} ms/node "
+            f"vs loop {fleet['loop_ms_per_node']:.2f} ms/node "
+            f"({fleet['shard_speedup_per_node']:.1f}x per node); "
+            f"tournament {fleet['tournament_nodes']} nodes x "
+            f"{fleet['tournament_policies']} policies")
     return "\n".join(lines)
 
 

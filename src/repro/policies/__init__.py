@@ -22,8 +22,9 @@ from .dynamics import (BestShotDynamics, ColloidDynamics,
                        DynamicPolicy, FirstTouchDynamics, NBTDynamics,
                        TieringTrace, simulate_tiering)
 from .colocation import (ColocationOutcome, MixedColocationOutcome,
-                         mixed_colocation, predicted_pair_slowdowns,
-                         schedule_by_camp, schedule_by_mpki)
+                         contention_amplification, mixed_colocation,
+                         predicted_pair_slowdowns, schedule_by_camp,
+                         schedule_by_mpki)
 from .fleet import FleetAssignment, FleetPlan, FleetPlanner
 from .nbt import NBT
 from .soar import Soar
@@ -47,6 +48,7 @@ __all__ = [
     "PolicyDecision", "PolicyOutcome", "TieringContext", "TieringPolicy",
     "compare_policies", "evaluate_policy", "BestShot", "Caption", "Alto",
     "Colloid", "ColocationOutcome", "MixedColocationOutcome",
+    "contention_amplification",
     "mixed_colocation", "predicted_pair_slowdowns", "schedule_by_camp",
     "schedule_by_mpki", "NBT", "Soar", "FirstTouch", "Interleave11",
     "BestShotDynamics", "ColloidDynamics", "DynamicPolicy",

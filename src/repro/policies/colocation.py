@@ -150,6 +150,30 @@ def _is_bw_bound(dram_profile, calibration: Calibration) -> bool:
                     calibration.idle_latency_dram_ns).is_bandwidth_bound
 
 
+def contention_amplification(machine: Machine, device: str,
+                             calibration: Calibration,
+                             spill_gbps: float) -> float:
+    """Excess-latency amplification a spill stream inflicts on ``device``.
+
+    A colocated partner's slow-tier penalty scales with the *excess*
+    latency over DRAM, which contention amplifies.  The denominator is
+    the idle excess of the device actually being shared - probed via
+    :meth:`Machine.idle_latency_ns` - not the calibration's device:
+    calibrating against cxl-a and colocating on cxl-b must use cxl-b's
+    idle latency or the amplification is computed against the wrong
+    baseline.
+    """
+    from ..uarch.memory import loaded_latency_ns
+
+    slow_device = machine.device(device)
+    idle_dram_ns = calibration.idle_latency_dram_ns
+    idle_slow_ns = machine.idle_latency_ns(device)
+    utilization = min(spill_gbps / slow_device.peak_bandwidth_gbps, 0.95)
+    loaded_ns = loaded_latency_ns(slow_device, utilization)
+    return max(1.0, (loaded_ns - idle_dram_ns) /
+               max(idle_slow_ns - idle_dram_ns, 1.0))
+
+
 def mixed_colocation(machine: Machine, bw_workload: WorkloadSpec,
                      lat_workload: WorkloadSpec, device: str,
                      fast_capacity_gib: float,
@@ -181,7 +205,6 @@ def mixed_colocation(machine: Machine, bw_workload: WorkloadSpec,
         # inflating its latency per the device's queueing curve -
         # analytics an operator can do from the same profiling data.
         from ..core.metrics import bandwidth_gbps
-        from ..uarch.memory import loaded_latency_ns
 
         bw_dram = machine.profile(bw_workload, Placement.dram_only())
         bw_slow = machine.profile(bw_workload,
@@ -196,9 +219,6 @@ def mixed_colocation(machine: Machine, bw_workload: WorkloadSpec,
                                else None)
         x_cap = min(1.0, fast_capacity_gib / bw_fp)
         bw_traffic = bandwidth_gbps(bw_dram)
-        slow_device = machine.device(device)
-        idle_dram_ns = calibration.idle_latency_dram_ns
-        idle_slow_ns = calibration.idle_latency_slow_ns
 
         best = None
         for step in range(0, 21):
@@ -208,13 +228,8 @@ def mixed_colocation(machine: Machine, bw_workload: WorkloadSpec,
             x_lat_candidate = min(1.0, remaining / lat_fp)
 
             spill_gbps = (1.0 - x_bw_candidate) * bw_traffic
-            utilization = min(spill_gbps /
-                              slow_device.peak_bandwidth_gbps, 0.95)
-            loaded = loaded_latency_ns(slow_device, utilization)
-            # The partner's slow-tier penalty scales with the *excess*
-            # latency over DRAM, which contention amplifies.
-            amplification = max(1.0, (loaded - idle_dram_ns) /
-                                max(idle_slow_ns - idle_dram_ns, 1.0))
+            amplification = contention_amplification(
+                machine, device, calibration, spill_gbps)
             s_lat = (lat_model.predict(x_lat_candidate).total *
                      amplification)
             predicted = (

@@ -94,10 +94,18 @@ class FleetPlanner:
         the profiling runs; defaults to ``machine.profile``.  The CLI
         passes an :meth:`~repro.runtime.executor.Executor.profiler`
         here so fleet planning shares the persistent result cache.
+    model_cache:
+        Optional dict mapping workload name to the synthesized
+        ``(model, is_bandwidth_bound)`` pair.  Passing a shared dict
+        lets many :meth:`plan` calls over the same population - one
+        per fleet node in a tournament - profile and synthesize each
+        workload exactly once.
     """
 
     def __init__(self, machine: Machine, calibration: Calibration,
-                 quantum: float = DEFAULT_QUANTUM, profiler=None):
+                 quantum: float = DEFAULT_QUANTUM, profiler=None,
+                 model_cache: Optional[Dict[str, Tuple[
+                     InterleavingModel, bool]]] = None):
         if not 0.0 < quantum <= 0.5:
             raise ValueError("quantum must be in (0, 0.5]")
         self.machine = machine
@@ -105,9 +113,13 @@ class FleetPlanner:
         self.quantum = quantum
         self.profiler = profiler if profiler is not None \
             else machine.profile
+        self.model_cache = model_cache
 
     def _model_for(self, workload: WorkloadSpec
                    ) -> Tuple[InterleavingModel, bool]:
+        if self.model_cache is not None and \
+                workload.name in self.model_cache:
+            return self.model_cache[workload.name]
         dram_profile = self.profiler(workload, Placement.dram_only())
         decision = classify(dram_profile,
                             self.calibration.idle_latency_dram_ns)
@@ -115,9 +127,12 @@ class FleetPlanner:
         if decision.is_bandwidth_bound:
             slow_profile = self.profiler(
                 workload, Placement.slow_only(self.calibration.device))
-        return (synthesize(dram_profile, self.calibration,
-                           slow_profile),
-                decision.is_bandwidth_bound)
+        entry = (synthesize(dram_profile, self.calibration,
+                            slow_profile),
+                 decision.is_bandwidth_bound)
+        if self.model_cache is not None:
+            self.model_cache[workload.name] = entry
+        return entry
 
     def plan(self, workloads: Sequence[WorkloadSpec],
              fast_capacity_gib: float) -> FleetPlan:

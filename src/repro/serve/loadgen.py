@@ -112,7 +112,7 @@ async def run_loadgen(host: str, port: int, *, rate_rps: float,
         raise ValueError("duration_s must be positive")
     total = max(1, int(rate_rps * duration_s))
     interval_s = 1.0 / rate_rps
-    recorder = LatencyRecorder()
+    recorder = LatencyRecorder(seed=seed)
     pool = [_Connection(host, port) for _ in range(max(1, connections))]
     inflight: List["asyncio.Task[None]"] = []
 
@@ -134,15 +134,27 @@ async def run_loadgen(host: str, port: int, *, rate_rps: float,
                         (time.monotonic() - scheduled_at) * 1000.0)
 
     start = time.monotonic()
+    schedule: List[float] = []
     for index in range(total):
         scheduled_at = start + index * interval_s
         delay_s = scheduled_at - time.monotonic()
         if delay_s > 0:
             await asyncio.sleep(delay_s)
+        schedule.append(scheduled_at)
         inflight.append(asyncio.ensure_future(fire(index, scheduled_at)))
 
     if inflight:
-        await asyncio.gather(*inflight)
+        # return_exceptions so one escaped exception in fire() (a bug,
+        # a cancelled connection, anything outside its caught set)
+        # cannot destroy the whole report after the full run duration.
+        settled = await asyncio.gather(*inflight, return_exceptions=True)
+        for scheduled_at, outcome in zip(schedule, settled):
+            if isinstance(outcome, Exception):
+                recorder.record(
+                    "transport_error",
+                    (time.monotonic() - scheduled_at) * 1000.0)
+            elif isinstance(outcome, BaseException):
+                raise outcome  # CancelledError/KeyboardInterrupt
 
     server_stats: Dict[str, Any] = {}
     if stats_probe:

@@ -19,6 +19,7 @@ cannot hide its own queueing delay from the report.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 from dataclasses import dataclass, field
@@ -28,8 +29,21 @@ from typing import Any, Dict, List, Mapping, Optional
 SLO_SCHEMA = "repro-slo/1"
 
 #: Latency samples retained per outcome; beyond this the recorder
-#: keeps counting but stops storing (the report flags the truncation).
+#: keeps a uniform reservoir instead of storing every sample (the
+#: report flags how many arrivals are represented only statistically).
 MAX_LATENCY_SAMPLE_COUNT = 200_000
+
+
+def _reservoir_draw(seed: int, arrival: int, space: int) -> int:
+    """Deterministic uniform draw in ``[0, space)`` for one arrival.
+
+    Hash-based rather than stateful RNG so a given (seed, arrival
+    index) always lands on the same slot regardless of thread
+    interleaving of *other* outcomes.
+    """
+    digest = hashlib.sha256(
+        f"slo-reservoir:{seed}:{arrival}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % space
 
 #: The closed outcome vocabulary (mirrors the protocol statuses).
 OUTCOMES = ("ok", "shed", "deadline", "draining", "bad_request",
@@ -47,13 +61,26 @@ def percentile_ms(samples: List[float], fraction: float) -> float:
 
 
 class LatencyRecorder:
-    """Thread-safe per-outcome latency accumulator."""
+    """Thread-safe per-outcome latency accumulator.
 
-    def __init__(self, max_samples: int = MAX_LATENCY_SAMPLE_COUNT):
+    Past ``max_samples`` ok latencies the recorder switches to seeded
+    reservoir sampling (Algorithm R): every arrival - first or last -
+    has the same probability of being retained, so a long run's
+    p99/p999 describe the whole run rather than its warm-up window.
+    ``seed`` pins the replacement draws; the same arrival sequence
+    under the same seed reproduces the same reservoir byte for byte.
+    """
+
+    def __init__(self, max_samples: int = MAX_LATENCY_SAMPLE_COUNT,
+                 seed: int = 0):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
         self._lock = threading.Lock()
         self._max_samples = max_samples
+        self._seed = seed
         self._counts: Dict[str, int] = {}
         self._latencies_ms: List[float] = []
+        self._ok_seen = 0
         self.dropped_samples = 0
 
     def record(self, outcome: str, latency_ms: float) -> None:
@@ -65,10 +92,19 @@ class LatencyRecorder:
                 # Percentiles are over *answered* predictions: shed and
                 # expired requests terminate fast by design and would
                 # flatter the tail.
+                self._ok_seen += 1
                 if len(self._latencies_ms) < self._max_samples:
                     self._latencies_ms.append(latency_ms)
-                else:
-                    self.dropped_samples += 1
+                    return
+                # Reservoir step: arrival n (1-based) replaces a
+                # resident with probability max_samples / n.
+                slot = _reservoir_draw(self._seed, self._ok_seen,
+                                       self._ok_seen)
+                if slot < self._max_samples:
+                    self._latencies_ms[slot] = latency_ms
+                # Whether replaced or rejected, exactly one sample's
+                # value is no longer individually represented.
+                self.dropped_samples += 1
 
     def counts(self) -> Dict[str, int]:
         with self._lock:

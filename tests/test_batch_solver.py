@@ -257,6 +257,77 @@ class TestRunColocated:
         assert stats["joint_converged"] is True
 
 
+class TestRunColocatedGroups:
+    """The pack-once grouped joint solver behind fleet tournaments."""
+
+    def pairs(self):
+        return [
+            [(get_workload("605.mcf"),
+              Placement.interleaved(0.6, "cxl-a")),
+             (get_workload("xsbench"),
+              Placement.interleaved(0.4, "cxl-a"))],
+            [(get_workload("557.xz"),
+              Placement.interleaved(0.7, "cxl-a")),
+             (get_workload("603.bwaves").with_threads(10),
+              Placement.slow_only("cxl-a"))],
+        ]
+
+    def test_matches_per_group_run_colocated(self, skx_machine):
+        pairs = self.pairs()
+        jobs = [job for pair in pairs for job in pair]
+        groups = [[0, 1], [2, 3]]
+        grouped = skx_machine.run_colocated_groups(jobs, groups,
+                                                   tolerance=1e-7)
+        cursor = 0
+        for pair in pairs:
+            solo = skx_machine.run_colocated(pair, tolerance=1e-7)
+            for result in solo:
+                joint = grouped[cursor]
+                assert joint.cycles == pytest.approx(result.cycles,
+                                                     rel=1e-4)
+                cursor += 1
+
+    def test_groups_are_isolated(self, skx_machine):
+        # A group's traffic must not leak into another group even on
+        # the same device: solving [A] and [B] together groupwise
+        # equals solving each alone.
+        pairs = self.pairs()
+        jobs = [job for pair in pairs for job in pair]
+        grouped = skx_machine.run_colocated_groups(jobs, [[0, 1],
+                                                          [2, 3]])
+        alone = skx_machine.run_colocated_groups(pairs[0], [[0, 1]])
+        # Convergence is checked fleet-wide, so iteration counts can
+        # differ slightly; true leakage would move cycles by percents.
+        for joint, solo in zip(grouped[:2], alone):
+            assert joint.cycles == pytest.approx(solo.cycles, rel=1e-6)
+
+    def test_stats_shape(self, skx_machine):
+        jobs = [job for pair in self.pairs() for job in pair]
+        stats = {}
+        results = skx_machine.run_colocated_groups(
+            jobs, [[0, 1], [2, 3]], stats=stats)
+        assert len(results) == len(jobs)
+        assert stats["groups"] == 2
+        assert stats["joint_converged"] is True
+        assert stats["joint_iterations"] > 0
+        assert stats["nonconverged"] == 0
+
+    def test_rejects_overlapping_groups(self, skx_machine):
+        jobs = [job for pair in self.pairs() for job in pair]
+        with pytest.raises(ValueError):
+            skx_machine.run_colocated_groups(jobs, [[0, 1], [1, 2, 3]])
+
+    def test_rejects_incomplete_partition(self, skx_machine):
+        jobs = [job for pair in self.pairs() for job in pair]
+        with pytest.raises(ValueError):
+            skx_machine.run_colocated_groups(jobs, [[0, 1]])
+
+    def test_rejects_out_of_range_member(self, skx_machine):
+        jobs = self.pairs()[0]
+        with pytest.raises(ValueError):
+            skx_machine.run_colocated_groups(jobs, [[0, 1, 7]])
+
+
 class TestExecutorBatching:
     """The runtime's serial path groups specs through run_batch."""
 

@@ -109,6 +109,7 @@ class TestSolverDoc:
                      "ACCELERATED_RELATIVE_TOLERANCE", "bit-identical",
                      "Anderson", "MIN_BATCH_GROUP", "replay_resolves",
                      "nonconverged_results", "run_colocated",
+                     "run_colocated_groups", "pack-once",
                      "scalar-fallback", "CACHE_SCHEMA_VERSION"):
             assert term in solver, f"{term!r} missing from SOLVER.md"
 
@@ -257,6 +258,67 @@ class TestServeDoc:
         assert f'"{SLO_SCHEMA}"' in read("docs/SERVE.md")
 
 
+class TestFleetDoc:
+    """docs/FLEET.md pins the tournament's knobs and metrics to code."""
+
+    def test_exists_and_covers_the_contract(self):
+        fleet = read("docs/FLEET.md")
+        for term in ("draw_fleet", "run_colocated_groups",
+                     "repro-fleet/1", "FleetPlanner", "FleetReport",
+                     "FLEET_tournament.json", "--nodes", "p99",
+                     "migration", "stranded", "weighted speedup",
+                     "reservoir", "fleet-smoke"):
+            assert term in fleet, f"{term!r} missing from FLEET.md"
+
+    def test_documents_the_real_defaults(self):
+        from repro.fleet import (DEFAULT_FAST_SHARES,
+                                 DEFAULT_GROUP_SIZE,
+                                 DEFAULT_SHARD_NODES,
+                                 SHARD_JOINT_TOLERANCE)
+        fleet = read("docs/FLEET.md")
+        assert DEFAULT_SHARD_NODES == 250
+        assert SHARD_JOINT_TOLERANCE == 1e-4
+        assert DEFAULT_GROUP_SIZE == 2
+        assert DEFAULT_FAST_SHARES == (0.35, 0.5, 0.65)
+        for snippet in ("default 250", "1e-4", "default 2",
+                        "0.35 / 0.5 / 0.65"):
+            assert snippet in fleet, f"{snippet!r} missing from FLEET.md"
+
+    def test_every_schedule_documented(self):
+        from repro.fleet import ARRIVAL_SCHEDULES
+        fleet = read("docs/FLEET.md")
+        for name in ARRIVAL_SCHEDULES:
+            assert f"`{name}`" in fleet, (
+                f"arrival schedule {name!r} missing from FLEET.md")
+
+    def test_every_tournament_policy_documented(self):
+        from repro.fleet import TOURNAMENT_POLICIES
+        fleet = read("docs/FLEET.md")
+        for policy in TOURNAMENT_POLICIES:
+            assert policy in fleet, (
+                f"policy {policy!r} missing from FLEET.md")
+
+    def test_documents_the_real_churn_constants(self):
+        from repro.fleet.tournament import (
+            COLLOID_REACTIVATION_FRACTION, COLLOID_SAMPLING_FRACTION,
+            FIRST_TOUCH_FILL_FRACTION, NBT_REACTIVATION_FRACTION,
+            NBT_SAMPLING_FRACTION)
+        fleet = read("docs/FLEET.md")
+        assert FIRST_TOUCH_FILL_FRACTION == 1.0
+        assert (NBT_REACTIVATION_FRACTION,
+                NBT_SAMPLING_FRACTION) == (1.0, 0.10)
+        assert (COLLOID_REACTIVATION_FRACTION,
+                COLLOID_SAMPLING_FRACTION) == (0.6, 0.04)
+        for snippet in ("FIRST_TOUCH_FILL_FRACTION = 1.0",
+                        "reactivation 1.0, sampling 0.10",
+                        "0.6 and 0.04"):
+            assert snippet in fleet, f"{snippet!r} missing from FLEET.md"
+
+    def test_documents_the_real_schema(self):
+        from repro.fleet import FLEET_SCHEMA
+        assert f'"{FLEET_SCHEMA}"' in read("docs/FLEET.md")
+
+
 class TestPmuCounterReferences:
     """Docs can never mention a counter the simulator doesn't emit.
 
@@ -267,11 +329,11 @@ class TestPmuCounterReferences:
     """
 
     DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
-                 "docs/API.md", "docs/FAULTS.md", "docs/LINT.md",
-                 "docs/MODEL.md", "docs/OBSERVABILITY.md",
-                 "docs/RUNTIME.md", "docs/SERVE.md", "docs/SOLVER.md",
-                 "docs/STORE.md", "docs/SUBSTRATE.md",
-                 "docs/WORKLOADS.md")
+                 "docs/API.md", "docs/FAULTS.md", "docs/FLEET.md",
+                 "docs/LINT.md", "docs/MODEL.md",
+                 "docs/OBSERVABILITY.md", "docs/RUNTIME.md",
+                 "docs/SERVE.md", "docs/SOLVER.md", "docs/STORE.md",
+                 "docs/SUBSTRATE.md", "docs/WORKLOADS.md")
 
     def test_registry_matches_counter_enum(self):
         from repro.core.counters import Counter
@@ -299,10 +361,18 @@ class TestCrossLinks:
     @pytest.mark.parametrize("doc", ["docs/RUNTIME.md", "docs/API.md",
                                      "docs/FAULTS.md",
                                      "docs/OBSERVABILITY.md",
-                                     "docs/SERVE.md",
+                                     "docs/SERVE.md", "docs/FLEET.md",
                                      "docs/SOLVER.md", "docs/STORE.md"])
     def test_readme_links_docs(self, doc):
         assert doc in read("README.md")
+
+    def test_fleet_doc_is_cross_linked(self):
+        assert "FLEET.md" in read("docs/API.md")
+        assert "FLEET.md" in read("docs/SOLVER.md")
+        assert "FLEET.md" in read("EXPERIMENTS.md")
+        for doc in ("SOLVER.md", "MODEL.md", "LINT.md",
+                    "OBSERVABILITY.md"):
+            assert doc in read("docs/FLEET.md")
 
     def test_serve_doc_is_cross_linked(self):
         assert "SERVE.md" in read("docs/RUNTIME.md")

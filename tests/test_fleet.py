@@ -112,3 +112,100 @@ class TestPlannerProperties:
             plan = planner.plan(fleet, share * total)
             assert plan.predicted_fleet_throughput >= previous - 1e-9
             previous = plan.predicted_fleet_throughput
+
+
+class TestPlanEdgeCases:
+    """The corners a 10k-node tournament hits millions of times."""
+
+    def test_capacity_exceeding_total_footprint(self, planner, fleet):
+        total = sum(w.footprint_gib for w in fleet)
+        plan = planner.plan(fleet, 2.0 * total)
+        by_name = plan.by_workload()
+        # Every latency-bound member gets everything it can use; the
+        # surplus budget is simply left unspent.
+        for assignment in plan.assignments:
+            if not assignment.bandwidth_bound:
+                assert assignment.dram_fraction == pytest.approx(1.0)
+        assert plan.dram_used_gib <= total + 1e-6
+        # Bandwidth-bound members still stop at their interior optima.
+        assert by_name["603.bwaves"].dram_fraction < 1.0
+
+    def test_bandwidth_bound_interior_optimum_alone(self, planner):
+        bwaves = get_workload("603.bwaves").with_threads(10)
+        plan = planner.plan([bwaves], 10.0 * bwaves.footprint_gib)
+        assignment = plan.assignments[0]
+        assert assignment.bandwidth_bound
+        assert 0.0 < assignment.dram_fraction < 1.0
+        # The grant loop stopped because the marginal gain went
+        # non-positive, not because the budget ran out.
+        assert plan.dram_used_gib < plan.fast_capacity_gib / 2
+
+    def test_stale_heap_entries_reinserted_not_granted(
+            self, skx_machine, skx_cxla_calibration, fleet,
+            monkeypatch):
+        import heapq as heapq_mod
+
+        clean = FleetPlanner(skx_machine, skx_cxla_calibration)
+        expected = clean.plan(fleet, 25.0)
+
+        # Shadow every heap push with a duplicate carrying an inflated
+        # rate: a stale entry whose stored gain no longer matches the
+        # current marginal gain.  plan() must detect and reinsert it
+        # instead of granting capacity at a phantom rate.
+        original_push = heapq_mod.heappush
+        poisoned_indices = set()
+
+        def shadowed_push(heap, item):
+            original_push(heap, item)
+            if isinstance(item, tuple) and len(item) == 2 and \
+                    isinstance(item[1], int) and \
+                    item[1] not in poisoned_indices:
+                negative_rate, i = item
+                poisoned_indices.add(i)
+                original_push(heap, (negative_rate - 1.0, i))
+
+        monkeypatch.setattr(heapq_mod, "heappush", shadowed_push)
+        poisoned = FleetPlanner(skx_machine, skx_cxla_calibration)
+        plan = poisoned.plan(fleet, 25.0)
+        monkeypatch.undo()
+
+        assert len(poisoned_indices) == len(fleet)
+        assert plan == expected
+        assert plan.dram_used_gib <= plan.fast_capacity_gib + 1e-6
+
+    def test_quantum_boundary_half(self, skx_machine,
+                                   skx_cxla_calibration, fleet):
+        coarse = FleetPlanner(skx_machine, skx_cxla_calibration,
+                              quantum=0.5)
+        plan = coarse.plan(fleet, 25.0)
+        for assignment in plan.assignments:
+            assert assignment.dram_fraction in (0.0, 0.5, 1.0)
+        assert plan.dram_used_gib <= plan.fast_capacity_gib + 1e-6
+        with pytest.raises(ValueError):
+            FleetPlanner(skx_machine, skx_cxla_calibration,
+                         quantum=0.5 + 1e-6)
+
+    def test_deterministic_across_fresh_planners(
+            self, skx_machine, skx_cxla_calibration, fleet):
+        first = FleetPlanner(skx_machine, skx_cxla_calibration,
+                             model_cache={})
+        second = FleetPlanner(skx_machine, skx_cxla_calibration,
+                              model_cache={})
+        assert first.plan(fleet, 25.0) == second.plan(fleet, 25.0)
+
+    def test_model_cache_shared_across_planners(
+            self, skx_machine, skx_cxla_calibration, fleet):
+        cache = {}
+        warm = FleetPlanner(skx_machine, skx_cxla_calibration,
+                            model_cache=cache)
+        expected = warm.plan(fleet, 25.0)
+        assert set(cache) == {w.name for w in fleet}
+
+        def poisoned_profiler(workload, placement):
+            raise AssertionError(
+                "profiler must not run once the cache is warm")
+
+        cold = FleetPlanner(skx_machine, skx_cxla_calibration,
+                            profiler=poisoned_profiler,
+                            model_cache=cache)
+        assert cold.plan(fleet, 25.0) == expected

@@ -308,7 +308,8 @@ class TestBench:
             "executor_warm", "suite_slice", "solver_sweep_loop",
             "solver_sweep_batch", "solver_sweep_warm",
             "solver_suite_loop", "solver_suite_batch",
-            "lint_cold", "lint_warm"]
+            "lint_cold", "lint_warm", "fleet_pairwise_loop",
+            "fleet_shard", "fleet_tournament"]
         for case in result["benches"]:
             assert case["repeats"] == 1
             assert 0 <= case["min_s"] <= case["median_s"] <= case["max_s"]
@@ -336,6 +337,15 @@ class TestBench:
         # The content-hash cache must make an unchanged tree cheap;
         # the committed baseline pins the >=2x acceptance target.
         assert lint["warm_speedup"] > 1.0
+
+    def test_fleet_section(self, payload):
+        result, _ = payload
+        fleet = result["fleet"]
+        assert fleet["shard_lanes"] == 2 * fleet["shard_nodes"]
+        assert fleet["tournament_policies"] == 2
+        # The pack-once grouped solver must beat the per-node loop;
+        # the committed baseline tracks the actual margin.
+        assert fleet["shard_speedup_per_node"] > 1.0
 
     def test_payload_has_no_wall_clock_timestamps(self, payload):
         result, out = payload

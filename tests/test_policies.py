@@ -5,9 +5,9 @@ import pytest
 from repro.policies import (Alto, BestShot, Caption, Colloid, FirstTouch,
                             Interleave11, NBT, PolicyDecision, Soar,
                             TieringContext, compare_policies,
-                            evaluate_policy, fig15_policies,
-                            mixed_colocation, schedule_by_camp,
-                            schedule_by_mpki)
+                            contention_amplification, evaluate_policy,
+                            fig15_policies, mixed_colocation,
+                            schedule_by_camp, schedule_by_mpki)
 from repro.uarch import Placement
 from repro.workloads import colocation_pairs, get_workload
 
@@ -24,6 +24,44 @@ def lat_context(skx_machine, pointer_workload):
     return TieringContext(
         machine=skx_machine, workload=pointer_workload, device="cxl-a",
         fast_capacity_gib=0.8 * pointer_workload.footprint_gib)
+
+
+class TestContentionAmplification:
+    def test_uses_shared_device_idle_latency(self, skx_machine,
+                                             skx_cxla_calibration):
+        # Regression: the amplification denominator used the
+        # calibration's idle_latency_slow_ns (probed on cxl-a) even
+        # when the pair actually shares cxl-b.
+        from repro.uarch.memory import loaded_latency_ns
+
+        spill_gbps = 15.0
+        device = skx_machine.device("cxl-b")
+        idle_dram_ns = skx_cxla_calibration.idle_latency_dram_ns
+        utilization = min(spill_gbps / device.peak_bandwidth_gbps, 0.95)
+        loaded_ns = loaded_latency_ns(device, utilization)
+        expected = max(1.0, (loaded_ns - idle_dram_ns) / max(
+            skx_machine.idle_latency_ns("cxl-b") - idle_dram_ns, 1.0))
+        wrong = max(1.0, (loaded_ns - idle_dram_ns) / max(
+            skx_cxla_calibration.idle_latency_slow_ns - idle_dram_ns,
+            1.0))
+        amplification = contention_amplification(
+            skx_machine, "cxl-b", skx_cxla_calibration, spill_gbps)
+        assert amplification == pytest.approx(expected)
+        assert abs(amplification - wrong) > 1e-6
+
+    def test_devices_with_different_idle_latency_differ(
+            self, skx_machine, skx_cxla_calibration):
+        amp_a = contention_amplification(skx_machine, "cxl-a",
+                                         skx_cxla_calibration, 15.0)
+        amp_b = contention_amplification(skx_machine, "cxl-b",
+                                         skx_cxla_calibration, 15.0)
+        assert amp_a != pytest.approx(amp_b)
+
+    def test_floor_at_one_with_no_spill(self, skx_machine,
+                                        skx_cxla_calibration):
+        assert contention_amplification(
+            skx_machine, "cxl-b", skx_cxla_calibration,
+            0.0) == pytest.approx(1.0)
 
 
 class TestContext:

@@ -214,6 +214,47 @@ class TestSlo:
         with pytest.raises(ValueError):
             recorder.record("mystery", 1.0)
 
+    def test_reservoir_keeps_late_samples(self):
+        # Regression: first-N truncation made a long run's p99 measure
+        # the warm-up window only.  The seeded reservoir keeps a
+        # uniform sample of the whole run.
+        recorder = LatencyRecorder(max_samples=100, seed=7)
+        for value in range(10_000):
+            recorder.record("ok", float(value))
+        assert recorder.dropped_samples == 9_900
+        summary = recorder.latency_summary_ms()
+        assert summary["samples"] == 100.0
+        # Truncation would pin every percentile below 100.
+        assert summary["p99"] > 5_000.0
+        assert summary["max"] > 5_000.0
+
+    def test_reservoir_unbiased_vs_truncation(self):
+        # On a monotone ramp the retained median tracks the true
+        # median; first-N truncation would sit at max_samples / 2.
+        count = 20_000
+        recorder = LatencyRecorder(max_samples=500, seed=1)
+        for value in range(count):
+            recorder.record("ok", float(value))
+        median = recorder.latency_summary_ms()["p50"]
+        assert abs(median - count / 2) < count * 0.15
+
+    def test_reservoir_deterministic_under_seed(self):
+        def fill(seed):
+            recorder = LatencyRecorder(max_samples=50, seed=seed)
+            for value in range(2_000):
+                recorder.record("ok", float(value))
+            return recorder.latency_summary_ms()
+
+        assert fill(3) == fill(3)
+        assert fill(3) != fill(4)
+
+    def test_reservoir_below_capacity_keeps_everything(self):
+        recorder = LatencyRecorder(max_samples=100, seed=0)
+        for value in range(90):
+            recorder.record("ok", float(value))
+        assert recorder.dropped_samples == 0
+        assert recorder.latency_summary_ms()["samples"] == 90.0
+
     def test_report_roundtrip_and_derived_rates(self):
         report = SLOReport(
             rate_rps=50.0, duration_s=2.0, sent=100,
@@ -604,3 +645,36 @@ class TestPredictionServer:
         second = [request_body(i, seed=3) for i in range(20)]
         assert first == second
         assert any(body != first[0] for body in first)
+
+
+class TestLoadgenRobustness:
+    def test_unexpected_fire_exception_survives(self, monkeypatch):
+        # Regression: the final gather ran without return_exceptions,
+        # so one exception outside fire()'s caught set destroyed the
+        # whole report after the full run duration.  Every request must
+        # still be accounted for, as transport_error.
+        async def boom(self, body):
+            raise RuntimeError("injected fault outside the caught set")
+
+        monkeypatch.setattr("repro.serve.loadgen._Connection.request",
+                            boom)
+        report = asyncio.run(run_loadgen(
+            "127.0.0.1", 1, rate_rps=200.0, duration_s=0.05,
+            stats_probe=False))
+        assert report.sent == 10
+        assert report.outcomes.get("transport_error", 0) == report.sent
+        assert sum(report.outcomes.values()) == report.sent
+        assert report.failure_count == report.sent
+
+    def test_cancellation_still_propagates(self, monkeypatch):
+        # BaseExceptions that are not Exceptions (CancelledError) must
+        # not be swallowed into the report.
+        async def cancelled(self, body):
+            raise asyncio.CancelledError()
+
+        monkeypatch.setattr("repro.serve.loadgen._Connection.request",
+                            cancelled)
+        with pytest.raises(asyncio.CancelledError):
+            asyncio.run(run_loadgen(
+                "127.0.0.1", 1, rate_rps=200.0, duration_s=0.02,
+                stats_probe=False))
