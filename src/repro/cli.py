@@ -747,10 +747,25 @@ def cmd_workloads(args) -> int:
 
 def cmd_cache(args) -> int:
     """Inspect or maintain the persistent result store (docs/STORE.md)."""
-    from .runtime.spec import CACHE_SCHEMA_VERSION
+    from .runtime import warmstore
+    from .runtime.spec import CACHE_SCHEMA_VERSION, code_version
     from .runtime.store import LegacyJsonStore
     root = pathlib.Path(args.cache_dir) if args.cache_dir \
         else default_cache_dir()
+    if args.action in ("warm-info", "warm-clear"):
+        with ResultStore(root, migrate_legacy=False,
+                         auto_compact=False) as store:
+            if args.action == "warm-clear":
+                present = warmstore.clear_warm_cache(store)
+                print("cleared warm-start snapshot" if present else
+                      "no warm-start snapshot for this code version")
+            else:
+                cache, loaded = warmstore.load_warm_cache(store)
+                print(f"key:      {warmstore.warm_store_key()}")
+                print(f"version:  {code_version()}")
+                print(f"points:   {loaded}")
+                print(f"capacity: {cache.capacity}")
+        return 0
     if args.action == "migrate":
         with ResultStore(root) as store:
             entries = len(store)    # forces the open-time migration
@@ -776,6 +791,7 @@ def cmd_cache(args) -> int:
                   f"{len(store)} entries live")
         else:   # info
             legacy = len(LegacyJsonStore(root))
+            _, warm_points = warmstore.load_warm_cache(store)
             print(f"root:          {root}")
             print(f"schema:        {CACHE_SCHEMA_VERSION}")
             print(f"entries:       {len(store)}")
@@ -783,6 +799,7 @@ def cmd_cache(args) -> int:
             print(f"disk bytes:    {store.disk_bytes()}")
             print(f"corrupt:       {store.stats.corrupt}")
             print(f"legacy (JSON): {legacy}")
+            print(f"warm points:   {warm_points}")
     return 0
 
 
@@ -1012,11 +1029,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect / compact / clear / migrate the persistent "
              "result store (docs/STORE.md)")
     p.add_argument("action",
-                   choices=("info", "compact", "clear", "migrate"),
+                   choices=("info", "compact", "clear", "migrate",
+                            "warm-info", "warm-clear"),
                    help="info: summary; compact: rewrite live records "
                         "into fresh segments; clear: delete every "
                         "entry; migrate: pull legacy JSON entries into "
-                        "segments")
+                        "segments; warm-info: the solver warm-start "
+                        "snapshot for this code version; warm-clear: "
+                        "tombstone it")
     p.add_argument("--cache-dir", type=_cache_dir_arg, metavar="DIR",
                    help="store location (default: $REPRO_CACHE_DIR or "
                         "./.repro-cache)")

@@ -9,6 +9,7 @@ PMU01     every ``P<n>`` counter reference exists in the registry
 ERR01     runtime/faults error handling uses the errors.py taxonomy
 PURE01    pool workers don't close over / mutate module state
 UNITS01   latency/bandwidth identifiers carry unit suffixes
+DTYPE01   float32 arrays only in the sanctioned fast-path module
 ========  ==========================================================
 
 Whole-program rules (flow-aware, over the shared
@@ -31,6 +32,7 @@ from ..engine import Rule
 from .blocking import BlockingInAsyncRule
 from .cache_key import CacheKeyRule
 from .determinism import DeterminismRule
+from .dtype import DtypeDisciplineRule
 from .errors import ErrorTaxonomyRule
 from .locks import LockDisciplineRule
 from .pmu import PmuRegistryRule
@@ -47,6 +49,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     ErrorTaxonomyRule(),
     WorkerPurityRule(),
     UnitSuffixRule(),
+    DtypeDisciplineRule(),
     RaceRule(),
     BlockingInAsyncRule(),
     LockDisciplineRule(),
@@ -57,6 +60,7 @@ ALL_RULES: Tuple[Rule, ...] = (
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
 
 __all__ = ["ALL_RULES", "RULES_BY_ID", "BlockingInAsyncRule",
-           "CacheKeyRule", "DeterminismRule", "ErrorTaxonomyRule",
-           "LockDisciplineRule", "PmuRegistryRule", "RaceRule",
-           "SchemaPinRule", "UnitSuffixRule", "WorkerPurityRule"]
+           "CacheKeyRule", "DeterminismRule", "DtypeDisciplineRule",
+           "ErrorTaxonomyRule", "LockDisciplineRule", "PmuRegistryRule",
+           "RaceRule", "SchemaPinRule", "UnitSuffixRule",
+           "WorkerPurityRule"]

@@ -23,6 +23,12 @@ The pinned cases cover the layers a regression could hide in:
 ``solver_sweep_warm``    the same sweep, accelerated + warm-start cache
 ``solver_suite_loop``    16 workloads x {dram, cxl-a}, scalar loop
 ``solver_suite_batch``   the same pairs, one accelerated ``run_batch``
+``suite_groups``         population solved per-(platform, seed) group
+``suite_onebatch``       the same population, one cross-machine batch
+``suite_accel``          a 3-platform suite population, accelerated f64
+``solver_f32``           the same population, f32 pre-pass + f64 polish
+``warm_persist_cold``    cold-process sweep seeded from the persisted
+                         warm-start snapshot (``runtime/warmstore``)
 ``store_roundtrip_100k`` ``put_many`` + ``get_many``, 100k entries [*]
 ``store_scan_1m``        ``get_many`` over a 1M-entry store [*]
 ``fleet_pairwise_loop``  per-node ``run_colocated`` over a few nodes
@@ -67,7 +73,12 @@ from typing import Any, Callable, Dict, List, Optional
 #: ``fleet_tournament`` cases + the ``fleet`` block) tracking the
 #: grouped colocation solver and the tournament end-to-end
 #: (docs/FLEET.md).
-BENCH_SCHEMA = "repro-bench/5"
+#: 6: population section (``suite_groups``/``suite_onebatch``/
+#: ``suite_accel``/``solver_f32``/``warm_persist_cold`` cases + the
+#: ``population`` block) tracking cross-machine one-shot solving, the
+#: float32 fast path, and the persistent warm-start store
+#: (docs/SOLVER.md).
+BENCH_SCHEMA = "repro-bench/6"
 
 #: Machine seed for every benched simulation (pinned => comparable).
 BENCH_SEED = 0
@@ -97,6 +108,15 @@ SOLVER_SWEEP_POINTS = 101
 SOLVER_SUITE_WORKLOADS = 16
 SOLVER_SWEEP_WORKLOAD = "603.bwaves"
 SOLVER_SWEEP_DEVICE = "cxl-a"
+
+#: Population section shapes: the one-batch cases solve
+#: ``solver_workloads`` workloads x {dram, slow} x 3 platforms x
+#: ``POPULATION_SEEDS`` seeds - 9 per-(platform, seed) groups - in
+#: replay mode; the f32 pair solves the full evaluation suite x
+#: {dram, slow} x 3 platforms accelerated, wide enough that array
+#: arithmetic (not per-iteration overhead) dominates.
+POPULATION_PLATFORMS = ("skx2s", "spr2s", "emr2s")
+POPULATION_SEEDS = 3
 
 #: Fleet section shapes: one pinned shard (pack-once grouped solve)
 #: against a small per-node loop, plus a tiny end-to-end tournament.
@@ -387,6 +407,99 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
                        workloads=len(suite_specs),
                        pairs=len(suite_pairs)))
 
+    # -- population: cross-machine one-shot solving (docs/SOLVER.md) -------
+    from ..runtime import serde, warmstore
+    from ..runtime.spec import RunSpec
+    from ..workloads.suites import evaluation_suite
+
+    population_specs: List[Any] = []
+    for platform_name in POPULATION_PLATFORMS:
+        for seed in range(POPULATION_SEEDS):
+            seeded = Machine(get_platform(platform_name), seed=seed)
+            for workload in suite_specs:
+                population_specs.append(RunSpec.from_machine(
+                    seeded, workload, Placement.dram_only()))
+                population_specs.append(RunSpec.from_machine(
+                    seeded, workload,
+                    Placement.slow_only(SOLVER_SWEEP_DEVICE)))
+    population_groups: Dict[Any, List[Any]] = {}
+    for spec in population_specs:
+        population_groups.setdefault(
+            (spec.platform.name, spec.noise, spec.seed),
+            []).append(spec)
+    pop_repeats = max(1, min(repeats, 3))   # the grouped path is slow
+
+    def suite_groups() -> None:
+        for members in population_groups.values():
+            members[0].machine().run_batch(
+                [(spec.workload, spec.placement) for spec in members])
+    cases.append(_case("suite_groups", suite_groups, pop_repeats,
+                       lanes=len(population_specs),
+                       groups=len(population_groups)))
+
+    def suite_onebatch() -> None:
+        Machine.run_batch_multi(population_specs)
+    cases.append(_case("suite_onebatch", suite_onebatch, repeats,
+                       lanes=len(population_specs),
+                       platforms=len(POPULATION_PLATFORMS),
+                       seeds=POPULATION_SEEDS))
+
+    # Replay byte-identity of the merged batch against the grouped
+    # path, checked once (untimed) on the full population.
+    onebatch_lookup = dict(zip(
+        population_specs, Machine.run_batch_multi(population_specs)))
+    replay_identical = all(
+        serde.run_result_to_dict(onebatch_lookup[spec]) ==
+        serde.run_result_to_dict(result)
+        for members in population_groups.values()
+        for spec, result in zip(members, members[0].machine().run_batch(
+            [(s.workload, s.placement) for s in members])))
+
+    f32_population: List[Any] = []
+    for platform_name in POPULATION_PLATFORMS:
+        seeded = Machine(get_platform(platform_name), seed=BENCH_SEED)
+        for workload in evaluation_suite(seed=2026):
+            f32_population.append(RunSpec.from_machine(
+                seeded, workload, Placement.dram_only()))
+            f32_population.append(RunSpec.from_machine(
+                seeded, workload,
+                Placement.slow_only(SOLVER_SWEEP_DEVICE)))
+    accel_stats: Dict[str, Any] = {}
+    f32_stats: Dict[str, Any] = {}
+
+    def suite_accel() -> None:
+        Machine.run_batch_multi(f32_population, accelerate=True,
+                                stats=accel_stats)
+    cases.append(_case("suite_accel", suite_accel, pop_repeats,
+                       lanes=len(f32_population)))
+
+    def solver_f32() -> None:
+        Machine.run_batch_multi(f32_population, accelerate=True,
+                                float32=True, stats=f32_stats)
+    cases.append(_case("solver_f32", solver_f32, pop_repeats,
+                       lanes=len(f32_population)))
+
+    # -- warm_persist_cold: a cold process seeded from the snapshot --------
+    # Setup persists a sweep-seeded cache; each timed call then does
+    # exactly what a cold process does - rebuild the cache from the
+    # store and solve the sweep warm.
+    persist_stats: Dict[str, Any] = {}
+    warm_loaded = [0]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-warm-") as tmp:
+        warm_snap_store = ResultStore(pathlib.Path(tmp) / "snap")
+        seed_cache = WarmStartCache()
+        machine.run_batch(sweep_pairs, accelerate=True,
+                          warm_cache=seed_cache)
+        warmstore.save_warm_cache(warm_snap_store, seed_cache)
+
+        def warm_persist_cold() -> None:
+            cache, warm_loaded[0] = warmstore.load_warm_cache(
+                warm_snap_store)
+            machine.run_batch(sweep_pairs, accelerate=True,
+                              warm_cache=cache, stats=persist_stats)
+        cases.append(_case("warm_persist_cold", warm_persist_cold,
+                           repeats, points=sweep_points))
+
     # -- lint_cold / lint_warm: camp-lint whole-repo, cache off/on ---------
     # Cold rebuilds the program graph and runs every rule from a fresh
     # cache file each call; warm re-uses one cache so an unchanged tree
@@ -504,6 +617,34 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
     by_name["solver_suite_batch"].meta["speedup_vs_loop"] = \
         solver["suite_speedup"]
 
+    population = {
+        "lanes": len(population_specs),
+        "groups": len(population_groups),
+        "onebatch_speedup": _speedup("suite_groups", "suite_onebatch"),
+        "onebatch_replay_identical": replay_identical,
+        "f32_lanes": len(f32_population),
+        "f32_speedup": _speedup("suite_accel", "solver_f32"),
+        "f32_iterations": int(f32_stats.get("f32_iterations", 0)),
+        "f32_polish_iterations": int(
+            f32_stats.get("outer_iterations", 0)),
+        "warm_cold_points_loaded": warm_loaded[0],
+        "warm_cold_seeds_used": int(
+            persist_stats.get("warm_seeded", 0)),
+        "nonconverged": int(accel_stats.get("nonconverged", 0)) +
+        int(f32_stats.get("nonconverged", 0)) +
+        int(persist_stats.get("nonconverged", 0)),
+    }
+    by_name["suite_onebatch"].meta.update(
+        speedup_vs_groups=population["onebatch_speedup"],
+        replay_identical=replay_identical)
+    by_name["solver_f32"].meta.update(
+        speedup_vs_f64=population["f32_speedup"],
+        f32_iterations=population["f32_iterations"],
+        polish_iterations=population["f32_polish_iterations"])
+    by_name["warm_persist_cold"].meta.update(
+        points_loaded=warm_loaded[0],
+        warm_seeded=population["warm_cold_seeds_used"])
+
     def _us_per_entry(case_name: str, entries: int) -> float:
         return round(by_name[case_name].median_s / entries * 1e6, 3)
 
@@ -563,6 +704,7 @@ def run_bench(repeats: int = 5, out: Optional[pathlib.Path] = None,
         },
         "benches": [case.as_dict() for case in cases],
         "solver": solver,
+        "population": population,
         "store": store_block,
         "lint": lint_block,
         "fleet": fleet_block,
@@ -588,6 +730,18 @@ def render_bench(result: Dict[str, Any]) -> str:
             f"warm {solver['sweep_warm_speedup']:.1f}x, "
             f"suite {solver['suite_speedup']:.1f}x "
             f"(targets >= 5x / - / 3x)")
+    population = result.get("population")
+    if population:
+        lines.append(
+            f"  population: {population['lanes']} lanes in one batch, "
+            f"{population['onebatch_speedup']:.1f}x vs "
+            f"{population['groups']} per-machine groups (target >= 5x, "
+            f"replay identical: "
+            f"{population['onebatch_replay_identical']}); "
+            f"f32 {population['f32_speedup']:.1f}x on "
+            f"{population['f32_lanes']} lanes; cold warm-start seeded "
+            f"{population['warm_cold_seeds_used']} lane(s) from "
+            f"{population['warm_cold_points_loaded']} stored point(s)")
     store = result.get("store")
     if store:
         line = (f"  store: {store['roundtrip_us_per_entry']:.1f} us/entry "

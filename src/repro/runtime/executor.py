@@ -68,11 +68,13 @@ R = TypeVar("R")
 #: Environment variable overriding the default worker count.
 JOBS_ENV = "REPRO_JOBS"
 
-#: Smallest same-machine group worth routing through the vectorized
-#: batch solver.  Below this the replay-mode batch does not amortize
-#: its per-iteration numpy overhead against N scalar solves
+#: Smallest spec batch worth routing through the vectorized batch
+#: solver.  Below this the replay-mode batch does not amortize its
+#: per-iteration numpy overhead against N scalar solves
 #: (docs/SOLVER.md "when to batch"); sweeps and suite runs are far
-#: above it.
+#: above it.  Lanes need not share a machine: the solver carries
+#: per-lane (platform, noise, seed), so one threshold covers the whole
+#: pending remainder.
 MIN_BATCH_GROUP = 16
 
 #: Freshly-executed payloads are persisted through
@@ -113,6 +115,23 @@ def execute_run_spec(spec: RunSpec) -> Dict[str, Any]:
 def _indexed_execute(item: Tuple[int, RunSpec]) -> Tuple[int, Dict[str, Any]]:
     index, spec = item
     return index, execute_run_spec(spec)
+
+
+def _batch_execute(chunk: List[Tuple[int, RunSpec]]
+                   ) -> List[Tuple[int, Dict[str, Any]]]:
+    """Pool worker entry point solving one shard of specs as a batch.
+
+    Replay-mode :meth:`Machine.run_batch_multi` is bit-identical to
+    looped ``Machine.run``, so routing pool shards through it preserves
+    the ``-j 1`` == ``-j N`` byte-identity guarantee; a shard below
+    :data:`MIN_BATCH_GROUP` (a short tail) loops per spec instead,
+    producing the same bytes.
+    """
+    if len(chunk) >= MIN_BATCH_GROUP:
+        results = Machine.run_batch_multi([spec for _, spec in chunk])
+        return [(index, serde.run_result_to_dict(result))
+                for (index, _), result in zip(chunk, results)]
+    return [(index, execute_run_spec(spec)) for index, spec in chunk]
 
 
 def _indexed_execute_faulted(item: Tuple[int, RunSpec, "FaultPlan"]
@@ -259,7 +278,9 @@ class Executor:
         the budget is widened by ``pool_warmup_grace_s`` so cold
         process spawn/import cost is not mistaken for a hang.  A task
         exceeding it declares the pool hung and the batch remainder
-        re-runs serially.  ``None`` (the default) waits forever.
+        re-runs serially.  ``None`` (the default) waits forever.  When
+        a large batch is sharded into chunked worker tasks, one "task"
+        is a whole chunk - budget accordingly.
     pool_warmup_grace_s:
         Extra seconds added to first-window budgets before the pool's
         first completion (default :data:`POOL_WARMUP_GRACE_S`); ``0``
@@ -496,55 +517,31 @@ class Executor:
                               reporter: ProgressReporter):
         """Serial execution through the vectorized batch solver.
 
-        Specs sharing one machine identity (platform, noise, seed) are
-        solved together by :meth:`Machine.run_batch` in replay mode,
-        which is bit-identical to looped :meth:`Machine.run` - so the
+        The whole pending remainder solves as **one** masked
+        cross-machine batch via :meth:`Machine.run_batch_multi`: every
+        lane carries its own (platform, noise, seed), so a suite
+        population spanning SKX/SPR/EMR at several noise/seed
+        identities no longer splits into per-machine groups.  Replay
+        mode is bit-identical to looped :meth:`Machine.run`, so the
         executor's byte-identity guarantee (``-j 1`` == ``-j N``, cold
-        == warm) is preserved while an N-point sweep pays one masked
-        fixed point instead of N scalar ones.  Groups smaller than
-        :data:`MIN_BATCH_GROUP` go through :func:`execute_run_spec`
-        unchanged - below that size the vectorized replay does not pay
-        for its numpy overhead.
+        == warm) is preserved while the population pays one masked
+        fixed point instead of one per machine identity.
 
-        Grouping ignores the spec's captured ``slow_device`` because
-        placements resolve their slow tier through the global device
-        registry (:meth:`Placement.slow_device`), identically under
-        either machine instance.
+        The spec's captured ``slow_device`` does not join the lane
+        identity because placements resolve their slow tier through
+        the global device registry (:meth:`Placement.slow_device`),
+        identically under either machine instance.
         """
-        groups: Dict[Tuple[Any, float, int],
-                     List[Tuple[int, RunSpec]]] = {}
-        order: List[Tuple[Any, float, int]] = []
-        for index, spec in pending:
-            key = (spec.platform, spec.noise, spec.seed)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append((index, spec))
-        for key in order:
-            members = groups[key]
-            if len(members) < MIN_BATCH_GROUP:
-                for index, spec in members:
-                    with self.telemetry.stage(
-                            "task", index=index, worker="serial",
-                            fingerprint=spec.fingerprint()[:12],
-                            fallback=False):
-                        payload = self._execute_serial_task(spec, index)
-                    reporter.update(hits=self.hit_count,
-                                    misses=self.miss_count)
-                    yield index, payload
-                continue
-            machine = members[0][1].machine()
-            pairs = [(spec.workload, spec.placement)
-                     for _, spec in members]
-            with self.telemetry.stage("batch_solve", size=len(members),
-                                      worker="serial"):
-                results = machine.run_batch(pairs)
-            self.telemetry.count("batched_solves")
-            for (index, _), result in zip(members, results):
-                payload = serde.run_result_to_dict(result)
-                reporter.update(hits=self.hit_count,
-                                misses=self.miss_count)
-                yield index, payload
+        specs = [spec for _, spec in pending]
+        with self.telemetry.stage("batch_solve", size=len(pending),
+                                  worker="serial"):
+            results = Machine.run_batch_multi(specs)
+        self.telemetry.count("batched_solves")
+        for (index, _), result in zip(pending, results):
+            payload = serde.run_result_to_dict(result)
+            reporter.update(hits=self.hit_count,
+                            misses=self.miss_count)
+            yield index, payload
 
     def _execute_serial_task(self, spec: RunSpec, index: int,
                              attempt: int = 0) -> Dict[str, Any]:
@@ -604,10 +601,26 @@ class Executor:
             try:
                 futures = set()
                 if plan is None:
-                    for item in pending:
-                        future = pool.submit(_indexed_execute, item)
-                        futures.add(future)
-                        deadlines.submit(future)
+                    # Shard the batch so each worker task solves a
+                    # whole chunk through the batch solver instead of
+                    # one spec: -j N then benefits from run_batch the
+                    # same way -j 1 does.  When the per-worker share
+                    # falls below MIN_BATCH_GROUP, per-spec tasks keep
+                    # every worker busy instead of starving the pool
+                    # with one undersized chunk.
+                    share = -(-len(pending) // workers)
+                    if share >= MIN_BATCH_GROUP:
+                        for start in range(0, len(pending), share):
+                            chunk = pending[start:start + share]
+                            self.telemetry.count("pool_chunks")
+                            future = pool.submit(_batch_execute, chunk)
+                            futures.add(future)
+                            deadlines.submit(future)
+                    else:
+                        for item in pending:
+                            future = pool.submit(_indexed_execute, item)
+                            futures.add(future)
+                            deadlines.submit(future)
                 else:
                     for index, spec in pending:
                         action = plan.worker_action(index, attempt=0)
@@ -635,13 +648,18 @@ class Executor:
                 for future in done:
                     deadlines.complete(future)
                     try:
-                        index, payload = future.result()
+                        outcome = future.result()
                     except BrokenExecutor as exc:
                         raise WorkerCrashError(
                             str(exc) or "worker process died") from exc
-                    reporter.update(hits=self.hit_count,
-                                    misses=self.miss_count)
-                    yield index, payload
+                    # Chunked tasks return a list of (index, payload);
+                    # per-spec tasks return a single pair.
+                    items = (outcome if isinstance(outcome, list)
+                             else [outcome])
+                    for index, payload in items:
+                        reporter.update(hits=self.hit_count,
+                                        misses=self.miss_count)
+                        yield index, payload
             completed = True
         finally:
             # Error paths (including a hung worker) must not block on

@@ -1,0 +1,121 @@
+"""Persist the solver's warm-start cache through the segment store.
+
+A :class:`~repro.uarch.machine.WarmStartCache` is pure derived state -
+converged fixed points keyed by everything that pins them - so losing
+it is never wrong, just slow: a cold process re-pays hundreds of outer
+iterations per sweep point that a warm one seeds away.  This module
+snapshots the cache into the :class:`~repro.runtime.store.ResultStore`
+as **one record** (kind ``"warm-start"``) so the next process starts
+warm.
+
+The record key is ``fingerprint({"kind": "warm-start", "version":
+code_version()})``.  ``code_version()`` embeds
+:data:`~repro.runtime.spec.CACHE_SCHEMA_VERSION`, so bumping the
+schema (or the package version) orphans - never corrupts - every older
+snapshot: a stale-schema process simply misses and rebuilds.  The
+payload is marshal-safe plain data (dicts/lists/floats) and rides the
+store's existing CRC/tombstone/compaction machinery; nothing about the
+segment format (docs/STORE.md) changes.
+
+Snapshots are best-effort by design: an unwritable store degrades to
+in-process warmth (same contract as the executor's result commits),
+and a snapshot larger than the cache capacity simply re-evicts on
+import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..uarch.machine import WarmStartCache
+from . import serde
+from .spec import code_version, fingerprint
+from .store import ResultStore
+
+
+def warm_store_key() -> str:
+    """Store key of the warm-start snapshot for this code version."""
+    return fingerprint({"kind": "warm-start", "version": code_version()})
+
+
+def _point_to_dict(key: tuple, x_req: float, state) -> Dict[str, Any]:
+    workload, device, hotness_bias, platform_name, noise, seed = key
+    return {
+        "workload": serde.workload_to_dict(workload),
+        "device": device,
+        "hotness_bias": hotness_bias,
+        "platform": platform_name,
+        "noise": noise,
+        "seed": seed,
+        "x_req": x_req,
+        "state": list(state),
+    }
+
+
+def _point_from_dict(data: Dict[str, Any]
+                     ) -> Tuple[tuple, float, tuple]:
+    key = (serde.workload_from_dict(data["workload"]), data["device"],
+           data["hotness_bias"], data["platform"], data["noise"],
+           data["seed"])
+    return key, float(data["x_req"]), tuple(data["state"])
+
+
+def save_warm_cache(store: Optional[ResultStore],
+                    cache: WarmStartCache) -> int:
+    """Snapshot ``cache`` into ``store``; returns points persisted.
+
+    One ``put`` replaces any previous snapshot under the same code
+    version (the store keeps latest-wins semantics per key).  ``None``
+    store or an unwritable one is a no-op - warmth is an optimization,
+    never a correctness dependency.
+    """
+    if store is None:
+        return 0
+    points = cache.export_points()
+    payload = {
+        "kind": "warm-start",
+        "version": code_version(),
+        "points": [_point_to_dict(key, x_req, state)
+                   for key, x_req, state in points],
+    }
+    try:
+        store.put(warm_store_key(), payload)
+    except OSError:
+        return 0
+    return len(points)
+
+
+def load_warm_cache(store: Optional[ResultStore],
+                    cache: Optional[WarmStartCache] = None
+                    ) -> Tuple[WarmStartCache, int]:
+    """Rebuild a warm cache from the store's snapshot, if any.
+
+    Returns ``(cache, points_loaded)``; a missing or unreadable
+    snapshot (including any older-schema snapshot, which lives under a
+    different key) yields the cache unchanged with 0 loaded.  Points
+    import LRU-first, so eviction order survives the round-trip.
+    """
+    if cache is None:
+        cache = WarmStartCache()
+    if store is None:
+        return cache, 0
+    payload = store.get(warm_store_key())
+    if payload is None:
+        return cache, 0
+    points: List[Tuple[tuple, float, tuple]] = []
+    try:
+        for data in payload["points"]:
+            points.append(_point_from_dict(data))
+    except (KeyError, TypeError, ValueError):
+        # A malformed snapshot seeds nothing; the next save overwrites
+        # it.  Partial decode is discarded wholesale - half a snapshot
+        # would silently skew which points look "recently used".
+        return cache, 0
+    return cache, cache.import_points(points)
+
+
+def clear_warm_cache(store: Optional[ResultStore]) -> bool:
+    """Tombstone the current code version's snapshot; True if present."""
+    if store is None:
+        return False
+    return store.invalidate(warm_store_key())

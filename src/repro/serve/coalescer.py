@@ -3,7 +3,7 @@
 The heart of the service.  Query requests flow through a **bounded
 admission queue** (full queue -> explicit shed, never a silent drop)
 into a single coalescer task that groups concurrent queries into one
-:meth:`~repro.uarch.machine.Machine.run_batch` call:
+:meth:`~repro.uarch.machine.Machine.run_batch_multi` call:
 
 - the first queued query opens a **coalescing window**
   (:data:`~repro.serve.protocol.DEFAULT_COALESCE_WINDOW_MS`); everything
@@ -179,6 +179,7 @@ class QueryCoalescer:
         snapshot["breaker"] = self.breaker.snapshot()
         snapshot["warm_points"] = self.warm_cache.points_recorded
         snapshot["warm_seeds_served"] = self.warm_cache.seeds_served
+        snapshot["warm_evictions"] = self.warm_cache.evictions
         return snapshot
 
     # -- admission -----------------------------------------------------------
@@ -343,7 +344,10 @@ class QueryCoalescer:
         self._batch_counter += 1
         batch_index = self._batch_counter
         replay = len(lanes) >= MIN_BATCH_GROUP
-        pairs = [(spec.workload, spec.placement) for _, spec in lanes]
+        # Lanes carry their own machine identity (platform, noise,
+        # seed) through the spec, so one masked batch serves them all
+        # even if future queries stop sharing the service machine.
+        specs = [spec for _, spec in lanes]
 
         last_error: Optional[BaseException] = None
         for attempt in range(SOLVE_MAX_ATTEMPTS):
@@ -354,8 +358,8 @@ class QueryCoalescer:
                     self._count("solve_retries")
                     last_error = exc
                     continue
-            results = self.machine.run_batch(
-                pairs, accelerate=not replay,
+            results = Machine.run_batch_multi(
+                specs, accelerate=not replay,
                 warm_cache=None if replay else self.warm_cache)
             break
         else:

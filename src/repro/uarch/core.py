@@ -326,12 +326,22 @@ class BatchCoreParams:
     store_mem_rfos: np.ndarray
 
     @classmethod
-    def from_problems(cls, specs, platform: PlatformConfig,
-                      demands) -> "BatchCoreParams":
+    def from_problems(cls, specs, platform, demands) -> "BatchCoreParams":
+        """``platform`` is one :class:`PlatformConfig` shared by every
+        lane, or a per-lane sequence of them (cross-machine batches,
+        docs/SOLVER.md).  A uniform per-lane sequence packs the exact
+        arrays ``np.full`` would — the same float in every slot — so
+        single-platform batches are unchanged bit for bit.
+        """
         def lanes(values) -> np.ndarray:
             return np.asarray(list(values), dtype=np.float64)
 
-        count = len(specs)
+        if isinstance(platform, PlatformConfig):
+            platforms = [platform] * len(specs)
+        else:
+            platforms = list(platform)
+            if len(platforms) != len(specs):
+                raise ValueError("per-lane platforms must align with specs")
         return cls(
             threads=lanes(s.threads for s in specs),
             instructions=lanes(s.instructions for s in specs),
@@ -343,13 +353,15 @@ class BatchCoreParams:
             store_burst=lanes(s.store_burst for s in specs),
             pf_friend=lanes(s.pf_friend for s in specs),
             l2_hit=lanes(s.l2_hit for s in specs),
-            lfb_entries=np.full(count, float(platform.lfb_entries)),
-            sq_entries=np.full(count, float(platform.sq_entries)),
-            sb_entries=np.full(count, float(platform.sb_entries)),
-            sb_drain_parallelism=np.full(
-                count, float(platform.sb_drain_parallelism)),
-            frequency_ghz=np.full(count, float(platform.frequency_ghz)),
-            llc_latency_ns=np.full(count, float(platform.llc_latency_ns)),
+            lfb_entries=lanes(float(p.lfb_entries) for p in platforms),
+            sq_entries=lanes(float(p.sq_entries) for p in platforms),
+            sb_entries=lanes(float(p.sb_entries) for p in platforms),
+            sb_drain_parallelism=lanes(
+                float(p.sb_drain_parallelism) for p in platforms),
+            frequency_ghz=lanes(
+                float(p.frequency_ghz) for p in platforms),
+            llc_latency_ns=lanes(
+                float(p.llc_latency_ns) for p in platforms),
             l1_miss_issued=lanes(d.l1_miss_issued for d in demands),
             l2_misses=lanes(d.l2_misses for d in demands),
             l3_hit_rate=lanes(d.l3_hit_rate for d in demands),
@@ -409,7 +421,8 @@ def exposure_corrections_batch(burstiness: np.ndarray, mlp_eff: np.ndarray,
 
 
 def account_cycles_batch(params: BatchCoreParams, flow: BatchPrefetchFlow,
-                         latency_ctx: BatchLatencyContext
+                         latency_ctx: BatchLatencyContext,
+                         relative_tolerance: float = _RELATIVE_TOLERANCE
                          ) -> BatchCycleBreakdown:
     """Solve N per-core cycle breakdowns at fixed memory latencies.
 
@@ -417,6 +430,12 @@ def account_cycles_batch(params: BatchCoreParams, flow: BatchPrefetchFlow,
     iteration they meet the scalar solver's convergence criterion, so
     every retained term carries exactly the doubles the scalar
     `account_cycles` would have produced for that problem.
+
+    ``relative_tolerance`` exists for the float32 fast path
+    (``uarch/fastpath.py``): the default 1e-10 criterion sits below
+    float32 machine epsilon and would never trigger, so the f32 phase
+    passes a looser one.  Every bit-identity-bearing caller keeps the
+    default.
     """
     threads = params.threads
     instructions_per_core = params.instructions / threads
@@ -489,7 +508,7 @@ def account_cycles_batch(params: BatchCoreParams, flow: BatchPrefetchFlow,
         new_cycles = (base_cycles + s_llc_it + s_cache_it + s_sb_it +
                       s_l2_hit + s_l3_hit)
         conv_now = active & (np.abs(new_cycles - cycles) <=
-                             _RELATIVE_TOLERANCE * cycles)
+                             relative_tolerance * cycles)
 
         # Lanes still iterating (including those converging right now)
         # retain this iteration's terms - exactly what the scalar loop

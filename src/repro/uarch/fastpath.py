@@ -1,0 +1,91 @@
+"""Single-precision pre-pass for the accelerated batch solver.
+
+This is the **only** module allowed to create ``float32`` arrays
+(enforced by camp-lint rule DTYPE01): everywhere else in the substrate
+a float32 array is silent precision loss, but here it is the point.
+``Machine.run_batch(..., accelerate=True, float32=True)`` casts the
+packed problem and the initial solver state to single precision, runs
+the same masked Anderson-accelerated fixed point at roughly half the
+memory traffic per iteration, and then hands the final iterate back as
+the *seed* for a full float64 solve.
+
+Why a pre-pass instead of solving in float32 outright: the solver's
+convergence criteria (outer ``1e-9``, inner ``1e-10``, relative) sit
+*below* float32 machine epsilon (``~1.19e-7``), so a pure f32 loop can
+never satisfy them - successive iterates stop changing before the test
+triggers.  The fastpath therefore solves to the looser tolerances
+below, and the float64 polish pass - seeded a float32-rounding away
+from the fixed point - finishes in a handful of double-precision
+iterations per lane.  Because every observable (cycles, latencies,
+bandwidths, counters) is re-derived by the float64 pass, the documented
+``ACCELERATED_RELATIVE_TOLERANCE = 1e-7`` contract against the plain
+damped fixed point holds unchanged; lanes the polish still cannot
+settle fall back to the usual replay re-solve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+#: Outer-loop relative convergence criterion for the f32 phase.  One
+#: decade above float32 epsilon: tight enough that the float64 polish
+#: starts within ~1e-6 of the fixed point, loose enough that float32
+#: rounding noise cannot stall the test.
+FASTPATH_OUTER_TOLERANCE = 1e-6
+
+#: Inner (cycle-accounting) relative criterion for the f32 phase, for
+#: the same reason - the float64 default ``1e-10`` is unreachable in
+#: single precision.
+FASTPATH_INNER_TOLERANCE = 1e-6
+
+_STATE_NAMES = ("dram_latency_ns", "slow_latency_ns", "dram_rfo_ns",
+                "slow_rfo_ns", "dram_escalation", "slow_escalation")
+
+
+def _cast_value(value):
+    if isinstance(value, np.ndarray):
+        if value.dtype == np.float64:
+            return value.astype(np.float32)
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _cast_struct(value)
+    return value
+
+
+def _cast_struct(struct):
+    """Deep-copy a struct-of-arrays dataclass with float lanes in f32.
+
+    Float64 lane arrays are cast; bool/int masks and plain-python
+    fields (workload/placement/platform lists) pass through untouched,
+    so the cast problem stays interchangeable with the original for
+    everything except arithmetic precision.
+    """
+    return type(struct)(**{
+        field.name: _cast_value(getattr(struct, field.name))
+        for field in dataclasses.fields(struct)})
+
+
+def problem_to_float32(problem):
+    """A single-precision view of a packed ``_BatchProblem``."""
+    return _cast_struct(problem)
+
+
+def state_to_float32(state: Dict[str, np.ndarray]
+                     ) -> Dict[str, np.ndarray]:
+    """Cast an initial solver-state dict to single precision."""
+    return {name: array.astype(np.float32)
+            for name, array in state.items()}
+
+
+def seed_state_from_solution(solution) -> Dict[str, np.ndarray]:
+    """Float64 solver seed from a finished f32 ``_BatchSolution``.
+
+    Only the six state arrays matter: the float64 polish re-derives
+    every observable from them, so the f32 flow/breakdown/traffic
+    arrays are deliberately dropped rather than upcast into results.
+    """
+    return {name: getattr(solution, name).astype(np.float64)
+            for name in _STATE_NAMES}

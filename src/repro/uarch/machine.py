@@ -29,12 +29,14 @@ import numpy as np
 from ..core.counters import CounterSample, ProfiledRun
 from ..obs.tracer import maybe_span
 from ..workloads.spec import WorkloadSpec
+from . import fastpath
 from . import memory as memory_mod
 from .caches import DemandProfile, demand_profile
 from .config import (DEVICES, MemoryDeviceConfig, PlatformConfig,
                      get_device)
 from .core import (BatchCoreParams, BatchCycleBreakdown, BatchLatencyContext,
-                   CycleBreakdown, LatencyContext, account_cycles,
+                   CycleBreakdown, LatencyContext,
+                   _RELATIVE_TOLERANCE as _INNER_TOLERANCE, account_cycles,
                    account_cycles_batch)
 from .interleave import Placement, request_share, request_share_batch
 from .memory import (MAX_ESCALATION, DeviceLanes, TierLoad,
@@ -187,6 +189,16 @@ StateVector = Tuple[float, float, float, float, float, float]
 class _WarmEntry:
     x_req: float
     state: StateVector
+    #: Monotonic last-use stamp (seeded from or refreshed) for LRU.
+    tick: int = 0
+
+
+#: Default cap on fixed points a :class:`WarmStartCache` retains.  A
+#: point is a 6-double state vector plus a key reference, so the cap
+#: bounds a long-lived ``repro serve`` process at roughly a megabyte
+#: while keeping any single sweep or colocation working set (hundreds
+#: of points) fully resident.
+DEFAULT_WARM_CAPACITY = 4096
 
 
 class WarmStartCache:
@@ -201,17 +213,32 @@ class WarmStartCache:
     iterations the share is constant and the previous joint iterate is
     the seed.
 
+    Growth is bounded: at most ``capacity`` fixed points are retained
+    (default :data:`DEFAULT_WARM_CAPACITY`); once full, recording a new
+    point evicts the least recently *used* one - used meaning seeded
+    from or refreshed - and increments ``evictions``.
+
     Only consulted in ``accelerate=True`` mode: a warm seed changes the
     solver trajectory, and replay mode must stay bit-identical to
     ``Machine.run`` (docs/SOLVER.md).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
         self._entries: Dict[tuple, List[_WarmEntry]] = {}
+        self._tick = 0
         #: How many solves were seeded from the cache.
         self.seeds_served = 0
-        #: How many distinct fixed points are recorded.
+        #: How many distinct fixed points are currently recorded.
         self.points_recorded = 0
+        #: How many fixed points were evicted to stay under capacity.
+        self.evictions = 0
+
+    def _touch(self, entry: _WarmEntry) -> None:
+        self._tick += 1
+        entry.tick = self._tick
 
     @staticmethod
     def _key(workload: WorkloadSpec, placement: Placement,
@@ -228,6 +255,7 @@ class WarmStartCache:
         if not entries:
             return None
         best = min(entries, key=lambda entry: abs(entry.x_req - x_req))
+        self._touch(best)
         self.seeds_served += 1
         return best.state
 
@@ -235,14 +263,59 @@ class WarmStartCache:
                platform_name: str, noise: float, seed: int,
                x_req: float, state: StateVector) -> None:
         """Record a converged fixed point (replacing a same-share entry)."""
-        key = self._key(workload, placement, platform_name, noise, seed)
+        self._store(self._key(workload, placement, platform_name, noise,
+                              seed), x_req, state)
+
+    def _store(self, key: tuple, x_req: float,
+               state: StateVector) -> None:
         entries = self._entries.setdefault(key, [])
         for entry in entries:
             if abs(entry.x_req - x_req) <= 1e-12:
                 entry.state = state
+                self._touch(entry)
                 return
-        entries.append(_WarmEntry(x_req=x_req, state=state))
+        entry = _WarmEntry(x_req=x_req, state=state)
+        self._touch(entry)
+        entries.append(entry)
         self.points_recorded += 1
+        while self.points_recorded > self.capacity:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        victim_key, victim = min(
+            ((key, entry) for key, entries in self._entries.items()
+             for entry in entries),
+            key=lambda pair: pair[1].tick)
+        remaining = [entry for entry in self._entries[victim_key]
+                     if entry is not victim]
+        if remaining:
+            self._entries[victim_key] = remaining
+        else:
+            del self._entries[victim_key]
+        self.points_recorded -= 1
+        self.evictions += 1
+
+    def export_points(self) -> List[Tuple[tuple, float, StateVector]]:
+        """Every retained ``(key, x_req, state)`` point, LRU-first.
+
+        The persistence layer (``repro.runtime.warmstore``) serializes
+        these; re-importing in this order reproduces the eviction
+        order, so a snapshot round-trip preserves LRU behavior.
+        """
+        stamped = [(key, entry.x_req, entry.state, entry.tick)
+                   for key, entries in self._entries.items()
+                   for entry in entries]
+        stamped.sort(key=lambda item: item[3])
+        return [(key, x_req, state) for key, x_req, state, _ in stamped]
+
+    def import_points(self, points) -> int:
+        """Bulk-load exported points (e.g. from the persistent store)."""
+        loaded = 0
+        for key, x_req, state in points:
+            self._store(tuple(key), float(x_req),
+                        tuple(float(value) for value in state))
+            loaded += 1
+        return loaded
 
 
 def _take_lanes(struct, index: np.ndarray):
@@ -263,12 +336,22 @@ def _merge_lanes(new, old, mask: np.ndarray):
 
 @dataclass
 class _BatchProblem:
-    """N (workload, placement) problems packed as lane arrays."""
+    """N (workload, placement) problems packed as lane arrays.
+
+    Each lane additionally carries its own machine identity
+    (``platforms``/``noises``/``seeds``): one packed batch may mix
+    SKX/SPR/EMR lanes at different noise levels, which is what lets a
+    whole suite population solve as a single masked batch
+    (:meth:`Machine.run_batch_multi`).
+    """
 
     workloads: List[WorkloadSpec]
     placements: List[Placement]
     demands: List[DemandProfile]
     slow_devices: List[Optional[MemoryDeviceConfig]]
+    platforms: List[PlatformConfig]
+    noises: List[float]
+    seeds: List[int]
     params: BatchCoreParams
     dram_lanes: DeviceLanes
     slow_lanes: DeviceLanes
@@ -297,6 +380,9 @@ class _BatchProblem:
             placements=pick(self.placements),
             demands=pick(self.demands),
             slow_devices=pick(self.slow_devices),
+            platforms=pick(self.platforms),
+            noises=pick(self.noises),
+            seeds=pick(self.seeds),
             params=_take_lanes(self.params, index),
             dram_lanes=_take_lanes(self.dram_lanes, index),
             slow_lanes=_take_lanes(self.slow_lanes, index),
@@ -558,7 +644,8 @@ class Machine:
                       Optional[Mapping[str, float]]]] = None,
                   *, accelerate: bool = False,
                   warm_cache: Optional[WarmStartCache] = None,
-                  stats: Optional[Dict[str, object]] = None
+                  stats: Optional[Dict[str, object]] = None,
+                  float32: bool = False
                   ) -> List[RunResult]:
         """Execute N (workload, placement) problems in one vectorized solve.
 
@@ -571,33 +658,46 @@ class Machine:
         fixed point within :data:`ACCELERATED_RELATIVE_TOLERANCE`
         (docs/SOLVER.md has the full tolerance contract).
 
+        ``float32=True`` (requires ``accelerate=True``) runs a single-
+        precision pre-pass to loose tolerances and then polishes every
+        lane in float64, so the returned observables are float64 and
+        the :data:`ACCELERATED_RELATIVE_TOLERANCE` contract still
+        holds (see ``uarch/fastpath.py``).
+
         ``external_traffic`` optionally gives one per-problem mapping of
         tier name to colocated GB/s, aligned with ``pairs``.  ``stats``
         (if given) receives solver telemetry: problem count, mode,
-        outer-iteration totals, warm seeds used, and how many lanes did
-        not converge.
+        outer-iteration totals, warm seeds used, float32 pre-pass
+        iterations, and how many lanes did not converge.
         """
         pairs = list(pairs)
         if warm_cache is not None and not accelerate:
             raise ValueError(
                 "warm_cache requires accelerate=True: replay mode must "
                 "stay bit-identical to Machine.run")
+        if float32 and not accelerate:
+            raise ValueError(
+                "float32 requires accelerate=True: replay mode must "
+                "stay bit-identical to Machine.run")
         with maybe_span("machine.run_batch", problems=len(pairs),
                         platform=self.platform.name,
                         accelerated=accelerate) as span:
             results, solve_stats = self._run_batch(
-                pairs, external_traffic, accelerate, warm_cache)
+                pairs, external_traffic, accelerate, warm_cache,
+                float32=float32)
             if span is not None:
                 span.annotate(**solve_stats)
             if stats is not None:
                 stats.update(solve_stats)
             return results
 
-    def _run_batch(self, pairs, external_traffic, accelerate, warm_cache):
+    def _run_batch(self, pairs, external_traffic, accelerate, warm_cache,
+                   float32=False, platforms=None, noises=None, seeds=None):
         if not pairs:
             return [], {"problems": 0, "mode": "empty",
                         "outer_iterations": 0, "nonconverged": 0,
-                        "warm_seeded": 0, "replay_resolves": 0}
+                        "warm_seeded": 0, "replay_resolves": 0,
+                        "f32_iterations": 0}
         externals: List[Optional[Mapping[str, float]]]
         if external_traffic is None:
             externals = [None] * len(pairs)
@@ -612,21 +712,48 @@ class Machine:
             # Fault hooks are stateful per-call scalar functions; the
             # vectorized kernels cannot thread them.  Fall back to the
             # looped scalar path so chaos runs see identical behavior.
+            if platforms is None:
+                machines: List["Machine"] = [self] * len(pairs)
+            else:
+                machines = [
+                    type(self)(platform, noise=noise, seed=lane_seed)
+                    for platform, noise, lane_seed in zip(
+                        platforms, noises, seeds)]
             results = [
-                self._run(workload, placement or Placement.dram_only(),
-                          external)
-                for (workload, placement), external in zip(pairs, externals)]
+                machine._run(workload,
+                             placement or Placement.dram_only(), external)
+                for machine, ((workload, placement), external) in zip(
+                    machines, zip(pairs, externals))]
             return results, {
                 "problems": len(pairs), "mode": "scalar-fallback",
                 "outer_iterations": 0,
                 "nonconverged": sum(1 for r in results if not r.converged),
-                "warm_seeded": 0, "replay_resolves": 0}
+                "warm_seeded": 0, "replay_resolves": 0,
+                "f32_iterations": 0}
 
-        problem = self._pack_batch(pairs, externals)
+        problem = self._pack_batch(pairs, externals, platforms=platforms,
+                                   noises=noises, seeds=seeds)
         state = self._initial_state(problem)
         warm_seeded = 0
         if accelerate and warm_cache is not None:
             warm_seeded = self._apply_warm_seeds(problem, state, warm_cache)
+
+        f32_iterations = 0
+        if float32:
+            # Single-precision pre-pass: solve the whole batch to the
+            # loose fastpath tolerances in float32, then seed the
+            # float64 solve below from its final state.  The f64 pass
+            # re-derives every observable, so precision of the result
+            # is unchanged; lanes the pre-pass placed near the fixed
+            # point converge in a handful of double-precision steps.
+            pre = self._solve_batch(
+                fastpath.problem_to_float32(problem),
+                fastpath.state_to_float32(state),
+                accelerate=True,
+                outer_tolerance=fastpath.FASTPATH_OUTER_TOLERANCE,
+                inner_tolerance=fastpath.FASTPATH_INNER_TOLERANCE)
+            f32_iterations = int(pre.iterations.sum())
+            state = fastpath.seed_state_from_solution(pre)
 
         solution = self._solve_batch(problem, state, accelerate)
         replay_resolves = 0
@@ -648,24 +775,100 @@ class Machine:
         results = self._materialize(problem, solution)
         solve_stats = {
             "problems": problem.size,
-            "mode": "accelerated" if accelerate else "replay",
+            "mode": ("accelerated-f32" if float32 else
+                     "accelerated" if accelerate else "replay"),
             "outer_iterations": int(solution.iterations.sum()),
             "nonconverged": sum(1 for r in results if not r.converged),
             "warm_seeded": warm_seeded,
             "replay_resolves": replay_resolves,
+            "f32_iterations": f32_iterations,
         }
         return results, solve_stats
 
-    def _pack_batch(self, pairs, externals) -> _BatchProblem:
+    @classmethod
+    def run_batch_multi(cls, specs: Sequence, *, accelerate: bool = False,
+                        warm_cache: Optional[WarmStartCache] = None,
+                        stats: Optional[Dict[str, object]] = None,
+                        float32: bool = False) -> List[RunResult]:
+        """Solve specs spanning *different machines* as one masked batch.
+
+        ``specs`` is any sequence of objects exposing ``workload``,
+        ``placement``, ``platform`` (a
+        :class:`~repro.uarch.config.PlatformConfig`), ``noise`` and
+        ``seed`` - e.g. :class:`repro.runtime.spec.RunSpec`.  Every
+        lane carries its own machine parameters, so a whole suite
+        population (workloads x placements x SKX/SPR/EMR x seeds)
+        solves as one masked batch instead of per-machine groups.
+
+        In the default *replay* mode the result list is bit-identical
+        to looping ``Machine(spec.platform, noise=spec.noise,
+        seed=spec.seed).run(spec.workload, spec.placement)`` over the
+        specs.  ``accelerate``/``warm_cache``/``float32`` behave as in
+        :meth:`run_batch`.
+        """
+        specs = list(specs)
+        if warm_cache is not None and not accelerate:
+            raise ValueError(
+                "warm_cache requires accelerate=True: replay mode must "
+                "stay bit-identical to Machine.run")
+        if float32 and not accelerate:
+            raise ValueError(
+                "float32 requires accelerate=True: replay mode must "
+                "stay bit-identical to Machine.run")
+        if not specs:
+            if stats is not None:
+                stats.update(problems=0, mode="empty",
+                             outer_iterations=0, nonconverged=0,
+                             warm_seeded=0, replay_resolves=0,
+                             f32_iterations=0)
+            return []
+        host = cls(specs[0].platform, noise=specs[0].noise,
+                   seed=specs[0].seed)
+        pairs = [(spec.workload, spec.placement) for spec in specs]
+        with maybe_span("machine.run_batch_multi", problems=len(specs),
+                        accelerated=accelerate) as span:
+            results, solve_stats = host._run_batch(
+                pairs, None, accelerate, warm_cache, float32=float32,
+                platforms=[spec.platform for spec in specs],
+                noises=[float(spec.noise) for spec in specs],
+                seeds=[int(spec.seed) for spec in specs])
+            if span is not None:
+                span.annotate(**solve_stats)
+            if stats is not None:
+                stats.update(solve_stats)
+            return results
+
+    def _pack_batch(self, pairs, externals, *,
+                    platforms: Optional[Sequence[PlatformConfig]] = None,
+                    noises: Optional[Sequence[float]] = None,
+                    seeds: Optional[Sequence[int]] = None) -> _BatchProblem:
+        """Pack N problems into lane arrays.
+
+        ``platforms``/``noises``/``seeds`` optionally give each lane its
+        own machine identity (the cross-machine path); ``None`` means
+        every lane runs on *this* machine.  A uniform identity packs
+        arrays bit-identical to the pre-cross-machine layout: filling a
+        lane array from N copies of one platform produces exactly what
+        ``np.full`` produced from its scalar.
+        """
         workloads = [workload for workload, _ in pairs]
         placements = [placement or Placement.dram_only()
                       for _, placement in pairs]
         count = len(pairs)
-        dram_dev = self.platform.dram
+        lane_platforms = (list(platforms) if platforms is not None
+                          else [self.platform] * count)
+        lane_noises = (list(noises) if noises is not None
+                       else [self.noise] * count)
+        lane_seeds = (list(seeds) if seeds is not None
+                      else [self.seed] * count)
+        if not (len(lane_platforms) == len(lane_noises) ==
+                len(lane_seeds) == count):
+            raise ValueError("per-lane identities must align with pairs")
+        dram_devs = [platform.dram for platform in lane_platforms]
         slow_devices = [placement.slow_device() for placement in placements]
         has_slow = np.asarray([dev is not None for dev in slow_devices])
-        demands = [demand_profile(workload, self.platform)
-                   for workload in workloads]
+        demands = [demand_profile(workload, platform)
+                   for workload, platform in zip(workloads, lane_platforms)]
 
         def lanes(values) -> np.ndarray:
             return np.asarray(list(values), dtype=np.float64)
@@ -681,12 +884,15 @@ class Machine:
             placements=placements,
             demands=demands,
             slow_devices=slow_devices,
+            platforms=lane_platforms,
+            noises=lane_noises,
+            seeds=lane_seeds,
             params=BatchCoreParams.from_problems(
-                workloads, self.platform, demands),
-            dram_lanes=DeviceLanes.from_devices([dram_dev] * count),
+                workloads, lane_platforms, demands),
+            dram_lanes=DeviceLanes.from_devices(dram_devs),
             slow_lanes=DeviceLanes.from_devices(
                 [dev if dev is not None else dram_dev
-                 for dev in slow_devices]),
+                 for dev, dram_dev in zip(slow_devices, dram_devs)]),
             has_slow=has_slow,
             x_req=request_share_batch(
                 placements, [w.name for w in workloads],
@@ -699,7 +905,8 @@ class Machine:
                 d.mem_reads_potential for d in demands),
             dram_external_gbps=dram_external,
             slow_external_gbps=slow_external,
-            reference_idle_ns=np.full(count, dram_dev.idle_latency_ns),
+            reference_idle_ns=lanes(
+                dev.idle_latency_ns for dev in dram_devs),
             zeros=np.zeros(count),
         )
 
@@ -729,8 +936,8 @@ class Machine:
         for i in range(problem.size):
             vector = warm_cache.seed(
                 problem.workloads[i], problem.placements[i],
-                self.platform.name, self.noise, self.seed,
-                float(problem.x_req[i]))
+                problem.platforms[i].name, problem.noises[i],
+                problem.seeds[i], float(problem.x_req[i]))
             if vector is None:
                 continue
             for name, value in zip(names, vector):
@@ -754,19 +961,22 @@ class Machine:
             )
             warm_cache.record(
                 problem.workloads[i], problem.placements[i],
-                self.platform.name, self.noise, self.seed,
-                float(problem.x_req[i]), vector)
+                problem.platforms[i].name, problem.noises[i],
+                problem.seeds[i], float(problem.x_req[i]), vector)
 
     def _evaluate_outer(self, problem: _BatchProblem,
                         dram_latency_ns, slow_latency_ns,
                         dram_rfo_ns, slow_rfo_ns,
-                        dram_escalation, slow_escalation):
+                        dram_escalation, slow_escalation,
+                        inner_tolerance: float = _INNER_TOLERANCE):
         """One application of the outer map at the given state arrays.
 
         Mirrors the body of `_run`'s loop operation-for-operation;
         returns the pre-damping latency targets, the updated
         escalations, this iteration's observables, and the convergence
-        delta/scale.
+        delta/scale.  ``inner_tolerance`` parameterizes the core
+        accounting's convergence criterion for the float32 fast path
+        (``uarch/fastpath.py``); the default is the scalar criterion.
         """
         x_req = problem.x_req
         tier_read = (x_req * dram_latency_ns +
@@ -786,10 +996,11 @@ class Machine:
             rfo_ns=rfo,
             reference_idle_ns=problem.reference_idle_ns,
         )
-        breakdown = account_cycles_batch(problem.params, flow, latency_ctx)
+        breakdown = account_cycles_batch(problem.params, flow, latency_ctx,
+                                         relative_tolerance=inner_tolerance)
 
         runtime_s = breakdown.cycles / (
-            self.platform.frequency_ghz * 1e9)
+            problem.params.frequency_ghz * 1e9)
         lines = (flow.demand_mem_reads + flow.pf_mem_reads +
                  problem.params.store_mem_rfos +
                  problem.params.store_mem_rfos +  # RFO read + writeback
@@ -839,7 +1050,10 @@ class Machine:
 
     def _solve_batch(self, problem: _BatchProblem,
                      state: Dict[str, np.ndarray],
-                     accelerate: bool) -> _BatchSolution:
+                     accelerate: bool,
+                     outer_tolerance: float = _OUTER_TOLERANCE,
+                     inner_tolerance: float = _INNER_TOLERANCE
+                     ) -> _BatchSolution:
         """Iterate the outer fixed point for all lanes at once.
 
         Replay mode applies exactly the scalar damped update; each lane
@@ -848,6 +1062,11 @@ class Machine:
         the scalar path's doubles verbatim.  Accelerated mode layers an
         Anderson(1) secant step on top of the damped map, with
         per-lane safeguards falling back to the plain damped step.
+
+        The tolerance parameters exist for the float32 fast path
+        (``uarch/fastpath.py``): the scalar criteria (the defaults) sit
+        below float32 machine epsilon, so the f32 phase solves to a
+        looser criterion and a float64 polish finishes the job.
         """
         dram_latency_ns = state["dram_latency_ns"]
         slow_latency_ns = state["slow_latency_ns"]
@@ -874,7 +1093,8 @@ class Machine:
              delta, scale) = self._evaluate_outer(
                 problem, dram_latency_ns, slow_latency_ns,
                 dram_rfo_ns, slow_rfo_ns,
-                dram_escalation, slow_escalation)
+                dram_escalation, slow_escalation,
+                inner_tolerance=inner_tolerance)
             iterations += active
 
             # Observables retained by lanes still iterating: exactly
@@ -884,7 +1104,7 @@ class Machine:
             kept_dram_gbps = np.where(active, dram_gbps, kept_dram_gbps)
             kept_slow_gbps = np.where(active, slow_gbps, kept_slow_gbps)
 
-            conv_now = active & (delta <= _OUTER_TOLERANCE * scale)
+            conv_now = active & (delta <= outer_tolerance * scale)
             still_active = active & ~conv_now
 
             # The damped map image - the step the scalar solver takes
@@ -987,7 +1207,7 @@ class Machine:
         rfo = (x_req * solution.dram_rfo_ns +
                (1.0 - x_req) * solution.slow_rfo_ns)
         runtime_s = solution.breakdown.cycles / (
-            self.platform.frequency_ghz * 1e9)
+            problem.params.frequency_ghz * 1e9)
         dram_util = utilization_for_bandwidth_batch(
             problem.dram_lanes,
             solution.dram_gbps + problem.dram_external_gbps)
@@ -1017,13 +1237,14 @@ class Machine:
             )
             tier_label = placement.describe()
             counters = emit_counters(
-                workload, self.platform, demand, prefetch, breakdown,
-                tier_label, noise=self.noise, seed=self.seed)
+                workload, problem.platforms[i], demand, prefetch,
+                breakdown, tier_label, noise=problem.noises[i],
+                seed=problem.seeds[i])
             has_slow = bool(problem.has_slow[i])
             results.append(RunResult(
                 workload=workload,
                 placement=placement,
-                platform=self.platform,
+                platform=problem.platforms[i],
                 breakdown=breakdown,
                 demand=demand,
                 prefetch=prefetch,

@@ -15,7 +15,7 @@ import repro.uarch.machine as machine_mod
 from repro.runtime.executor import MIN_BATCH_GROUP, Executor
 from repro.runtime.spec import RunSpec
 from repro.runtime.store import ResultStore
-from repro.uarch import Machine, Placement, SKX2S, SPR2S
+from repro.uarch import EMR2S, Machine, Placement, SKX2S, SPR2S
 from repro.uarch.machine import (ACCELERATED_RELATIVE_TOLERANCE,
                                  WarmStartCache)
 from repro.workloads import get_workload
@@ -239,6 +239,153 @@ class TestWarmStart:
         assert stats["warm_seeded"] == 0
 
 
+class TestWarmCacheEviction:
+    """The cache is bounded: LRU eviction with a surfaced counter."""
+
+    def record(self, cache, seed, x_req=0.5):
+        cache.record(get_workload("605.mcf"),
+                     Placement.slow_only("cxl-a"), "SKX2S", 0.0, seed,
+                     x_req, (1.0 + seed,) * 6)
+
+    def seed(self, cache, seed, x_req=0.5):
+        return cache.seed(get_workload("605.mcf"),
+                          Placement.slow_only("cxl-a"), "SKX2S", 0.0,
+                          seed, x_req)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            WarmStartCache(capacity=0)
+
+    def test_evicts_least_recently_used(self):
+        cache = WarmStartCache(capacity=3)
+        for seed in range(3):
+            self.record(cache, seed)
+        # Seeding from point 0 refreshes it, leaving 1 as the LRU.
+        assert self.seed(cache, 0) is not None
+        self.record(cache, 3)
+        assert cache.points_recorded == 3
+        assert cache.evictions == 1
+        assert self.seed(cache, 1) is None      # evicted
+        assert self.seed(cache, 0) is not None  # survived the refresh
+        assert self.seed(cache, 3) is not None
+
+    def test_same_share_replaces_in_place(self):
+        cache = WarmStartCache(capacity=1)
+        self.record(cache, 0, x_req=0.5)
+        self.record(cache, 0, x_req=0.5)
+        assert cache.points_recorded == 1
+        assert cache.evictions == 0
+
+    def test_export_import_preserves_lru_order(self):
+        cache = WarmStartCache(capacity=4)
+        for seed in range(4):
+            self.record(cache, seed)
+        clone = WarmStartCache(capacity=4)
+        assert clone.import_points(cache.export_points()) == 4
+        # The clone's next eviction removes the original LRU point.
+        self.record(clone, 9)
+        assert clone.evictions == 1
+        assert self.seed(clone, 0) is None
+        assert self.seed(clone, 1) is not None
+
+
+class TestRunBatchMulti:
+    """One masked batch across machine identities (docs/SOLVER.md)."""
+
+    def platform_specs(self):
+        specs = []
+        for platform in (SKX2S, SPR2S, EMR2S):
+            machine = Machine(platform)
+            for workload, placement in mixed_pairs()[:5]:
+                specs.append(RunSpec.from_machine(machine, workload,
+                                                  placement))
+        return specs
+
+    def identity_specs(self):
+        specs = []
+        for noise, seed in ((0.0, 0), (0.0, 7), (0.02, 0), (0.02, 7)):
+            machine = Machine(SKX2S, noise=noise, seed=seed)
+            for workload, placement in mixed_pairs()[:3]:
+                specs.append(RunSpec.from_machine(machine, workload,
+                                                  placement))
+        return specs
+
+    def test_mixed_platform_replay_is_bit_identical(self):
+        specs = self.platform_specs()
+        batch = Machine.run_batch_multi(specs)
+        scalar = [spec.machine().run(spec.workload, spec.placement)
+                  for spec in specs]
+        assert_bit_identical(batch, scalar)
+
+    def test_mixed_noise_and_seed_replay_is_bit_identical(self):
+        specs = self.identity_specs()
+        batch = Machine.run_batch_multi(specs)
+        scalar = [spec.machine().run(spec.workload, spec.placement)
+                  for spec in specs]
+        assert_bit_identical(batch, scalar)
+
+    def test_results_carry_their_lane_platform(self):
+        specs = self.platform_specs()
+        batch = Machine.run_batch_multi(specs)
+        assert [result.platform.name for result in batch] == \
+            [spec.platform.name for spec in specs]
+
+    def test_empty_specs(self):
+        stats = {}
+        assert Machine.run_batch_multi([], stats=stats) == []
+        assert stats["problems"] == 0
+
+    def test_f32_fast_path_within_tolerance(self):
+        specs = self.platform_specs()
+        stats = {}
+        batch = Machine.run_batch_multi(specs, accelerate=True,
+                                        float32=True, stats=stats)
+        assert stats["mode"] == "accelerated-f32"
+        assert stats["f32_iterations"] > 0
+        scalar = [spec.machine().run(spec.workload, spec.placement)
+                  for spec in specs]
+        for got, want in zip(batch, scalar):
+            assert got.converged
+            assert relative_error(got.cycles, want.cycles) <= \
+                ACCELERATED_RELATIVE_TOLERANCE
+            assert relative_error(got.observed_read_ns,
+                                  want.observed_read_ns) <= \
+                ACCELERATED_RELATIVE_TOLERANCE
+
+    def test_f32_nonconverged_lanes_replay_resolve(self, monkeypatch):
+        # Lanes neither phase can settle under a tiny iteration cap
+        # fall back to the float64 replay re-solve, reproducing the
+        # scalar solver's truncated iterates exactly.
+        monkeypatch.setattr(machine_mod, "_MAX_OUTER_ITERATIONS", 20)
+        specs = [RunSpec.from_machine(Machine(SKX2S), workload,
+                                      placement)
+                 for workload, placement in sweep_pairs(points=5)]
+        stats = {}
+        batch = Machine.run_batch_multi(specs, accelerate=True,
+                                        float32=True, stats=stats)
+        scalar = [spec.machine().run(spec.workload, spec.placement)
+                  for spec in specs]
+        assert stats["nonconverged"] > 0
+        assert stats["replay_resolves"] == stats["nonconverged"]
+        for got, want in zip(batch, scalar):
+            if not got.converged:
+                assert got.cycles == want.cycles
+
+    def test_f32_requires_accelerate(self):
+        with pytest.raises(ValueError, match="accelerate"):
+            Machine.run_batch_multi(self.identity_specs()[:2],
+                                    float32=True)
+
+    def test_run_batch_f32_requires_accelerate(self):
+        with pytest.raises(ValueError, match="accelerate"):
+            Machine(SKX2S).run_batch(mixed_pairs()[:2], float32=True)
+
+    def test_warm_cache_requires_accelerate(self):
+        with pytest.raises(ValueError, match="accelerate"):
+            Machine.run_batch_multi(self.identity_specs()[:2],
+                                    warm_cache=WarmStartCache())
+
+
 class TestRunColocated:
     def test_joint_stats_surface_convergence(self, skx_machine):
         jobs = [(get_workload("605.mcf"), Placement.dram_only()),
@@ -352,13 +499,31 @@ class TestExecutorBatching:
         executor.run(specs)
         assert "batched_solves" not in executor.telemetry.counters
 
-    def test_mixed_machines_group_separately(self, tmp_path):
+    def test_mixed_machines_solve_as_one_batch(self, tmp_path):
+        # Lanes carry their own (platform, noise, seed), so distinct
+        # machine identities no longer split the pending batch.
         specs = (self.sweep_specs(Machine(SKX2S)) +
                  self.sweep_specs(Machine(SKX2S, seed=7)))
         executor = Executor(jobs=1, store=ResultStore(tmp_path / "c"))
         results = executor.run(specs)
-        assert executor.telemetry.counters.get("batched_solves") == 2
+        assert executor.telemetry.counters.get("batched_solves") == 1
         assert len(results) == len(specs)
+        scalar = [spec.machine().run(spec.workload, spec.placement)
+                  for spec in specs]
+        assert_bit_identical(results, scalar)
+
+    def test_pool_chunks_match_serial_byte_for_byte(self, tmp_path):
+        # The pool path must ship whole shard-batches to workers, not
+        # fall back to scalar solves — and `-j N` must reproduce the
+        # `-j 1` bytes exactly.
+        specs = (self.sweep_specs(Machine(SKX2S)) +
+                 self.sweep_specs(Machine(SPR2S, seed=3)))
+        serial = Executor(jobs=1, store=ResultStore(tmp_path / "s"))
+        pooled = Executor(jobs=2, store=ResultStore(tmp_path / "p"))
+        serial_results = serial.run(specs)
+        pooled_results = pooled.run(specs)
+        assert pooled.telemetry.counters.get("pool_chunks", 0) >= 1
+        assert_bit_identical(pooled_results, serial_results)
 
     def test_nonconverged_results_are_counted(self, tmp_path,
                                               monkeypatch):

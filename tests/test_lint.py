@@ -377,6 +377,64 @@ class TestUnits01:
                                 "src/repro/uarch/fake.py")
 
 
+class TestDtype01:
+    BAD_ASTYPE = """\
+        import numpy as np
+
+        def shrink(lanes):
+            return lanes.astype(np.float32)
+        """
+    BAD_DTYPE_KWARG = """\
+        import numpy as np
+
+        def alloc(n):
+            return np.zeros(n, dtype=np.float32)
+        """
+    BAD_STRING_DTYPE = """\
+        import numpy as np
+
+        def alloc(n):
+            return np.ones(n, dtype="float32")
+        """
+    BAD_SCALAR_CAST = """\
+        from numpy import float32
+
+        def shrink(x):
+            return float32(x)
+        """
+    BAD_POSITIONAL = """\
+        import numpy as np
+
+        def alloc(n):
+            return np.zeros(n, np.float32)
+        """
+    GOOD_F64 = """\
+        import numpy as np
+
+        def alloc(n):
+            return np.zeros(n, dtype=np.float64).astype(np.int64)
+        """
+
+    @pytest.mark.parametrize("source", [BAD_ASTYPE, BAD_DTYPE_KWARG,
+                                        BAD_STRING_DTYPE, BAD_SCALAR_CAST,
+                                        BAD_POSITIONAL])
+    def test_flags_float32_creation_outside_fastpath(self, source):
+        assert rules_hit("DTYPE01", source,
+                         "src/repro/uarch/fake.py") == ["DTYPE01"]
+
+    def test_float64_and_int_casts_pass(self):
+        assert not findings_for("DTYPE01", self.GOOD_F64,
+                                "src/repro/uarch/fake.py")
+
+    def test_sanctioned_fastpath_module_is_exempt(self):
+        assert not findings_for("DTYPE01", self.BAD_ASTYPE,
+                                "src/repro/uarch/fastpath.py")
+
+    def test_applies_outside_uarch_too(self):
+        assert rules_hit("DTYPE01", self.BAD_DTYPE_KWARG,
+                         "src/repro/analysis/fake.py") == ["DTYPE01"]
+
+
 class TestSuppression:
     def test_line_directive_silences_one_rule(self):
         source = ("def f():\n"

@@ -60,10 +60,10 @@ def findings_for(rule_id, source, relpath):
 
 
 class TestRegistry:
-    def test_catalogue_has_all_ten_rules(self):
+    def test_catalogue_has_all_eleven_rules(self):
         assert {rule.id for rule in ALL_RULES} == {
             "DET01", "CACHE01", "PMU01", "ERR01", "PURE01", "UNITS01",
-            "RACE01", "ASYNC01", "LOCK01", "SCHEMA01"}
+            "DTYPE01", "RACE01", "ASYNC01", "LOCK01", "SCHEMA01"}
 
     def test_flow_rules_are_whole_program(self):
         for rule_id in ("RACE01", "ASYNC01", "LOCK01", "SCHEMA01"):

@@ -308,6 +308,8 @@ class TestBench:
             "executor_warm", "suite_slice", "solver_sweep_loop",
             "solver_sweep_batch", "solver_sweep_warm",
             "solver_suite_loop", "solver_suite_batch",
+            "suite_groups", "suite_onebatch", "suite_accel",
+            "solver_f32", "warm_persist_cold",
             "lint_cold", "lint_warm", "fleet_pairwise_loop",
             "fleet_shard", "fleet_tournament"]
         for case in result["benches"]:
@@ -329,11 +331,28 @@ class TestBench:
         assert solver["sweep_warm_outer_iterations"] < \
             solver["sweep_outer_iterations"]
 
+    def test_population_section(self, payload):
+        result, _ = payload
+        population = result["population"]
+        assert population["lanes"] % population["groups"] == 0
+        assert population["groups"] == 9   # 3 platforms x 3 seeds
+        # The merged cross-machine batch must beat the per-group path
+        # and stay byte-identical to it in replay mode; the committed
+        # baseline pins the headline >=5x target.
+        assert population["onebatch_speedup"] > 1.0
+        assert population["onebatch_replay_identical"] is True
+        # The f32 pre-pass actually ran, and the cold-process warm
+        # start found its persisted points (hit rate > 0).
+        assert population["f32_iterations"] > 0
+        assert population["warm_cold_points_loaded"] > 0
+        assert population["warm_cold_seeds_used"] > 0
+        assert population["nonconverged"] == 0
+
     def test_lint_section(self, payload):
         result, _ = payload
         lint = result["lint"]
         assert lint["files"] > 50
-        assert lint["rules"] == 10
+        assert lint["rules"] == 11
         # The content-hash cache must make an unchanged tree cheap;
         # the committed baseline pins the >=2x acceptance target.
         assert lint["warm_speedup"] > 1.0

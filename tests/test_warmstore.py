@@ -1,0 +1,101 @@
+"""Warm-start persistence through the segment store (docs/STORE.md).
+
+The snapshot is one ``"warm-start"`` record keyed by ``code_version()``
+(which embeds ``CACHE_SCHEMA_VERSION``), so schema bumps orphan old
+snapshots instead of corrupting them, and a malformed payload loads
+nothing rather than half a cache.
+"""
+
+import pytest
+
+from repro.runtime import warmstore
+from repro.runtime.store import ResultStore
+from repro.uarch import Machine, Placement, SKX2S
+from repro.uarch.machine import WarmStartCache
+from repro.workloads import get_workload
+
+
+def seeded_cache(points=8):
+    """A cache populated by a real accelerated sweep."""
+    cache = WarmStartCache()
+    machine = Machine(SKX2S)
+    workload = get_workload("603.bwaves").with_threads(10)
+    pairs = [(workload, Placement.interleaved(i / points, "cxl-a"))
+             for i in range(1, points + 1)]
+    machine.run_batch(pairs, accelerate=True, warm_cache=cache)
+    assert cache.points_recorded > 0
+    return cache
+
+
+class TestRoundTrip:
+    def test_save_then_load_restores_every_point(self, tmp_path):
+        cache = seeded_cache()
+        with ResultStore(tmp_path / "c") as store:
+            saved = warmstore.save_warm_cache(store, cache)
+            assert saved == cache.points_recorded
+            restored, loaded = warmstore.load_warm_cache(store)
+            assert loaded == saved
+            assert restored.export_points() == cache.export_points()
+
+    def test_load_into_existing_cache(self, tmp_path):
+        cache = seeded_cache()
+        with ResultStore(tmp_path / "c") as store:
+            warmstore.save_warm_cache(store, cache)
+            target = WarmStartCache()
+            returned, loaded = warmstore.load_warm_cache(store, target)
+            assert returned is target
+            assert loaded == cache.points_recorded
+
+    def test_second_save_replaces_snapshot(self, tmp_path):
+        cache = seeded_cache()
+        with ResultStore(tmp_path / "c") as store:
+            warmstore.save_warm_cache(store, cache)
+            small = WarmStartCache()
+            points = cache.export_points()[:2]
+            assert small.import_points(points) == 2
+            assert warmstore.save_warm_cache(store, small) == 2
+            _, loaded = warmstore.load_warm_cache(store)
+            assert loaded == 2
+
+
+class TestSchemaGuard:
+    def test_other_code_version_misses(self, tmp_path, monkeypatch):
+        cache = seeded_cache()
+        with ResultStore(tmp_path / "c") as store:
+            warmstore.save_warm_cache(store, cache)
+            monkeypatch.setattr(warmstore, "code_version",
+                                lambda: "some-other-version")
+            _, loaded = warmstore.load_warm_cache(store)
+            assert loaded == 0
+
+    def test_malformed_snapshot_loads_nothing(self, tmp_path):
+        cache = seeded_cache()
+        with ResultStore(tmp_path / "c") as store:
+            warmstore.save_warm_cache(store, cache)
+            payload = store.get(warmstore.warm_store_key())
+            payload["points"][1] = {"garbage": True}
+            store.put(warmstore.warm_store_key(), payload)
+            restored, loaded = warmstore.load_warm_cache(store)
+            assert loaded == 0
+            assert restored.points_recorded == 0
+
+
+class TestClear:
+    def test_clear_removes_snapshot(self, tmp_path):
+        cache = seeded_cache()
+        with ResultStore(tmp_path / "c") as store:
+            warmstore.save_warm_cache(store, cache)
+            assert warmstore.clear_warm_cache(store) is True
+            assert warmstore.clear_warm_cache(store) is False
+            _, loaded = warmstore.load_warm_cache(store)
+            assert loaded == 0
+
+
+class TestNoneStore:
+    def test_all_operations_are_noops(self):
+        cache = seeded_cache(points=2)
+        assert warmstore.save_warm_cache(None, cache) == 0
+        restored, loaded = warmstore.load_warm_cache(None)
+        assert loaded == 0
+        assert restored.points_recorded == 0
+        assert warmstore.clear_warm_cache(None) is False
